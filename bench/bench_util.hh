@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table reproduction benches.
+ *
+ * Environment knobs:
+ *  - SRS_BENCH_CYCLES: simulated CPU cycles per run (default 1.2M)
+ *  - SRS_BENCH_FULL:   nonzero -> run every workload in the profile
+ *                      table instead of the representative subset
+ */
+
+#ifndef SRS_BENCH_BENCH_UTIL_HH
+#define SRS_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "trace/profiles.hh"
+
+namespace srs::bench
+{
+
+/** Experiment config honouring the environment knobs. */
+inline ExperimentConfig
+benchExperiment()
+{
+    ExperimentConfig exp;
+    exp.cycles = 1'200'000;
+    if (const char *env = std::getenv("SRS_BENCH_CYCLES"))
+        exp.cycles = static_cast<Cycle>(std::strtoull(env, nullptr, 10));
+    // Two full refresh epochs per run so epoch-boundary work (lazy
+    // place-backs, the no-unswap restore burst) lands inside the
+    // measurement window.
+    exp.epochLen = exp.cycles / 2 - 10'000;
+    return exp;
+}
+
+/** Representative per-suite workload subset used by default. */
+inline std::vector<WorkloadProfile>
+benchWorkloads()
+{
+    if (const char *env = std::getenv("SRS_BENCH_FULL");
+        env != nullptr && env[0] != '0') {
+        return allProfiles();
+    }
+    std::vector<WorkloadProfile> out;
+    for (const char *name :
+         {"gups", "gcc", "hmmer", "mcf", "xz_17", "comm1"}) {
+        out.push_back(profileByName(name));
+    }
+    return out;
+}
+
+/** Cache of baseline IPCs: the unprotected system is T_RH-agnostic. */
+class BaselineCache
+{
+  public:
+    explicit BaselineCache(const ExperimentConfig &exp) : exp_(exp) {}
+
+    double
+    ipcOf(const WorkloadProfile &profile)
+    {
+        const auto it = cache_.find(profile.name);
+        if (it != cache_.end())
+            return it->second;
+        const SystemConfig cfg =
+            makeSystemConfig(exp_, MitigationKind::None, 4800, 6);
+        const double ipc =
+            runWorkload(cfg, profile, exp_).aggregateIpc;
+        cache_.emplace(profile.name, ipc);
+        return ipc;
+    }
+
+  private:
+    ExperimentConfig exp_;
+    std::map<std::string, double> cache_;
+};
+
+/** Normalized performance of one protected run. */
+inline double
+normalized(BaselineCache &base, const ExperimentConfig &exp,
+           MitigationKind kind, std::uint32_t trh, std::uint32_t rate,
+           const WorkloadProfile &profile,
+           TrackerKind tracker = TrackerKind::MisraGries)
+{
+    const SystemConfig cfg =
+        makeSystemConfig(exp, kind, trh, rate, tracker);
+    const double ipc = runWorkload(cfg, profile, exp).aggregateIpc;
+    const double b = base.ipcOf(profile);
+    return b > 0.0 ? ipc / b : 1.0;
+}
+
+/** Pretty header for a bench section. */
+inline void
+header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+/** Format seconds as days for the security figures. */
+inline double
+toDays(double sec)
+{
+    return sec / 86400.0;
+}
+
+} // namespace srs::bench
+
+#endif // SRS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1 reproduction.
+ *
+ * (a) Time-to-break RRS (in days) under the random-guess attack the
+ *     RRS paper studied, across swap rates 2-10 and T_RH values
+ *     {4800, 2400, 1200}.  Paper anchor: > 10^3 days at T_RH 4800
+ *     with swap rate 6.
+ * (b) Normalized performance of RRS as T_RH drops — the motivation
+ *     for a scalable design.
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "security/attack_model.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    header("Figure 1(a): days to break RRS, random-guess attack");
+    std::printf("%-10s", "swap-rate");
+    for (std::uint32_t rate = 2; rate <= 10; ++rate)
+        std::printf("%12u", rate);
+    std::printf("\n");
+    for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+        std::printf("T_RH=%-5u", trh);
+        for (std::uint32_t rate = 2; rate <= 10; ++rate) {
+            AttackParams p;
+            p.trh = trh;
+            p.swapRate = rate;
+            const AttackResult r =
+                JuggernautModel(p).evaluateRrs(0);
+            if (r.feasible)
+                std::printf("%12.3g", toDays(r.timeToBreakSec));
+            else
+                std::printf("%12s", "inf");
+        }
+        std::printf("\n");
+    }
+
+    header("Figure 1(b): normalized performance of RRS vs T_RH");
+    const ExperimentConfig exp = benchExperiment();
+    BaselineCache base(exp);
+    const auto workloads = benchWorkloads();
+    std::printf("%-10s%12s%12s%12s\n", "T_RH", "4800", "2400", "1200");
+    std::printf("%-10s", "RRS");
+    for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+        std::vector<double> norms;
+        for (const WorkloadProfile &w : workloads)
+            norms.push_back(normalized(base, exp, MitigationKind::Rrs,
+                                       trh, 6, w));
+        std::printf("%12.4f", geoMean(norms));
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Figure 4 reproduction: RRS with vs without immediate unswap
+ * operations, normalized to the unprotected baseline.
+ *
+ * Paper shape: skipping immediate unswaps defers all restores to the
+ * epoch boundary, whose burst costs an extra ~3-7% on average at any
+ * T_RH.
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    const ExperimentConfig exp = benchExperiment();
+    BaselineCache base(exp);
+    const auto workloads = benchWorkloads();
+
+    header("Figure 4: RRS immediate-unswap ablation");
+    std::printf("%-16s%14s%14s%12s\n", "config", "norm-perf",
+                "vs-unswap", "");
+    for (const std::uint32_t trh : {1200u, 2400u, 4800u}) {
+        std::vector<double> with, without;
+        for (const WorkloadProfile &w : workloads) {
+            with.push_back(normalized(base, exp, MitigationKind::Rrs,
+                                      trh, 6, w));
+            without.push_back(normalized(
+                base, exp, MitigationKind::RrsNoUnswap, trh, 6, w));
+        }
+        const double gWith = geoMean(with);
+        const double gWithout = geoMean(without);
+        std::printf("Unswap    T_RH=%-6u%8.4f\n", trh, gWith);
+        std::printf("No-Unswap T_RH=%-6u%8.4f  (extra slowdown "
+                    "%+.2f%%)\n",
+                    trh, gWithout, (gWith - gWithout) * 100.0);
+        std::fflush(stdout);
+    }
+    return 0;
+}

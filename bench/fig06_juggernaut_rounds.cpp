@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 6 reproduction: time-to-break RRS with Juggernaut as the
+ * number of biasing rounds N varies, for T_RH in {4800, 2400, 1200}.
+ * Both the analytical model (Eq. 1-10) and event-driven Monte-Carlo
+ * simulation are reported, mirroring the paper's validation.
+ *
+ * Paper anchors: cliffs where k drops; minimum < 4 hours at T_RH
+ * 4800 (N ~ 1100); one-epoch breaks at T_RH <= 2400.
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "security/attack_model.hh"
+#include "security/monte_carlo.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    header("Figure 6: time-to-break RRS (days) vs attack rounds");
+    std::printf("%-8s%16s%16s%16s%6s\n", "N", "analytic", "montecarlo",
+                "", "k");
+    for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+        AttackParams p;
+        p.trh = trh;
+        JuggernautModel model(p);
+        MonteCarloAttack mc(p, 0x5EED + trh);
+        std::printf("-- T_RH = %u --\n", trh);
+        for (std::uint64_t n = 0; n <= 1400; n += 100) {
+            const AttackResult a = model.evaluateRrs(n);
+            if (!a.feasible && a.k > 0) {
+                std::printf("%-8llu%16s\n",
+                            static_cast<unsigned long long>(n),
+                            "infeasible");
+                continue;
+            }
+            const MonteCarloResult m = mc.runRrs(n, 20000);
+            std::printf("%-8llu%16.6g%16.6g%16s%6llu\n",
+                        static_cast<unsigned long long>(n),
+                        toDays(a.timeToBreakSec),
+                        toDays(m.meanTimeSec), "",
+                        static_cast<unsigned long long>(a.k));
+        }
+        const AttackResult best = model.bestRrs();
+        std::printf("best: N=%llu -> %.4g days (%.2f hours)\n",
+                    static_cast<unsigned long long>(best.rounds),
+                    toDays(best.timeToBreakSec),
+                    best.timeToBreakSec / 3600.0);
+    }
+    return 0;
+}

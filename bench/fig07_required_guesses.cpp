@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7 reproduction: the number of correct random guesses (k) an
+ * attacker needs as the biasing rounds N increase, for T_RH in
+ * {4800, 2400, 1200}.
+ *
+ * Paper anchors at T_RH 4800: k = 4 up to N ~ 500, k = 2 from
+ * N ~ 1100; at lower T_RH the curve reaches k = 0 (latent
+ * activations alone suffice).
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "security/attack_model.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    header("Figure 7: required correct guesses k vs attack rounds");
+    std::printf("%-8s%12s%12s%12s\n", "N", "T_RH=4800", "T_RH=2400",
+                "T_RH=1200");
+    for (std::uint64_t n = 0; n <= 1400; n += 100) {
+        std::printf("%-8llu", static_cast<unsigned long long>(n));
+        for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+            AttackParams p;
+            p.trh = trh;
+            std::printf("%12llu",
+                        static_cast<unsigned long long>(
+                            JuggernautModel(p).requiredGuesses(n)));
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

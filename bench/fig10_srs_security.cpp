@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 10 reproduction: time-to-break SRS vs RRS under the
+ * Juggernaut attack pattern across swap rates 6-10 and T_RH in
+ * {4800, 2400, 1200}.  RRS is evaluated at the attacker-optimal N.
+ *
+ * Paper anchors: SRS > 2 years at T_RH 4800 / rate 6 and improving
+ * with rate; RRS broken in hours-to-a-day regardless of rate.
+ * Also reports the Section VIII-5 DDR5 variant (2x refresh).
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "security/attack_model.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    header("Figure 10: time-to-break (days), Juggernaut attack");
+    std::printf("%-18s%12s%12s%12s%12s%12s\n", "config", "rate=6",
+                "rate=7", "rate=8", "rate=9", "rate=10");
+    for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+        std::printf("SRS  T_RH=%-8u", trh);
+        for (std::uint32_t rate = 6; rate <= 10; ++rate) {
+            AttackParams p;
+            p.trh = trh;
+            p.swapRate = rate;
+            const AttackResult r = JuggernautModel(p).evaluateSrs();
+            std::printf("%12.4g", toDays(r.timeToBreakSec));
+        }
+        std::printf("\n");
+        std::printf("RRS  T_RH=%-8u", trh);
+        for (std::uint32_t rate = 6; rate <= 10; ++rate) {
+            AttackParams p;
+            p.trh = trh;
+            p.swapRate = rate;
+            const AttackResult r = JuggernautModel(p).bestRrs();
+            std::printf("%12.4g", toDays(r.timeToBreakSec));
+        }
+        std::printf("\n");
+    }
+
+    header("Section VIII-5: DDR5 (2x refresh) sanity check");
+    for (std::uint32_t rate = 6; rate <= 10; ++rate) {
+        AttackParams p;
+        p.trh = 3100;
+        p.swapRate = rate;
+        p.epochSec = 32e-3;
+        p.refreshOpsPerEpoch = 4096;
+        const AttackResult r = JuggernautModel(p).bestRrs();
+        std::printf("RRS under DDR5, T_RH=3100, rate=%u: %.4g days\n",
+                    rate, toDays(r.timeToBreakSec));
+    }
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 12 reproduction: normalized performance of SRS vs RRS
+ * (same swap rate 6) at T_RH in {1200, 2400, 4800}.
+ *
+ * Paper shape: SRS and RRS track each other closely — preventing
+ * Juggernaut costs nothing extra because the swap rate (the
+ * bandwidth driver) is unchanged.
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    const ExperimentConfig exp = benchExperiment();
+    BaselineCache base(exp);
+    const auto workloads = benchWorkloads();
+
+    header("Figure 12: SRS vs RRS normalized performance");
+    std::printf("%-14s%12s%12s%12s\n", "config", "T_RH=1200",
+                "T_RH=2400", "T_RH=4800");
+    for (const MitigationKind kind :
+         {MitigationKind::Rrs, MitigationKind::Srs}) {
+        std::printf("%-14s", mitigationKindName(kind));
+        for (const std::uint32_t trh : {1200u, 2400u, 4800u}) {
+            std::vector<double> norms;
+            for (const WorkloadProfile &w : workloads)
+                norms.push_back(
+                    normalized(base, exp, kind, trh, 6, w));
+            std::printf("%12.4f", geoMean(norms));
+            std::fflush(stdout);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 14 reproduction — the paper's headline performance result:
+ * normalized performance of Scale-SRS (swap rate 3) and RRS (swap
+ * rate 6) at T_RH = 1200, per workload and averaged.
+ *
+ * Paper shape: RRS loses ~4% on average with >10% outliers (gcc
+ * worst at 26.5%); Scale-SRS loses ~0.7%.
+ */
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+
+int
+main()
+{
+    using namespace srs;
+    using namespace srs::bench;
+    setQuietLogging(true);
+
+    const ExperimentConfig exp = benchExperiment();
+    BaselineCache base(exp);
+    constexpr std::uint32_t trh = 1200;
+
+    header("Figure 14: normalized performance at T_RH = 1200");
+    std::printf("%-16s%12s%12s%14s\n", "workload", "RRS(r=6)",
+                "ScaleSRS(r=3)", "swaps R/S");
+    std::vector<double> rrsAll, scaleAll;
+    for (const WorkloadProfile &w : benchWorkloads()) {
+        const double rrs =
+            normalized(base, exp, MitigationKind::Rrs, trh, 6, w);
+        const double scale =
+            normalized(base, exp, MitigationKind::ScaleSrs, trh, 3, w);
+        rrsAll.push_back(rrs);
+        scaleAll.push_back(scale);
+        std::printf("%-16s%12.4f%12.4f\n", w.name.c_str(), rrs, scale);
+        std::fflush(stdout);
+    }
+
+    // MIX workloads (per-core random benchmark combinations).
+    for (std::uint32_t mix = 0; mix < 2; ++mix) {
+        const auto perCore = mixWorkload(mix, exp.numCores);
+        const SystemConfig baseCfg =
+            makeSystemConfig(exp, MitigationKind::None, trh, 6);
+        const SystemConfig rrsCfg =
+            makeSystemConfig(exp, MitigationKind::Rrs, trh, 6);
+        const SystemConfig scaleCfg =
+            makeSystemConfig(exp, MitigationKind::ScaleSrs, trh, 3);
+        const double b =
+            runWorkloadMix(baseCfg, perCore, exp).aggregateIpc;
+        const double rrs =
+            runWorkloadMix(rrsCfg, perCore, exp).aggregateIpc / b;
+        const double scale =
+            runWorkloadMix(scaleCfg, perCore, exp).aggregateIpc / b;
+        rrsAll.push_back(rrs);
+        scaleAll.push_back(scale);
+        std::printf("mix%-13u%12.4f%12.4f\n", mix, rrs, scale);
+        std::fflush(stdout);
+    }
+
+    std::printf("%-16s%12.4f%12.4f\n", "ALL (geomean)",
+                geoMean(rrsAll), geoMean(scaleAll));
+    std::printf("\naverage slowdown: RRS %.2f%%, Scale-SRS %.2f%%\n",
+                (1.0 - geoMean(rrsAll)) * 100.0,
+                (1.0 - geoMean(scaleAll)) * 100.0);
+    return 0;
+}

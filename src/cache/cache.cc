@@ -1,0 +1,143 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+SetAssocCache::SetAssocCache(const CacheConfig &cfg)
+    : cfg_(cfg), numSets_(cfg.numSets())
+{
+    if (numSets_ == 0)
+        fatal("cache smaller than one set");
+    if (!isPowerOfTwo(numSets_) || !isPowerOfTwo(cfg_.lineBytes))
+        fatal("cache geometry must be a power of two");
+    lines_.resize(numSets_ * cfg_.ways);
+}
+
+Addr
+SetAssocCache::lineAlign(Addr addr) const
+{
+    return addr & ~static_cast<Addr>(cfg_.lineBytes - 1);
+}
+
+std::uint64_t
+SetAssocCache::setOf(Addr addr) const
+{
+    return (addr / cfg_.lineBytes) & (numSets_ - 1);
+}
+
+CacheAccessResult
+SetAssocCache::access(Addr addr, bool isWrite)
+{
+    const Addr tag = lineAlign(addr);
+    const std::uint64_t set = setOf(addr);
+    Line *base = &lines_[set * cfg_.ways];
+
+    std::uint32_t reserved = 0;
+    if (const auto it = reservedWays_.find(set); it != reservedWays_.end())
+        reserved = it->second;
+    const std::uint32_t usable = cfg_.ways - reserved;
+
+    CacheAccessResult res;
+    ++useClock_;
+
+    // Hit path: reserved ways were invalidated at reservation time, so
+    // scanning only the usable prefix is sufficient.
+    for (std::uint32_t w = 0; w < usable; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useClock_;
+            line.dirty = line.dirty || isWrite;
+            res.hit = true;
+            stats_.inc("hits");
+            return res;
+        }
+    }
+
+    stats_.inc("misses");
+    if (usable == 0) {
+        // Fully reserved set: stream around the cache.
+        res.bypassed = true;
+        stats_.inc("bypasses");
+        return res;
+    }
+
+    // Fill: pick invalid way or LRU victim among usable ways.
+    Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < usable; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty) {
+        res.writebackNeeded = true;
+        res.writebackAddr = victim->tag;
+        stats_.inc("writebacks");
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = isWrite;
+    victim->lastUse = useClock_;
+    return res;
+}
+
+bool
+SetAssocCache::contains(Addr addr) const
+{
+    const Addr tag = lineAlign(addr);
+    const std::uint64_t set = setOf(addr);
+    const Line *base = &lines_[set * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(Addr addr)
+{
+    const Addr tag = lineAlign(addr);
+    const std::uint64_t set = setOf(addr);
+    Line *base = &lines_[set * cfg_.ways];
+    for (std::uint32_t w = 0; w < cfg_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            const bool wasDirty = line.dirty;
+            line = Line{};
+            return wasDirty;
+        }
+    }
+    return false;
+}
+
+void
+SetAssocCache::reserveWays(std::uint64_t set, std::uint32_t ways,
+                           std::vector<Addr> &writebacks)
+{
+    SRS_ASSERT(set < numSets_, "set out of range");
+    SRS_ASSERT(ways <= cfg_.ways, "reserving more ways than exist");
+    reservedWays_[set] = ways;
+    // Reserved ways live at the top of the set; displace residents.
+    Line *base = &lines_[set * cfg_.ways];
+    for (std::uint32_t w = cfg_.ways - ways; w < cfg_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.dirty)
+            writebacks.push_back(line.tag);
+        line = Line{};
+    }
+}
+
+void
+SetAssocCache::releaseWays(std::uint64_t set)
+{
+    reservedWays_.erase(set);
+}
+
+} // namespace srs

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Set-associative tag-store cache model with true-LRU replacement.
+ *
+ * Only tags and metadata are modelled (no data movement); the System
+ * turns miss/writeback outcomes into memory traffic.  Sets can be
+ * partially or fully reserved, which is how the Scale-SRS pin-buffer
+ * carves out space for pinned DRAM rows (Section V-C).
+ */
+
+#ifndef SRS_CACHE_CACHE_HH
+#define SRS_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** Geometry for a set-associative cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 8ULL * 1024 * 1024;
+    std::uint32_t ways = 16;
+    std::uint32_t lineBytes = 64;
+
+    std::uint64_t numSets() const
+    {
+        return sizeBytes / (static_cast<std::uint64_t>(ways) * lineBytes);
+    }
+};
+
+/** Result of a cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    bool writebackNeeded = false;   ///< a dirty victim was evicted
+    Addr writebackAddr = kInvalidAddr;
+    bool bypassed = false;          ///< set fully reserved, no allocate
+};
+
+/** LRU set-associative tag store. */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &cfg);
+
+    /**
+     * Look up @p addr, allocating on miss.
+     * @param isWrite marks the line dirty on hit or fill
+     */
+    CacheAccessResult access(Addr addr, bool isWrite);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate one line. @return true when it was present+dirty. */
+    bool invalidate(Addr addr);
+
+    /**
+     * Reserve @p ways ways in set @p set (pin-buffer carve-out).
+     * Reserved ways are unusable by demand fills; resident lines in
+     * reserved ways are invalidated (dirty ones reported via
+     * @p writebacks).
+     */
+    void reserveWays(std::uint64_t set, std::uint32_t ways,
+                     std::vector<Addr> &writebacks);
+
+    /** Release all reservations in set @p set. */
+    void releaseWays(std::uint64_t set);
+
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint32_t ways() const { return cfg_.ways; }
+    const CacheConfig &config() const { return cfg_; }
+
+    /** Map an address to its set index. */
+    std::uint64_t setOf(Addr addr) const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidAddr;   ///< full line-aligned address
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lastUse = 0; ///< LRU timestamp
+    };
+
+    Addr lineAlign(Addr addr) const;
+
+    CacheConfig cfg_;
+    std::uint64_t numSets_;
+    std::vector<Line> lines_;   ///< numSets * ways, row-major by set
+    std::unordered_map<std::uint64_t, std::uint32_t> reservedWays_;
+    std::uint64_t useClock_ = 0;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_CACHE_CACHE_HH

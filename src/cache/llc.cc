@@ -1,0 +1,81 @@
+#include "cache/llc.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+Llc::Llc(const CacheConfig &cfg, std::uint32_t rowBytes,
+         std::uint32_t pinCapacity)
+    : cache_(cfg), pins_(pinCapacity, rowBytes), rowBytes_(rowBytes)
+{
+    const std::uint64_t linesPerRow = rowBytes_ / cfg.lineBytes;
+    setsPerRow_ = linesPerRow / cfg.ways;
+    if (setsPerRow_ == 0)
+        fatal("LLC associativity exceeds lines per DRAM row");
+    if (static_cast<std::uint64_t>(pinCapacity) * setsPerRow_ >
+        cache_.numSets()) {
+        fatal("pin capacity exceeds LLC sets");
+    }
+}
+
+LlcResult
+Llc::access(Addr addr, bool isWrite)
+{
+    LlcResult res;
+    if (pins_.lookup(addr) != nullptr) {
+        res.hit = true;
+        res.pinnedHit = true;
+        stats_.inc("pinned_hits");
+        return res;
+    }
+    const CacheAccessResult c = cache_.access(addr, isWrite);
+    res.hit = c.hit;
+    res.writebackNeeded = c.writebackNeeded;
+    res.writebackAddr = c.writebackAddr;
+    if (c.hit)
+        stats_.inc("hits");
+    else
+        stats_.inc("misses");
+    return res;
+}
+
+bool
+Llc::pinRow(Addr rowBase)
+{
+    SRS_ASSERT((rowBase & (rowBytes_ - 1)) == 0,
+               "pinRow target not row-aligned");
+    if (pins_.pinned(rowBase))
+        return true;
+    // Fixed mapping: entry i owns sets [i*setsPerRow, (i+1)*setsPerRow).
+    const std::uint64_t setBase = pins_.size() * setsPerRow_;
+    const PinEntry *entry = pins_.pin(rowBase, setBase);
+    if (entry == nullptr)
+        return false;
+    std::vector<Addr> writebacks;
+    for (std::uint64_t s = setBase; s < setBase + setsPerRow_; ++s)
+        cache_.reserveWays(s, cache_.ways(), writebacks);
+    // Stale normal-way copies of the row's lines become invalid; their
+    // latest contents now live in the pinned copy.
+    const std::uint32_t lineBytes = cache_.config().lineBytes;
+    for (Addr a = rowBase; a < rowBase + rowBytes_; a += lineBytes)
+        cache_.invalidate(a);
+    stats_.inc("rows_pinned");
+    return true;
+}
+
+std::vector<Addr>
+Llc::unpinAll()
+{
+    std::vector<Addr> rows;
+    rows.reserve(pins_.size());
+    for (const PinEntry &e : pins_.entries()) {
+        rows.push_back(e.rowBase);
+        for (std::uint64_t s = e.setBase; s < e.setBase + setsPerRow_; ++s)
+            cache_.releaseWays(s);
+    }
+    pins_.clear();
+    return rows;
+}
+
+} // namespace srs

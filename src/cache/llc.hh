@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared last-level cache with Scale-SRS row pinning.
+ *
+ * Composes the set-associative tag store with the pin-buffer: every
+ * access is checked against the pin-buffer first (paper Section V-C,
+ * "All accesses into the LLC flow through the pin-buffer").  Pinned
+ * rows always hit and consume a fixed range of reserved sets; demand
+ * traffic mapping into fully-reserved sets streams around the cache.
+ */
+
+#ifndef SRS_CACHE_LLC_HH
+#define SRS_CACHE_LLC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/pin_buffer.hh"
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** Outcome of an LLC access. */
+struct LlcResult
+{
+    bool hit = false;
+    bool pinnedHit = false;        ///< served by a pinned row
+    bool writebackNeeded = false;
+    Addr writebackAddr = kInvalidAddr;
+};
+
+/** The shared LLC (paper Table III: 8MB, 16-way, 64B lines). */
+class Llc
+{
+  public:
+    /**
+     * @param cfg         cache geometry
+     * @param rowBytes    DRAM row size (pinning granularity)
+     * @param pinCapacity maximum simultaneously pinned rows
+     */
+    Llc(const CacheConfig &cfg, std::uint32_t rowBytes,
+        std::uint32_t pinCapacity);
+
+    /** Access a line; fills on miss. */
+    LlcResult access(Addr addr, bool isWrite);
+
+    /**
+     * Pin a DRAM row: reserve its set range and install a pin-buffer
+     * entry.  Stale copies of the row's lines are invalidated from the
+     * normal ways.
+     * @return true when pinned; false when the buffer is full.
+     */
+    bool pinRow(Addr rowBase);
+
+    /** @return true when the row containing @p addr is pinned. */
+    bool rowPinned(Addr addr) const
+    {
+        return pins_.lookup(addr) != nullptr;
+    }
+
+    /**
+     * Unpin everything (refresh-interval boundary).
+     * @return the base addresses of the rows that were pinned, so the
+     *         caller can write their contents back to DRAM.
+     */
+    std::vector<Addr> unpinAll();
+
+    std::uint32_t pinnedRows() const { return pins_.size(); }
+
+    /** LLC sets consumed per pinned row. */
+    std::uint64_t setsPerRow() const { return setsPerRow_; }
+
+    const SetAssocCache &cache() const { return cache_; }
+    const PinBuffer &pinBuffer() const { return pins_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    SetAssocCache cache_;
+    PinBuffer pins_;
+    std::uint32_t rowBytes_;
+    std::uint64_t setsPerRow_;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_CACHE_LLC_HH

@@ -1,0 +1,65 @@
+#include "cache/pin_buffer.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+PinBuffer::PinBuffer(std::uint32_t capacity, std::uint32_t rowBytes)
+    : capacity_(capacity), rowBytes_(rowBytes)
+{
+    if (!isPowerOfTwo(rowBytes_))
+        fatal("pin-buffer row size must be a power of two");
+    entries_.reserve(capacity_);
+}
+
+const PinEntry *
+PinBuffer::lookup(Addr addr) const
+{
+    const Addr base = addr & ~static_cast<Addr>(rowBytes_ - 1);
+    for (const PinEntry &e : entries_) {
+        if (e.rowBase == base)
+            return &e;
+    }
+    return nullptr;
+}
+
+bool
+PinBuffer::pinned(Addr rowBase) const
+{
+    return lookup(rowBase) != nullptr;
+}
+
+const PinEntry *
+PinBuffer::pin(Addr rowBase, std::uint64_t setBase)
+{
+    SRS_ASSERT((rowBase & (rowBytes_ - 1)) == 0,
+               "pin target not row-aligned");
+    if (entries_.size() >= capacity_) {
+        stats_.inc("pin_rejected_full");
+        return nullptr;
+    }
+    if (pinned(rowBase)) {
+        stats_.inc("pin_duplicate");
+        return nullptr;
+    }
+    entries_.push_back(PinEntry{rowBase, setBase});
+    stats_.inc("pins");
+    return &entries_.back();
+}
+
+void
+PinBuffer::clear()
+{
+    entries_.clear();
+}
+
+std::uint64_t
+PinBuffer::storageBits(std::uint32_t physAddrBits) const
+{
+    const std::uint64_t tagBits = physAddrBits - floorLog2(rowBytes_);
+    return static_cast<std::uint64_t>(capacity_) * tagBits;
+}
+
+} // namespace srs

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Scale-SRS pin-buffer (paper Section V-C).
+ *
+ * A small fully-associative buffer in front of the LLC that records
+ * the physical base addresses of pinned DRAM rows.  Every LLC access
+ * flows through it; hits are redirected to a fixed, reserved range of
+ * LLC sets so pinned rows can never conflict with each other or be
+ * evicted by demand traffic.  Entries are cleared when the refresh
+ * interval ends.
+ */
+
+#ifndef SRS_CACHE_PIN_BUFFER_HH
+#define SRS_CACHE_PIN_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** One pinned row: address range plus its reserved set base. */
+struct PinEntry
+{
+    Addr rowBase = kInvalidAddr;  ///< first byte of the pinned row
+    std::uint64_t setBase = 0;    ///< first reserved LLC set
+};
+
+/** Fixed-capacity pin-buffer with row-granularity matching. */
+class PinBuffer
+{
+  public:
+    /**
+     * @param capacity  maximum pinned rows (paper: up to 66 across a
+     *                  multi-bank attack; 3 in the single-bank case)
+     * @param rowBytes  DRAM row size (match granularity)
+     */
+    PinBuffer(std::uint32_t capacity, std::uint32_t rowBytes);
+
+    /** @return true and the entry when @p addr falls in a pinned row. */
+    const PinEntry *lookup(Addr addr) const;
+
+    /** @return true when @p rowBase is already pinned. */
+    bool pinned(Addr rowBase) const;
+
+    /**
+     * Pin a row.  @return the assigned entry, or nullptr when the
+     * buffer is full or the row is already pinned.
+     */
+    const PinEntry *pin(Addr rowBase, std::uint64_t setBase);
+
+    /** Drop all entries (refresh-interval boundary). */
+    void clear();
+
+    /** All current entries, in pin order. */
+    const std::vector<PinEntry> &entries() const { return entries_; }
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(entries_.size());
+    }
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Storage cost in bits: entries * (physAddrBits - rowOffsetBits). */
+    std::uint64_t storageBits(std::uint32_t physAddrBits = 48) const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    std::uint32_t capacity_;
+    std::uint32_t rowBytes_;
+    std::vector<PinEntry> entries_;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_CACHE_PIN_BUFFER_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * Four severities, mirroring gem5's src/base/logging.hh contract:
+ *  - inform(): status messages, no connotation of incorrect behaviour.
+ *  - warn():   something may be modelled imperfectly but continues.
+ *  - fatal():  the user asked for something impossible (bad config);
+ *              throws FatalError so tests can assert on misuse.
+ *  - panic():  an internal invariant broke (a simulator bug); aborts.
+ */
+
+#ifndef SRS_COMMON_LOGGING_HH
+#define SRS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace srs
+{
+
+/** Exception thrown by fatal() so configuration errors are testable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+void informImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+[[noreturn]] void panicImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Globally silence inform()/warn() output (used by benches). */
+void setQuietLogging(bool quiet);
+
+/** @return true when inform()/warn() output is suppressed. */
+bool quietLogging();
+
+/** Print an informational status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Print a warning about imperfect but survivable modelling. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the simulation due to a user/configuration error. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Abort the simulation due to an internal bug. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** panic() unless @p cond holds. */
+#define SRS_ASSERT(cond, ...)                                            \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::srs::panic("assertion failed: ", #cond, " | ",             \
+                         ##__VA_ARGS__);                                 \
+        }                                                                \
+    } while (0)
+
+} // namespace srs
+
+#endif // SRS_COMMON_LOGGING_HH

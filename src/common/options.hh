@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Minimal --key=value option parsing shared by the CLI tools and
+ * examples.
+ *
+ * Options collects "--key=value" / "--flag" tokens (and "key=value"
+ * lines from a config file), exposes typed getters with defaults,
+ * and can verify that every provided key was actually consumed —
+ * catching typos like --thr=1200 instead of fatal-ing silently.
+ */
+
+#ifndef SRS_COMMON_OPTIONS_HH
+#define SRS_COMMON_OPTIONS_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace srs
+{
+
+/** Parsed option bag with typed access. */
+class Options
+{
+  public:
+    Options() = default;
+
+    /**
+     * Parse argv-style tokens.  "--key=value" and "--flag" (implicit
+     * value "1") populate the bag; bare words are collected as
+     * positional arguments.
+     */
+    static Options fromArgs(int argc, const char *const *argv);
+
+    /** Parse "key=value" lines ('#' comments allowed) from a file. */
+    static Options fromFile(const std::string &path);
+
+    /** @return true when @p key was provided. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal() on malformed values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::uint64_t getUint(const std::string &key,
+                          std::uint64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /** Positional (non --key) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** fatal() when any provided key was never read. */
+    void rejectUnknown() const;
+
+    /** Insert/overwrite (programmatic defaults, tests). */
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+    mutable std::set<std::string> consumed_;
+};
+
+} // namespace srs
+
+#endif // SRS_COMMON_OPTIONS_HH

@@ -1,0 +1,143 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    SRS_ASSERT(bound > 0, "nextBelow(0) is meaningless");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (~bound + 1) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    SRS_ASSERT(lo <= hi, "empty range");
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    // 53 high-quality bits -> [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+Rng::nextPoisson(double lambda)
+{
+    SRS_ASSERT(lambda >= 0.0, "negative Poisson mean");
+    if (lambda == 0.0)
+        return 0;
+    // Inversion by sequential search (Devroye); fine for small means.
+    if (lambda < 30.0) {
+        const double limit = std::exp(-lambda);
+        double prod = 1.0;
+        std::uint64_t k = 0;
+        do {
+            ++k;
+            prod *= nextDouble();
+        } while (prod > limit);
+        return k - 1;
+    }
+    // Split large means to keep the inversion numerically safe.
+    const std::uint64_t half = nextPoisson(lambda / 2.0);
+    return half + nextPoisson(lambda - lambda / 2.0);
+}
+
+std::uint64_t
+Rng::nextBinomial(std::uint64_t n, double p)
+{
+    SRS_ASSERT(p >= 0.0 && p <= 1.0, "binomial p outside [0,1]");
+    if (n == 0 || p == 0.0)
+        return 0;
+    if (p == 1.0)
+        return n;
+    const double mean = static_cast<double>(n) * p;
+    // Small-probability regime: Poisson(np) is an excellent and much
+    // faster approximation (error O(p) per trial).
+    if (p < 1e-3 && n > 1000) {
+        const std::uint64_t draw = nextPoisson(mean);
+        return draw > n ? n : draw;
+    }
+    // Exact: sum of Bernoulli trials (n is small in the exact path).
+    std::uint64_t hits = 0;
+    for (std::uint64_t i = 0; i < n; ++i)
+        hits += nextBool(p) ? 1 : 0;
+    return hits;
+}
+
+std::uint64_t
+Rng::nextGeometric(double p)
+{
+    SRS_ASSERT(p > 0.0 && p <= 1.0, "geometric p outside (0,1]");
+    if (p == 1.0)
+        return 1;
+    // Inverse CDF: ceil(ln(U) / ln(1-p)).
+    const double u = 1.0 - nextDouble(); // (0, 1]
+    return static_cast<std::uint64_t>(
+        std::ceil(std::log(u) / std::log1p(-p)));
+}
+
+} // namespace srs

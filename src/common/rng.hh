@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component (trace generation, RIT partner selection,
+ * Monte-Carlo attack simulation) takes an explicit Rng so experiments
+ * are reproducible from a single seed.  The engine is xoshiro256**,
+ * which is fast, has a 2^256-1 period, and passes BigCrush.
+ */
+
+#ifndef SRS_COMMON_RNG_HH
+#define SRS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace srs
+{
+
+/** Seedable xoshiro256** engine with convenience distributions. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL);
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** @return uniform integer in [0, bound), bias-free. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Sample Binomial(n, p) hits.  Uses exact inversion for small
+     * means and a Poisson approximation for large n with tiny p (the
+     * regime of random-guess landings: n up to ~10^5, p ~ 1/131072).
+     */
+    std::uint64_t nextBinomial(std::uint64_t n, double p);
+
+    /** Sample Poisson(lambda) via inversion (lambda < ~30 expected). */
+    std::uint64_t nextPoisson(double lambda);
+
+    /** Sample Geometric: number of Bernoulli(p) trials until success. */
+    std::uint64_t nextGeometric(double p);
+
+    /** Satisfy UniformRandomBitGenerator so <algorithm> shuffles work. */
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+    result_type operator()() { return next(); }
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace srs
+
+#endif // SRS_COMMON_RNG_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every subsystem.
+ *
+ * The simulator advances in CPU cycles (3.2 GHz by default).  DRAM
+ * timing parameters are specified in nanoseconds and converted to CPU
+ * cycles once, at configuration time.  Analytical security models work
+ * directly in seconds (double) since they never interact with the
+ * cycle-accurate machinery.
+ */
+
+#ifndef SRS_COMMON_TYPES_HH
+#define SRS_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace srs
+{
+
+/** Simulation time in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte-granularity physical address. */
+using Addr = std::uint64_t;
+
+/** DRAM row index within one bank. */
+using RowId = std::uint32_t;
+
+/** Flat bank index across the whole memory system. */
+using BankId = std::uint32_t;
+
+/** Core (hardware thread) index. */
+using CoreId = std::uint32_t;
+
+/** Sentinel for "no cycle" / "not scheduled". */
+constexpr Cycle kNoCycle = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid rows. */
+constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+
+/** Sentinel for invalid addresses. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Number of seconds in one default refresh interval (64 ms). */
+constexpr double kRefreshIntervalSec = 64e-3;
+
+} // namespace srs
+
+#endif // SRS_COMMON_TYPES_HH

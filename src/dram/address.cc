@@ -1,0 +1,92 @@
+#include "dram/address.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+AddressMap::AddressMap(const DramOrg &org)
+    : org_(org)
+{
+    org_.validate();
+    offsetBits_ = floorLog2(org_.lineBytes);
+    columnBits_ = floorLog2(org_.linesPerRow());
+    channelBits_ = floorLog2(org_.channels);
+    rankBits_ = org_.ranksPerChannel > 1
+        ? floorLog2(org_.ranksPerChannel) : 0;
+    bankBits_ = floorLog2(org_.banksPerRank);
+    rowBits_ = floorLog2(org_.rowsPerBank);
+    if (org_.ranksPerChannel > 1 && !isPowerOfTwo(org_.ranksPerChannel))
+        fatal("AddressMap: ranksPerChannel must be a power of two");
+}
+
+DramCoord
+AddressMap::decode(Addr addr) const
+{
+    DramCoord c;
+    Addr bits = addr >> offsetBits_;
+    c.column = static_cast<std::uint32_t>(bits & ((1ULL << columnBits_) - 1));
+    bits >>= columnBits_;
+    c.channel = static_cast<std::uint32_t>(bits &
+        ((1ULL << channelBits_) - 1));
+    bits >>= channelBits_;
+    if (rankBits_ > 0) {
+        c.rank = static_cast<std::uint32_t>(bits &
+            ((1ULL << rankBits_) - 1));
+        bits >>= rankBits_;
+    }
+    c.bank = static_cast<std::uint32_t>(bits & ((1ULL << bankBits_) - 1));
+    bits >>= bankBits_;
+    c.row = static_cast<RowId>(bits & ((1ULL << rowBits_) - 1));
+    return c;
+}
+
+Addr
+AddressMap::encode(const DramCoord &coord) const
+{
+    SRS_ASSERT(coord.channel < org_.channels, "channel out of range");
+    SRS_ASSERT(coord.rank < org_.ranksPerChannel, "rank out of range");
+    SRS_ASSERT(coord.bank < org_.banksPerRank, "bank out of range");
+    SRS_ASSERT(coord.row < org_.rowsPerBank, "row out of range");
+    SRS_ASSERT(coord.column < org_.linesPerRow(), "column out of range");
+
+    Addr bits = coord.row;
+    bits = (bits << bankBits_) | coord.bank;
+    if (rankBits_ > 0)
+        bits = (bits << rankBits_) | coord.rank;
+    bits = (bits << channelBits_) | coord.channel;
+    bits = (bits << columnBits_) | coord.column;
+    return bits << offsetBits_;
+}
+
+BankId
+AddressMap::flatBank(const DramCoord &coord) const
+{
+    return (coord.channel * org_.ranksPerChannel + coord.rank) *
+               org_.banksPerRank +
+           coord.bank;
+}
+
+Addr
+AddressMap::rowBaseAddr(std::uint32_t channel, std::uint32_t rank,
+                        std::uint32_t bank, RowId row) const
+{
+    DramCoord c;
+    c.channel = channel;
+    c.rank = rank;
+    c.bank = bank;
+    c.row = row;
+    c.column = 0;
+    return encode(c);
+}
+
+Addr
+AddressMap::rowBaseOf(Addr addr) const
+{
+    DramCoord c = decode(addr);
+    c.column = 0;
+    return encode(c);
+}
+
+} // namespace srs

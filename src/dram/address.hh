@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Physical-address <-> DRAM-coordinate mapping.
+ *
+ * Layout (LSB to MSB): line offset | column | channel | bank | row.
+ * With the Table III geometry this is 6 + 7 + 1 + 4 + 17 = 35 bits
+ * (32 GB).  Channel bits sit just above the column so consecutive
+ * rows stripe across channels, which maximizes channel parallelism
+ * for streaming workloads, while one DRAM row stays contiguous in
+ * the physical address space (required for LLC row pinning).
+ */
+
+#ifndef SRS_DRAM_ADDRESS_HH
+#define SRS_DRAM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "dram/params.hh"
+
+namespace srs
+{
+
+/** Decoded DRAM coordinates for one physical address. */
+struct DramCoord
+{
+    std::uint32_t channel = 0;
+    std::uint32_t rank = 0;
+    std::uint32_t bank = 0;     ///< bank index within the rank
+    RowId row = 0;              ///< row index within the bank
+    std::uint32_t column = 0;   ///< cache-line index within the row
+
+    bool operator==(const DramCoord &) const = default;
+};
+
+/** Bidirectional address mapper derived from a DramOrg. */
+class AddressMap
+{
+  public:
+    explicit AddressMap(const DramOrg &org);
+
+    /** Decode a byte address into DRAM coordinates. */
+    DramCoord decode(Addr addr) const;
+
+    /** Encode DRAM coordinates back into a (line-aligned) address. */
+    Addr encode(const DramCoord &coord) const;
+
+    /**
+     * Flat bank index across the system:
+     * channel * ranks * banksPerRank + rank * banksPerRank + bank.
+     */
+    BankId flatBank(const DramCoord &coord) const;
+
+    /** @return first byte address of the given row. */
+    Addr rowBaseAddr(std::uint32_t channel, std::uint32_t rank,
+                     std::uint32_t bank, RowId row) const;
+
+    /** @return the row-aligned base of @p addr. */
+    Addr rowBaseOf(Addr addr) const;
+
+    const DramOrg &org() const { return org_; }
+
+  private:
+    DramOrg org_;
+    unsigned offsetBits_;
+    unsigned columnBits_;
+    unsigned channelBits_;
+    unsigned rankBits_;
+    unsigned bankBits_;
+    unsigned rowBits_;
+};
+
+} // namespace srs
+
+#endif // SRS_DRAM_ADDRESS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DRAM command vocabulary shared by the bank/rank timing models and
+ * the memory controller.
+ */
+
+#ifndef SRS_DRAM_COMMAND_HH
+#define SRS_DRAM_COMMAND_HH
+
+#include <string_view>
+
+namespace srs
+{
+
+/** The DDR4 command subset the controller issues. */
+enum class DramCommand
+{
+    Activate,       ///< ACT: open a row into the row buffer
+    Read,           ///< RD with auto-precharge under closed-page policy
+    Write,          ///< WR with auto-precharge under closed-page policy
+    Precharge,      ///< PRE: close the open row
+    Refresh,        ///< REF: all-bank refresh, occupies rank for tRFC
+};
+
+/** @return a short mnemonic for tracing. */
+constexpr std::string_view
+commandName(DramCommand cmd)
+{
+    switch (cmd) {
+      case DramCommand::Activate:  return "ACT";
+      case DramCommand::Read:      return "RD";
+      case DramCommand::Write:     return "WR";
+      case DramCommand::Precharge: return "PRE";
+      case DramCommand::Refresh:   return "REF";
+    }
+    return "?";
+}
+
+/** Row-buffer page management policy (paper assumes closed-page). */
+enum class PagePolicy
+{
+    Closed,     ///< auto-precharge after every column access
+    Open,       ///< keep rows open until a conflict forces PRE
+};
+
+} // namespace srs
+
+#endif // SRS_DRAM_COMMAND_HH

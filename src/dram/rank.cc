@@ -1,0 +1,118 @@
+#include "dram/rank.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+Rank::Rank(const DramTiming &timing, const DramOrg &org)
+    : timing_(timing)
+{
+    banks_.reserve(org.banksPerRank);
+    for (std::uint32_t i = 0; i < org.banksPerRank; ++i)
+        banks_.emplace_back(timing, org.rowsPerBank);
+    actWindow_.fill(0);
+}
+
+Bank &
+Rank::bank(std::uint32_t idx)
+{
+    SRS_ASSERT(idx < banks_.size(), "bank index out of range");
+    return banks_[idx];
+}
+
+const Bank &
+Rank::bank(std::uint32_t idx) const
+{
+    SRS_ASSERT(idx < banks_.size(), "bank index out of range");
+    return banks_[idx];
+}
+
+bool
+Rank::canIssue(DramCommand cmd, std::uint32_t bankIdx, RowId row,
+               Cycle now) const
+{
+    if (refreshing(now))
+        return false;
+    if (cmd == DramCommand::Activate && actCount_ > 0) {
+        if (now < lastAct_ + timing_.tRRD)
+            return false;
+        // Four-activate window: once four ACTs have issued, the
+        // fourth-last must be at least tFAW in the past.
+        if (actCount_ >= actWindow_.size()) {
+            const Cycle oldest = actWindow_[actWindowHead_];
+            if (now < oldest + timing_.tFAW)
+                return false;
+        }
+    }
+    if (cmd == DramCommand::Read || cmd == DramCommand::Write) {
+        const Cycle dataStart = now +
+            (cmd == DramCommand::Read ? timing_.tCAS : timing_.tCWL);
+        if (!busFree(dataStart, timing_.tBL))
+            return false;
+    }
+    return banks_[bankIdx].canIssue(cmd, row, now);
+}
+
+Cycle
+Rank::issue(DramCommand cmd, std::uint32_t bankIdx, RowId row, Cycle now,
+            bool autoPre)
+{
+    SRS_ASSERT(canIssue(cmd, bankIdx, row, now),
+               "rank rejects ", commandName(cmd));
+    if (cmd == DramCommand::Activate) {
+        actWindow_[actWindowHead_] = now;
+        actWindowHead_ = (actWindowHead_ + 1) % actWindow_.size();
+        lastAct_ = now;
+        ++actCount_;
+    }
+    if (cmd == DramCommand::Read || cmd == DramCommand::Write) {
+        const Cycle dataStart = now +
+            (cmd == DramCommand::Read ? timing_.tCAS : timing_.tCWL);
+        reserveBus(dataStart, timing_.tBL);
+    }
+    return banks_[bankIdx].issue(cmd, row, now, autoPre);
+}
+
+bool
+Rank::canRefresh(Cycle now) const
+{
+    if (refreshing(now))
+        return false;
+    for (const Bank &b : banks_) {
+        if (b.rowOpen() || b.blocked(now) || now < b.actReadyAt())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Rank::refresh(Cycle now)
+{
+    SRS_ASSERT(canRefresh(now), "refresh while rank busy");
+    refreshUntil_ = now + timing_.tRFC;
+    ++refreshCount_;
+    for (Bank &b : banks_)
+        b.issue(DramCommand::Refresh, 0, now);
+    return refreshUntil_;
+}
+
+bool
+Rank::busFree(Cycle start, Cycle len) const
+{
+    (void)len;
+    // The bus is modelled as busy-until: transfers are queued in issue
+    // order, so a transfer starting at or after the current horizon is
+    // conflict-free.
+    return start >= busBusyUntil_;
+}
+
+void
+Rank::reserveBus(Cycle start, Cycle len)
+{
+    busBusyUntil_ = std::max(busBusyUntil_, start + len);
+}
+
+} // namespace srs

@@ -1,0 +1,456 @@
+#include "memctrl/controller.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+const char *
+migrationKindName(MigrationJob::Kind kind)
+{
+    switch (kind) {
+      case MigrationJob::Kind::Swap:          return "swap";
+      case MigrationJob::Kind::UnswapSwap:    return "unswap_swap";
+      case MigrationJob::Kind::PlaceBack:     return "place_back";
+      case MigrationJob::Kind::CounterAccess: return "counter_access";
+    }
+    return "?";
+}
+
+MemoryController::MemoryController(const DramOrg &org,
+                                   const DramTiming &timing,
+                                   const MemCtrlConfig &cfg)
+    : org_(org), timing_(timing), cfg_(cfg), map_(org)
+{
+    if (cfg_.writeLoWatermark >= cfg_.writeHiWatermark)
+        fatal("write drain watermarks inverted");
+    channels_.resize(org_.channels);
+    for (auto &c : channels_) {
+        c.ranks.reserve(org_.ranksPerChannel);
+        for (std::uint32_t r = 0; r < org_.ranksPerChannel; ++r)
+            c.ranks.emplace_back(timing_, org_);
+        c.migQ.resize(org_.ranksPerChannel * org_.banksPerRank);
+        c.nextRefreshDue.assign(org_.ranksPerChannel, timing_.tREFI);
+        c.refreshDebt.assign(org_.ranksPerChannel, 0);
+    }
+}
+
+std::uint32_t
+MemoryController::flatBank(const ChannelState &, std::uint32_t rank,
+                           std::uint32_t bank) const
+{
+    return rank * org_.banksPerRank + bank;
+}
+
+bool
+MemoryController::canAccept(Addr addr, bool isWrite) const
+{
+    const DramCoord coord = map_.decode(addr);
+    const ChannelState &c = channels_[coord.channel];
+    if (isWrite)
+        return c.writeQ.size() < cfg_.writeQueueDepth;
+    return c.readQ.size() < cfg_.readQueueDepth;
+}
+
+std::uint64_t
+MemoryController::enqueue(Addr addr, bool isWrite, CoreId core, Cycle now)
+{
+    if (!canAccept(addr, isWrite))
+        return std::numeric_limits<std::uint64_t>::max();
+
+    MemRequest req;
+    req.id = nextReqId_++;
+    req.addr = addr;
+    req.isWrite = isWrite;
+    req.core = core;
+    req.arrival = now;
+    req.coord = map_.decode(addr);
+
+    ChannelState &c = channels_[req.coord.channel];
+    if (isWrite) {
+        stats_.inc("writes_enqueued");
+        c.writeQ.push_back(req);
+        return req.id;
+    }
+
+    // Read-around-write forwarding: a read that hits a posted write
+    // is satisfied from the write queue without touching DRAM.
+    const Addr line = addr & ~static_cast<Addr>(org_.lineBytes - 1);
+    for (const MemRequest &w : c.writeQ) {
+        const Addr wline = w.addr & ~static_cast<Addr>(org_.lineBytes - 1);
+        if (wline == line) {
+            stats_.inc("reads_forwarded");
+            MemRequest done = req;
+            done.completion = now + 1;
+            pendingReads_.push({done.completion, done});
+            return req.id;
+        }
+    }
+    stats_.inc("reads_enqueued");
+    c.readQ.push_back(req);
+    return req.id;
+}
+
+void
+MemoryController::scheduleMigration(std::uint32_t channel,
+                                    std::uint32_t bank, MigrationJob job)
+{
+    SRS_ASSERT(channel < channels_.size(), "bad channel");
+    ChannelState &c = channels_[channel];
+    SRS_ASSERT(bank < c.migQ.size(), "bad bank");
+    stats_.inc(std::string("mig_scheduled_") + migrationKindName(job.kind));
+    // Any mitigation activity may have changed the row mapping, so
+    // cached remaps in queued requests must be recomputed.
+    ++c.mapVersion;
+    c.migQ[bank].push_back(std::move(job));
+}
+
+std::size_t
+MemoryController::pendingMigrations(std::uint32_t channel,
+                                    std::uint32_t bank) const
+{
+    return channels_[channel].migQ[bank].size();
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    while (!pendingReads_.empty() && pendingReads_.top().done <= now) {
+        MemRequest req = pendingReads_.top().req;
+        pendingReads_.pop();
+        stats_.inc("reads_completed");
+        stats_.inc("read_latency_cycles", req.completion - req.arrival);
+        if (onReadDone_)
+            onReadDone_(req);
+    }
+    for (std::uint32_t ch = 0; ch < channels_.size(); ++ch)
+        tickChannel(ch, now);
+}
+
+bool
+MemoryController::manageRefresh(ChannelState &c, Cycle now)
+{
+    for (std::uint32_t ri = 0; ri < c.ranks.size(); ++ri) {
+        auto &due = c.nextRefreshDue[ri];
+        auto &debt = c.refreshDebt[ri];
+        while (now >= due && debt < cfg_.maxPostponedRefreshes) {
+            due += timing_.tREFI;
+            ++debt;
+        }
+        if (debt == 0)
+            continue;
+        Rank &rank = c.ranks[ri];
+        if (rank.canRefresh(now)) {
+            rank.refresh(now);
+            --debt;
+            stats_.inc("refreshes");
+            return true;
+        }
+        if (debt >= cfg_.maxPostponedRefreshes) {
+            // Forced refresh: close an open bank to make progress.
+            for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
+                if (rank.bank(b).rowOpen() &&
+                    rank.canIssue(DramCommand::Precharge, b, 0, now)) {
+                    rank.issue(DramCommand::Precharge, b, 0, now);
+                    stats_.inc("forced_precharges");
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::startMigration(std::uint32_t chIdx, ChannelState &c,
+                                 Cycle now)
+{
+    (void)chIdx;
+    for (std::uint32_t flat = 0; flat < c.migQ.size(); ++flat) {
+        if (c.migQ[flat].empty())
+            continue;
+        const std::uint32_t ri = flat / org_.banksPerRank;
+        const std::uint32_t bi = flat % org_.banksPerRank;
+        Rank &rank = c.ranks[ri];
+        // Do not delay a forced refresh by multiple microseconds.
+        if (c.refreshDebt[ri] >= cfg_.maxPostponedRefreshes ||
+            rank.refreshing(now)) {
+            continue;
+        }
+        Bank &bank = rank.bank(bi);
+        if (bank.blocked(now))
+            continue;
+        if (bank.rowOpen()) {
+            if (rank.canIssue(DramCommand::Precharge, bi, 0, now)) {
+                rank.issue(DramCommand::Precharge, bi, 0, now);
+                return true;
+            }
+            continue;
+        }
+        if (now < bank.actReadyAt())
+            continue;
+        MigrationJob job = std::move(c.migQ[flat].front());
+        c.migQ[flat].pop_front();
+        bank.blockFor(now, job.duration);
+        for (const RowCharge &charge : job.charges) {
+            bank.chargeActivation(charge.row, charge.count);
+            stats_.inc("latent_activations", charge.count);
+        }
+        stats_.inc(std::string("mig_started_") +
+                   migrationKindName(job.kind));
+        stats_.inc("migration_busy_cycles", job.duration);
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::updateDrainState(ChannelState &c)
+{
+    if (!c.draining && c.writeQ.size() >= cfg_.writeHiWatermark)
+        c.draining = true;
+    else if (c.draining && c.writeQ.size() <= cfg_.writeLoWatermark)
+        c.draining = false;
+}
+
+RowId
+MemoryController::physRowOf(std::uint32_t chIdx, const ChannelState &c,
+                            MemRequest &req)
+{
+    if (req.mapVersion == c.mapVersion && req.physRow != kInvalidRow)
+        return req.physRow;
+    RowId phys = req.coord.row;
+    if (listener_) {
+        const std::uint32_t bankInChannel =
+            flatBank(c, req.coord.rank, req.coord.bank);
+        phys = listener_->remapRow(chIdx, bankInChannel, phys);
+    }
+    req.physRow = phys;
+    req.mapVersion = c.mapVersion;
+    return phys;
+}
+
+bool
+MemoryController::serviceQueue(std::uint32_t chIdx, ChannelState &c,
+                               std::vector<MemRequest> &q, bool isWrite,
+                               Cycle now)
+{
+    const DramCommand cas =
+        isWrite ? DramCommand::Write : DramCommand::Read;
+
+    // Pass 1 (FR of FR-FCFS): serve a queued row-buffer hit.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        MemRequest &req = q[i];
+        const std::uint32_t ri = req.coord.rank;
+        const std::uint32_t bi = req.coord.bank;
+        Rank &rank = c.ranks[ri];
+        Bank &bank = rank.bank(bi);
+        if (rank.refreshing(now) || bank.blocked(now) || !bank.rowOpen())
+            continue;
+        const RowId phys = physRowOf(chIdx, c, req);
+        if (bank.openRow() != phys)
+            continue;
+        if (!rank.canIssue(cas, bi, phys, now))
+            continue;
+        const Cycle done = rank.issue(cas, bi, phys, now,
+                                      /*autoPre=*/false);
+        if (isWrite) {
+            stats_.inc("writes_issued");
+        } else {
+            stats_.inc("reads_issued");
+            stats_.inc("row_hits");
+            MemRequest finished = req;
+            finished.completion = done;
+            pendingReads_.push({done, finished});
+        }
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+    }
+
+    // Pass 2 (FCFS): open the oldest serviceable request's row.
+    for (std::size_t i = 0; i < q.size(); ++i) {
+        MemRequest &req = q[i];
+        const std::uint32_t ri = req.coord.rank;
+        const std::uint32_t bi = req.coord.bank;
+        Rank &rank = c.ranks[ri];
+        Bank &bank = rank.bank(bi);
+        if (rank.refreshing(now) || bank.blocked(now)) {
+            stats_.inc("p2_skip_busy");
+            continue;
+        }
+        // Forced-refresh mode: no new activations on this rank.
+        if (c.refreshDebt[ri] >= cfg_.maxPostponedRefreshes) {
+            stats_.inc("p2_skip_forced");
+            continue;
+        }
+        const RowId phys = physRowOf(chIdx, c, req);
+        if (bank.rowOpen()) {
+            // Conflict: close the row so this request can proceed
+            // (pass 1 already drained any hits to the open row).
+            if (bankHasPendingHit(c, ri, bi, bank.openRow())) {
+                stats_.inc("p2_skip_hit_wait");
+                continue;
+            }
+            if (rank.canIssue(DramCommand::Precharge, bi, 0, now)) {
+                rank.issue(DramCommand::Precharge, bi, 0, now);
+                stats_.inc("row_conflicts");
+                return true;
+            }
+            stats_.inc("p2_skip_pre_wait");
+            continue;
+        }
+        if (!rank.canIssue(DramCommand::Activate, bi, phys, now)) {
+            stats_.inc("p2_skip_act_wait");
+            continue;
+        }
+        if (listener_ != nullptr &&
+            listener_->actAllowedAt(chIdx, flatBank(c, ri, bi), phys,
+                                    now) > now) {
+            stats_.inc("p2_skip_throttled");
+            continue;
+        }
+        rank.issue(DramCommand::Activate, bi, phys, now);
+        stats_.inc("activations");
+        if (listener_) {
+            const std::uint32_t bankInChannel = flatBank(c, ri, bi);
+            listener_->onActivate(chIdx, bankInChannel, phys, now);
+            // The mitigation may have remapped rows; refresh the
+            // cached translation of this request.
+            req.mapVersion = 0;
+            if (physRowOf(chIdx, c, req) != phys) {
+                // Our own row was swapped away mid-flight; retry via
+                // the normal path next tick.
+                return true;
+            }
+        }
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::bankHasPendingHit(const ChannelState &c,
+                                    std::uint32_t rank,
+                                    std::uint32_t bank,
+                                    RowId openRow) const
+{
+    auto scan = [&](const std::vector<MemRequest> &q) {
+        for (const MemRequest &req : q) {
+            if (req.coord.rank == rank && req.coord.bank == bank &&
+                req.mapVersion == c.mapVersion &&
+                req.physRow == openRow) {
+                return true;
+            }
+        }
+        return false;
+    };
+    // Only count hits the scheduler will actually serve soon: reads
+    // are always eligible; writes only while the channel is draining
+    // (otherwise a parked write would wedge the bank open forever).
+    return scan(c.readQ) || (c.draining && scan(c.writeQ));
+}
+
+bool
+MemoryController::idleClose(ChannelState &c, Cycle now)
+{
+    // Closed-page policy: proactively precharge one bank per tick
+    // whose open row has no queued hit.
+    const std::uint32_t banks =
+        org_.ranksPerChannel * org_.banksPerRank;
+    for (std::uint32_t step = 0; step < banks; ++step) {
+        const std::uint32_t flat = (c.closeCursor + step) % banks;
+        const std::uint32_t ri = flat / org_.banksPerRank;
+        const std::uint32_t bi = flat % org_.banksPerRank;
+        Rank &rank = c.ranks[ri];
+        Bank &bank = rank.bank(bi);
+        if (rank.refreshing(now) || bank.blocked(now) || !bank.rowOpen())
+            continue;
+        if (bankHasPendingHit(c, ri, bi, bank.openRow()))
+            continue;
+        if (!rank.canIssue(DramCommand::Precharge, bi, 0, now))
+            continue;
+        rank.issue(DramCommand::Precharge, bi, 0, now);
+        stats_.inc("idle_closes");
+        c.closeCursor = (flat + 1) % banks;
+        return true;
+    }
+    return false;
+}
+
+void
+MemoryController::tickChannel(std::uint32_t ch, Cycle now)
+{
+    ChannelState &c = channels_[ch];
+    if (manageRefresh(c, now))
+        return;
+    if (startMigration(ch, c, now))
+        return;
+    updateDrainState(c);
+    bool issued = false;
+    if (c.draining) {
+        issued = serviceQueue(ch, c, c.writeQ, true, now) ||
+                 serviceQueue(ch, c, c.readQ, false, now);
+    } else {
+        issued = serviceQueue(ch, c, c.readQ, false, now);
+        if (!issued && !c.writeQ.empty() && c.readQ.empty())
+            issued = serviceQueue(ch, c, c.writeQ, true, now);
+    }
+    if (!issued && cfg_.pagePolicy == PagePolicy::Closed)
+        idleClose(c, now);
+}
+
+void
+MemoryController::resetEpochCounters()
+{
+    for (auto &c : channels_) {
+        for (auto &rank : c.ranks) {
+            for (std::uint32_t b = 0; b < rank.numBanks(); ++b)
+                rank.bank(b).resetEpochCounters();
+        }
+    }
+}
+
+Bank &
+MemoryController::bankAt(std::uint32_t channel, std::uint32_t bank)
+{
+    ChannelState &c = channels_.at(channel);
+    const std::uint32_t ri = bank / org_.banksPerRank;
+    const std::uint32_t bi = bank % org_.banksPerRank;
+    return c.ranks.at(ri).bank(bi);
+}
+
+const Bank &
+MemoryController::bankAt(std::uint32_t channel, std::uint32_t bank) const
+{
+    const ChannelState &c = channels_.at(channel);
+    const std::uint32_t ri = bank / org_.banksPerRank;
+    const std::uint32_t bi = bank % org_.banksPerRank;
+    return c.ranks.at(ri).bank(bi);
+}
+
+bool
+MemoryController::idle(Cycle now) const
+{
+    if (!pendingReads_.empty())
+        return false;
+    for (const auto &c : channels_) {
+        if (!c.readQ.empty() || !c.writeQ.empty())
+            return false;
+        for (const auto &q : c.migQ) {
+            if (!q.empty())
+                return false;
+        }
+        for (std::uint32_t ri = 0; ri < c.ranks.size(); ++ri) {
+            const Rank &rank = c.ranks[ri];
+            for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
+                if (rank.bank(b).blocked(now))
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace srs

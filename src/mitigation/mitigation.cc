@@ -1,0 +1,141 @@
+#include "mitigation/mitigation.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+Mitigation::Mitigation(MemoryController &ctrl, AggressorTracker &tracker,
+                       const MitigationConfig &cfg)
+    : ctrl_(ctrl), tracker_(tracker), cfg_(cfg), rng_(cfg.seed),
+      banksPerChannel_(ctrl.org().ranksPerChannel *
+                       ctrl.org().banksPerRank)
+{
+    if (cfg_.swapRate == 0 || cfg_.trh == 0)
+        fatal("mitigation needs nonzero T_RH and swap rate");
+    if (cfg_.ts() == 0)
+        fatal("swap rate exceeds T_RH");
+    const std::uint32_t banks = ctrl_.org().channels * banksPerChannel_;
+    rits_.reserve(banks);
+    for (std::uint32_t i = 0; i < banks; ++i)
+        rits_.emplace_back(ctrl_.org().rowsPerBank);
+}
+
+RowIndirection &
+Mitigation::rit(std::uint32_t channel, std::uint32_t bank)
+{
+    const std::uint32_t idx = channel * banksPerChannel_ + bank;
+    SRS_ASSERT(idx < rits_.size(), "bank index out of range");
+    return rits_[idx];
+}
+
+const RowIndirection &
+Mitigation::indirection(std::uint32_t channel, std::uint32_t bank) const
+{
+    const std::uint32_t idx = channel * banksPerChannel_ + bank;
+    SRS_ASSERT(idx < rits_.size(), "bank index out of range");
+    return rits_[idx];
+}
+
+RowId
+Mitigation::remapRow(std::uint32_t channel, std::uint32_t bank,
+                     RowId logical)
+{
+    return rit(channel, bank).remap(logical);
+}
+
+void
+Mitigation::onActivate(std::uint32_t channel, std::uint32_t bank,
+                       RowId physRow, Cycle now)
+{
+    if (tracker_.recordActivation(channel, bank, physRow, now)) {
+        stats_.inc("mitigations");
+        mitigate(channel, bank, physRow, now);
+    }
+}
+
+RowId
+Mitigation::pickSwapPartner(const RowIndirection &r, RowId avoid)
+{
+    const std::uint32_t rows = r.rowsPerBank();
+    SRS_ASSERT(cfg_.reservedLowRows + 2 < rows, "bank too small");
+    for (int attempts = 0; attempts < 64; ++attempts) {
+        const RowId cand = static_cast<RowId>(
+            cfg_.reservedLowRows +
+            rng_.nextBelow(rows - cfg_.reservedLowRows));
+        if (cand != avoid && !r.displaced(cand) &&
+            r.remap(cand) == cand) {
+            return cand;
+        }
+    }
+    // Under extreme RIT pressure fall back to any row != avoid.
+    stats_.inc("partner_fallbacks");
+    RowId cand = avoid;
+    while (cand == avoid) {
+        cand = static_cast<RowId>(
+            cfg_.reservedLowRows +
+            rng_.nextBelow(rows - cfg_.reservedLowRows));
+    }
+    return cand;
+}
+
+void
+Mitigation::schedule(std::uint32_t channel, std::uint32_t bank,
+                     MigrationJob job)
+{
+    ctrl_.scheduleMigration(channel, bank, std::move(job));
+}
+
+void
+Mitigation::tick(Cycle now)
+{
+    if (nextLazyAt_ == kNoCycle || now < nextLazyAt_)
+        return;
+    nextLazyAt_ += lazyInterval_;
+    lazyStep(now);
+}
+
+void
+Mitigation::lazyStep(Cycle now)
+{
+    (void)now;
+}
+
+void
+Mitigation::onEpochEnd(Cycle now, Cycle epochLen)
+{
+    tracker_.resetEpoch();
+    // 19-bit epoch register semantics (Section IV-F).
+    epochId_ = (epochId_ + 1) & ((1u << 19) - 1);
+
+    // Arm the lazy-eviction pacing for the new epoch: spread the
+    // stale-entry cleanup evenly across the whole epoch.
+    std::uint64_t stale = 0;
+    const auto &org = ctrl_.org();
+    for (std::uint32_t ch = 0; ch < org.channels; ++ch) {
+        for (std::uint32_t b = 0; b < banksPerChannel_; ++b)
+            stale += rit(ch, b).staleCount(epochId_);
+    }
+    if (stale == 0) {
+        nextLazyAt_ = kNoCycle;
+        return;
+    }
+    lazyInterval_ = std::max<Cycle>(1, epochLen / stale);
+    nextLazyAt_ = now + lazyInterval_;
+    stats_.set("stale_entries_last_epoch", stale);
+}
+
+std::uint64_t
+Mitigation::storageBitsPerBank() const
+{
+    // RIT entries: two directions (tuples or real+mirrored halves),
+    // each mapping two row ids plus valid/lock bits.
+    const std::uint64_t rowBits = 17;
+    const std::uint64_t entryBits = 2 * rowBits + 2;
+    const std::uint64_t cap = cfg_.ritCapacityPerBank != 0
+        ? cfg_.ritCapacityPerBank
+        : 0;
+    return 2 * cap * entryBits;
+}
+
+} // namespace srs

@@ -1,0 +1,56 @@
+#include "mitigation/para.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+Para::Para(MemoryController &ctrl, AggressorTracker &tracker,
+           const MitigationConfig &cfg, const ParaConfig &paraCfg)
+    : Mitigation(ctrl, tracker, cfg), paraCfg_(paraCfg)
+{
+    if (paraCfg_.refreshProbability <= 0.0 ||
+        paraCfg_.refreshProbability > 1.0) {
+        fatal("PARA refresh probability outside (0, 1]");
+    }
+    // A victim refresh is one ACT + restore per neighbor row.
+    refreshCycles_ = ctrl_.timing().tRC;
+}
+
+void
+Para::onActivate(std::uint32_t channel, std::uint32_t bank,
+                 RowId physRow, Cycle now)
+{
+    // No tracker threshold: sample the refresh lottery per ACT.
+    if (rng_.nextBool(paraCfg_.refreshProbability)) {
+        stats_.inc("mitigations");
+        mitigate(channel, bank, physRow, now);
+    }
+}
+
+void
+Para::mitigate(std::uint32_t channel, std::uint32_t bank, RowId physRow,
+               Cycle now)
+{
+    (void)now;
+    const std::uint32_t rows = ctrl_.org().rowsPerBank;
+
+    // Refresh every row within the blast radius.  Each refresh is an
+    // activation of the *victim* row — this is precisely the extra
+    // activation the half-double attack feeds on.
+    MigrationJob job;
+    job.kind = MigrationJob::Kind::CounterAccess;
+    job.duration = 0;
+    for (std::uint32_t d = 1; d <= paraCfg_.blastRadius; ++d) {
+        if (physRow >= d)
+            job.charges.push_back(RowCharge{physRow - d, 1});
+        if (physRow + d < rows)
+            job.charges.push_back(RowCharge{physRow + d, 1});
+    }
+    const std::uint64_t victims = job.charges.size();
+    job.duration = refreshCycles_ * victims;
+    schedule(channel, bank, std::move(job));
+    stats_.inc("victim_refreshes", victims);
+}
+
+} // namespace srs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA
+ * 2014), the classic victim-focused mitigation (paper Section II-E).
+ *
+ * On every activation, with probability p the rows within the blast
+ * radius of the aggressor are refreshed.  Implemented here as the
+ * contrast case for the paper's motivation: the mitigative refreshes
+ * themselves activate the victim rows, so a distance-1 victim row
+ * accumulates activations proportional to the aggressor's — the
+ * lever the half-double attack (Section II-E) uses to flip bits at
+ * distance 2.  The `VfmExposure` probe in the tests demonstrates
+ * exactly that accumulation, which aggressor-focused row swaps avoid
+ * by construction.
+ */
+
+#ifndef SRS_MITIGATION_PARA_HH
+#define SRS_MITIGATION_PARA_HH
+
+#include "mitigation/mitigation.hh"
+
+namespace srs
+{
+
+/** PARA knobs. */
+struct ParaConfig
+{
+    /** Refresh probability per activation (typical: 0.001-0.01). */
+    double refreshProbability = 0.005;
+    /** Victim rows refreshed on each side of the aggressor. */
+    std::uint32_t blastRadius = 1;
+};
+
+/** Probabilistic victim-refresh mitigation. */
+class Para : public Mitigation
+{
+  public:
+    Para(MemoryController &ctrl, AggressorTracker &tracker,
+         const MitigationConfig &cfg, const ParaConfig &paraCfg = {});
+
+    /**
+     * PARA ignores the tracker: every activation independently
+     * triggers a neighbor refresh with probability p.
+     */
+    void onActivate(std::uint32_t channel, std::uint32_t bank,
+                    RowId physRow, Cycle now) override;
+
+    const char *name() const override { return "para"; }
+
+    /** PARA keeps no tables; its SRAM cost is one LFSR. */
+    std::uint64_t storageBitsPerBank() const override { return 32; }
+
+  protected:
+    void mitigate(std::uint32_t channel, std::uint32_t bank,
+                  RowId physRow, Cycle now) override;
+
+  private:
+    ParaConfig paraCfg_;
+    Cycle refreshCycles_;
+};
+
+} // namespace srs
+
+#endif // SRS_MITIGATION_PARA_HH

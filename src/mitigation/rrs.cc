@@ -1,0 +1,130 @@
+#include "mitigation/rrs.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+Rrs::Rrs(MemoryController &ctrl, AggressorTracker &tracker,
+         const MitigationConfig &cfg, const RrsConfig &rrsCfg)
+    : Mitigation(ctrl, tracker, cfg), rrsCfg_(rrsCfg)
+{
+    // A swap streams two rows out and back: four row transfers
+    // (~2.7 us with Table III timings); an unswap-swap doubles it.
+    const Cycle transfer =
+        ctrl_.timing().rowTransferCycles(ctrl_.org().linesPerRow());
+    swapCycles_ = 4 * transfer;
+    unswapSwapCycles_ = 8 * transfer;
+}
+
+void
+Rrs::mitigate(std::uint32_t channel, std::uint32_t bank, RowId physRow,
+              Cycle now)
+{
+    (void)now;
+    RowIndirection &r = rit(channel, bank);
+    const RowId logical = r.logicalAt(physRow);
+    const RowId home = logical;
+    const bool alreadySwapped = r.remap(logical) != logical;
+
+    MigrationJob job;
+    if (alreadySwapped && rrsCfg_.immediateUnswap) {
+        // Unswap the tuple, then swap the aggressor to a new partner.
+        r.swapPhysical(physRow, home, epochId_);
+        const RowId partner = pickSwapPartner(r, home);
+        r.swapPhysical(home, partner, epochId_);
+
+        job.kind = MigrationJob::Kind::UnswapSwap;
+        job.duration = unswapSwapCycles_;
+        // The aggressor's original slot takes one or two latent
+        // activations depending on swap-buffer scheduling (avg 1.5,
+        // paper footnote 2).
+        const std::uint32_t homeLatent = rng_.nextBool(0.5) ? 1 : 2;
+        job.charges.push_back(RowCharge{home, homeLatent});
+        job.charges.push_back(RowCharge{physRow, 1});
+        job.charges.push_back(RowCharge{partner, 1});
+        stats_.inc("unswap_swaps");
+    } else {
+        // Initial swap (or a chained swap in no-unswap mode).
+        const RowId partner = pickSwapPartner(r, physRow);
+        r.swapPhysical(physRow, partner, epochId_);
+
+        job.kind = MigrationJob::Kind::Swap;
+        job.duration = swapCycles_;
+        job.charges.push_back(RowCharge{physRow, 1});
+        job.charges.push_back(RowCharge{partner, 1});
+        stats_.inc("swaps");
+    }
+    schedule(channel, bank, std::move(job));
+
+    if (cfg_.ritCapacityPerBank != 0 &&
+        r.entries() > cfg_.ritCapacityPerBank) {
+        // The CAT never admits more than its provisioned entries; an
+        // overflow here means the configuration under-provisioned it.
+        stats_.inc("rit_overflows");
+        restoreOneStale(channel, bank, now);
+    }
+}
+
+bool
+Rrs::restoreOneStale(std::uint32_t channel, std::uint32_t bank, Cycle now)
+{
+    (void)now;
+    RowIndirection &r = rit(channel, bank);
+    const RowId logical = r.findStale(epochId_);
+    if (logical == kInvalidRow)
+        return false;
+    const RowId pos = r.remap(logical);
+    SRS_ASSERT(pos != logical, "stale identity mapping");
+    r.swapPhysical(pos, logical, epochId_);
+    // Restoring re-tags the touched mappings with the current epoch;
+    // for a clean tuple both mappings collapse to identity anyway.
+
+    MigrationJob job;
+    job.kind = MigrationJob::Kind::PlaceBack;
+    job.duration = swapCycles_;
+    job.charges.push_back(RowCharge{pos, 1});
+    job.charges.push_back(RowCharge{logical, 1});
+    schedule(channel, bank, std::move(job));
+    stats_.inc("lazy_restores");
+    return true;
+}
+
+void
+Rrs::lazyStep(Cycle now)
+{
+    const auto &org = ctrl_.org();
+    const std::uint32_t banksPerChannel =
+        org.ranksPerChannel * org.banksPerRank;
+    for (std::uint32_t ch = 0; ch < org.channels; ++ch) {
+        for (std::uint32_t b = 0; b < banksPerChannel; ++b) {
+            if (restoreOneStale(ch, b, now))
+                return;
+        }
+    }
+    nextLazyAt_ = kNoCycle; // nothing stale left this epoch
+}
+
+void
+Rrs::onEpochEnd(Cycle now, Cycle epochLen)
+{
+    Mitigation::onEpochEnd(now, epochLen);
+    if (rrsCfg_.immediateUnswap)
+        return;
+    // No-unswap mode: the swap chains must be unravelled *now*; the
+    // resulting burst of restores is the latency spike of Figure 4.
+    const auto &org = ctrl_.org();
+    const std::uint32_t banksPerChannel =
+        org.ranksPerChannel * org.banksPerRank;
+    std::uint64_t restored = 0;
+    for (std::uint32_t ch = 0; ch < org.channels; ++ch) {
+        for (std::uint32_t b = 0; b < banksPerChannel; ++b) {
+            while (restoreOneStale(ch, b, now))
+                ++restored;
+        }
+    }
+    stats_.inc("burst_restores", restored);
+    nextLazyAt_ = kNoCycle;
+}
+
+} // namespace srs

@@ -1,0 +1,169 @@
+#include "rowswap/cat.hh"
+
+#include <cmath>
+#include <utility>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+std::uint64_t
+CatSizing::numBuckets() const
+{
+    SRS_ASSERT(targetEntries > 0 && ways > 0, "degenerate CAT sizing");
+    const double provisioned =
+        static_cast<double>(targetEntries) * overProvision;
+    const auto buckets = static_cast<std::uint64_t>(
+        std::ceil(provisioned / ways));
+    return nextPowerOfTwo(buckets == 0 ? 1 : buckets);
+}
+
+Cat::Cat(const CatSizing &sizing, std::uint64_t seed)
+    : numBuckets_(sizing.numBuckets()), ways_(sizing.ways),
+      slots_(numBuckets_ * sizing.ways), hashSeed_(seed),
+      rng_(seed ^ 0xCA7CA7CA7ULL)
+{
+}
+
+std::uint64_t
+Cat::bucketOf(RowId key) const
+{
+    // Fibonacci-style mixing keyed by the per-instance seed so an
+    // adversary cannot precompute bucket collisions.
+    std::uint64_t x = (static_cast<std::uint64_t>(key) + hashSeed_) *
+                      0x9E3779B97F4A7C15ULL;
+    x ^= x >> 29;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 32;
+    return x & (numBuckets_ - 1);
+}
+
+std::uint64_t
+Cat::altBucketOf(RowId key) const
+{
+    // Second, independently-keyed skew (MIRAGE-style two-choice
+    // hashing keeps per-bucket load near the average).
+    std::uint64_t x = (static_cast<std::uint64_t>(key) ^
+                       (hashSeed_ * 0xD6E8FEB86659FD93ULL)) +
+                      0xA0761D6478BD642FULL;
+    x ^= x >> 33;
+    x *= 0xE7037ED1A0B428DBULL;
+    x ^= x >> 29;
+    return x & (numBuckets_ - 1);
+}
+
+Cat::Entry *
+Cat::find(RowId key)
+{
+    for (const std::uint64_t bucket : {bucketOf(key), altBucketOf(key)}) {
+        Entry *base = &slots_[bucket * ways_];
+        for (std::uint32_t w = 0; w < ways_; ++w) {
+            if (base[w].valid && base[w].key == key)
+                return &base[w];
+        }
+    }
+    return nullptr;
+}
+
+const Cat::Entry *
+Cat::find(RowId key) const
+{
+    return const_cast<Cat *>(this)->find(key);
+}
+
+bool
+Cat::insert(RowId key, RowId value)
+{
+    if (Entry *existing = find(key)) {
+        existing->value = value;
+        existing->locked = true;
+        return true;
+    }
+
+    // Two-choice placement: fill the less-loaded of the two buckets.
+    Entry *primary = &slots_[bucketOf(key) * ways_];
+    Entry *alternate = &slots_[altBucketOf(key) * ways_];
+    auto loadOf = [this](const Entry *base) {
+        std::uint32_t load = 0;
+        for (std::uint32_t w = 0; w < ways_; ++w)
+            load += base[w].valid ? 1 : 0;
+        return load;
+    };
+    if (loadOf(alternate) < loadOf(primary))
+        std::swap(primary, alternate);
+
+    Entry *target = nullptr;
+    for (Entry *base : {primary, alternate}) {
+        for (std::uint32_t w = 0; w < ways_ && target == nullptr; ++w) {
+            if (!base[w].valid)
+                target = &base[w];
+        }
+        if (target != nullptr)
+            break;
+    }
+    if (target == nullptr) {
+        // Evict a random unlocked (previous-epoch) victim from
+        // either bucket.
+        std::vector<Entry *> candidates;
+        for (Entry *base : {primary, alternate}) {
+            for (std::uint32_t w = 0; w < ways_; ++w) {
+                if (!base[w].locked)
+                    candidates.push_back(&base[w]);
+            }
+        }
+        if (candidates.empty())
+            return false;
+        target = candidates[rng_.nextBelow(candidates.size())];
+        if (onEvict_)
+            onEvict_(*target);
+        --live_;
+    }
+    target->key = key;
+    target->value = value;
+    target->valid = true;
+    target->locked = true;
+    ++live_;
+    return true;
+}
+
+std::optional<RowId>
+Cat::lookup(RowId key) const
+{
+    const Entry *e = find(key);
+    if (e == nullptr)
+        return std::nullopt;
+    return e->value;
+}
+
+bool
+Cat::erase(RowId key)
+{
+    Entry *e = find(key);
+    if (e == nullptr)
+        return false;
+    *e = Entry{};
+    --live_;
+    return true;
+}
+
+void
+Cat::unlockAll()
+{
+    for (Entry &e : slots_) {
+        if (e.valid)
+            e.locked = false;
+    }
+}
+
+void
+Cat::forEach(const std::function<void(const Entry &)> &fn) const
+{
+    for (const Entry &e : slots_) {
+        if (e.valid)
+            fn(e);
+    }
+}
+
+} // namespace srs

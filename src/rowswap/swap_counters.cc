@@ -1,0 +1,67 @@
+#include "rowswap/swap_counters.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+SwapTrackingCounters::SwapTrackingCounters(std::uint32_t rowsPerBank,
+                                           std::uint32_t epochBits,
+                                           std::uint32_t countBits)
+    : rowsPerBank_(rowsPerBank), epochBits_(epochBits),
+      countBits_(countBits)
+{
+    if (epochBits_ + countBits_ > 32)
+        fatal("swap counter fields exceed the 32-bit counter word");
+}
+
+std::uint32_t
+SwapTrackingCounters::recordSwap(RowId row, std::uint32_t epochId,
+                                 std::uint32_t actDelta)
+{
+    SRS_ASSERT(row < rowsPerBank_, "row out of range");
+    SRS_ASSERT(epochId < epochIdLimit(), "epoch id beyond field width");
+    Counter &c = counters_[row];
+    if (c.epochId != epochId) {
+        c.epochId = epochId;
+        c.count = 0;
+        stats_.inc("epoch_resets");
+    }
+    const std::uint32_t maxCount = (1u << countBits_) - 1;
+    c.count = c.count + actDelta > maxCount ? maxCount
+                                            : c.count + actDelta;
+    stats_.inc("updates");
+    return c.count;
+}
+
+std::uint32_t
+SwapTrackingCounters::countOf(RowId row, std::uint32_t epochId) const
+{
+    const auto it = counters_.find(row);
+    if (it == counters_.end() || it->second.epochId != epochId)
+        return 0;
+    return it->second.count;
+}
+
+void
+SwapTrackingCounters::resetAll()
+{
+    counters_.clear();
+    stats_.inc("global_resets");
+}
+
+std::uint64_t
+SwapTrackingCounters::reservedBytesPerBank() const
+{
+    return static_cast<std::uint64_t>(rowsPerBank_) * 4;
+}
+
+std::uint32_t
+SwapTrackingCounters::counterRows(std::uint32_t rowBytes) const
+{
+    return static_cast<std::uint32_t>(
+        ceilDiv(reservedBytesPerBank(), rowBytes));
+}
+
+} // namespace srs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Per-row swap-tracking counters (paper Section IV-F).
+ *
+ * One 32-bit counter per DRAM row, stored in a reserved region of
+ * main memory (0.05% of capacity: 64 counter rows per 128K-row bank).
+ * Each counter holds a 19-bit epoch-id and a 13-bit cumulative
+ * activation count including latent activations.  The counter for a
+ * row is read and updated before each swap; a mismatched epoch-id
+ * resets the count.  When the on-chip 19-bit epoch register wraps,
+ * all counters are cleared (64 counter-row reads, ~41 us every
+ * 4.6 hours).
+ *
+ * Scale-SRS classifies a row as an *outlier* when its in-epoch count
+ * reaches outlierSwaps * T_S and pins it in the LLC (Section V-B).
+ */
+
+#ifndef SRS_ROWSWAP_SWAP_COUNTERS_HH
+#define SRS_ROWSWAP_SWAP_COUNTERS_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** Per-bank swap-tracking counter file. */
+class SwapTrackingCounters
+{
+  public:
+    /**
+     * @param rowsPerBank counters provisioned (one per row)
+     * @param epochBits   epoch-id field width (paper: 19)
+     * @param countBits   activation count field width (paper: 13)
+     */
+    SwapTrackingCounters(std::uint32_t rowsPerBank,
+                         std::uint32_t epochBits = 19,
+                         std::uint32_t countBits = 13);
+
+    /**
+     * Read-modify-write the counter of physical row @p row before a
+     * swap: stale epoch-ids reset the count, then @p actDelta
+     * (T_S + latent activations) is accumulated, saturating at the
+     * field maximum.
+     * @return the post-update count
+     */
+    std::uint32_t recordSwap(RowId row, std::uint32_t epochId,
+                             std::uint32_t actDelta);
+
+    /** Current in-epoch count (0 when the stored epoch-id is stale). */
+    std::uint32_t countOf(RowId row, std::uint32_t epochId) const;
+
+    /** Wipe all counters (epoch-register wrap-around). */
+    void resetAll();
+
+    /** Maximum representable epoch-id (wrap point). */
+    std::uint32_t epochIdLimit() const { return (1u << epochBits_); }
+
+    /** DRAM bytes reserved per bank (paper: 512KB at 128K rows). */
+    std::uint64_t reservedBytesPerBank() const;
+
+    /** Counter rows per bank holding the reserved bytes. */
+    std::uint32_t counterRows(std::uint32_t rowBytes) const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Counter
+    {
+        std::uint32_t epochId = 0;
+        std::uint32_t count = 0;
+    };
+
+    std::uint32_t rowsPerBank_;
+    std::uint32_t epochBits_;
+    std::uint32_t countBits_;
+    /** Sparse: only swapped rows materialize a counter. */
+    std::unordered_map<RowId, Counter> counters_;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_ROWSWAP_SWAP_COUNTERS_HH

@@ -1,0 +1,127 @@
+#include "security/half_double.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+HalfDoubleModel::HalfDoubleModel(const HalfDoubleParams &params)
+    : params_(params)
+{
+    if (params_.trh == 0 || params_.victimRefreshPeriod == 0)
+        fatal("half-double: T_RH and T_V must be nonzero");
+    if (params_.blastRadius == 0)
+        fatal("half-double: blast radius must be nonzero");
+}
+
+double
+HalfDoubleModel::inducedActivations(std::uint32_t distance,
+                                    std::uint64_t aggressorActs) const
+{
+    if (distance == 0)
+        return static_cast<double>(aggressorActs);
+
+    const double tv = params_.victimRefreshPeriod;
+    double acts = static_cast<double>(aggressorActs);
+    if (!params_.refreshesCounted) {
+        // Every T_V aggressor activations refresh the whole blast
+        // radius once; each refresh activates every row in it, and
+        // those activations are invisible to the tracker, so no
+        // further mitigations dampen them.  Rows beyond the radius
+        // receive leakage from the outermost refreshed row but no
+        // refreshes of their own.
+        if (distance <= params_.blastRadius + 1)
+            acts = acts / tv;
+        else
+            acts = 0.0;
+    } else {
+        // Counted refreshes re-arm the tracker at every level: each
+        // additional hop costs another factor of T_V.
+        for (std::uint32_t d = 0; d < distance; ++d)
+            acts /= tv;
+    }
+    if (distance <= params_.blastRadius + 1)
+        acts += params_.directDribble;
+    return acts;
+}
+
+HalfDoubleResult
+HalfDoubleModel::evaluateAtDistance(std::uint32_t distance) const
+{
+    HalfDoubleResult res;
+    if (distance == 0) {
+        // The aggressor row itself: the attacker just hammers it.
+        res.aggressorActsNeeded = params_.trh;
+        res.inducedActs = params_.trh;
+        res.feasibleWithinEpoch =
+            params_.trh <= params_.actMaxPerEpoch;
+        res.epochFraction = static_cast<double>(params_.trh) /
+                            static_cast<double>(params_.actMaxPerEpoch);
+        return res;
+    }
+
+    const double dribble = params_.directDribble;
+    if (dribble >= params_.trh) {
+        res.aggressorActsNeeded = 0;
+        res.inducedActs = dribble;
+        res.feasibleWithinEpoch = true;
+        res.epochFraction = 0.0;
+        return res;
+    }
+    const double needed = static_cast<double>(params_.trh) - dribble;
+
+    const double tv = params_.victimRefreshPeriod;
+    double amplification;
+    if (!params_.refreshesCounted) {
+        amplification =
+            distance <= params_.blastRadius + 1 ? tv : 0.0;
+    } else {
+        amplification = std::pow(tv, distance);
+    }
+    if (amplification <= 0.0) {
+        // Beyond the refresh reach nothing arrives: unbreakable via
+        // this channel.
+        res.aggressorActsNeeded = ~0ULL;
+        return res;
+    }
+
+    const double h = needed * amplification;
+    res.aggressorActsNeeded = static_cast<std::uint64_t>(std::ceil(h));
+    res.inducedActs =
+        inducedActivations(distance, res.aggressorActsNeeded);
+    res.epochFraction =
+        h / static_cast<double>(params_.actMaxPerEpoch);
+    res.feasibleWithinEpoch = res.epochFraction <= 1.0;
+    return res;
+}
+
+HalfDoubleResult
+HalfDoubleModel::evaluate() const
+{
+    return evaluateAtDistance(params_.blastRadius + 1);
+}
+
+std::uint32_t
+HalfDoubleModel::maxVulnerablePeriod() const
+{
+    // Feasible while T_V * (T_RH - dribble) <= ACT_max.
+    const double dribble = params_.directDribble;
+    if (dribble >= params_.trh)
+        return ~0u;
+    const double needed = static_cast<double>(params_.trh) - dribble;
+    const double tv =
+        static_cast<double>(params_.actMaxPerEpoch) / needed;
+    return static_cast<std::uint32_t>(std::floor(tv));
+}
+
+bool
+HalfDoubleModel::distance1Safe(std::uint32_t sides) const
+{
+    return static_cast<std::uint64_t>(sides) *
+               params_.victimRefreshPeriod <
+           params_.trh;
+}
+
+} // namespace srs

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Analytical model of the half-double attack against victim-focused
+ * mitigation (Google 2021; paper Sections I, II-E and IX-B).
+ *
+ * Half-double is the motivation for aggressor-focused designs: a
+ * VFM defense refreshes the rows within the blast radius of a
+ * recognized aggressor, but each such refresh is itself an
+ * activation of the victim row.  Those induced activations are
+ * invisible to the aggressor tracker (they happen inside the
+ * mitigation), so a distance-(n+1) row can be hammered *through*
+ * the defense: hammering the aggressor H times induces about
+ * H / T_V activations on each blast-radius row, where T_V is the
+ * VFM mitigation period in aggressor activations.
+ *
+ * The model exposes the resulting trade-off: an aggressive VFM
+ * (small T_V) pays high refresh overhead *and* hands the attacker
+ * more induced activations per unit time, while a lazy VFM (T_V
+ * close to T_RH) risks the classic distance-1 attack.  Row-swap
+ * defenses sidestep the dilemma because their mitigative action
+ * does not activate neighbours — the paper's core argument.
+ */
+
+#ifndef SRS_SECURITY_HALF_DOUBLE_HH
+#define SRS_SECURITY_HALF_DOUBLE_HH
+
+#include <cstdint>
+
+namespace srs
+{
+
+/** Inputs of the half-double feasibility analysis. */
+struct HalfDoubleParams
+{
+    std::uint32_t trh = 4800;            ///< Row Hammer threshold
+
+    /**
+     * VFM mitigation period T_V: the defense refreshes the blast
+     * radius once per T_V aggressor activations.  For a threshold
+     * tracker this is the tracker threshold; for PARA it is 1/p.
+     */
+    std::uint32_t victimRefreshPeriod = 128;
+
+    std::uint32_t blastRadius = 1;       ///< rows refreshed per side
+
+    /** Direct activations the attacker dribbles onto the
+     *  blast-radius row itself (kept below tracker visibility). */
+    std::uint32_t directDribble = 0;
+
+    /** Attacker activation budget within one refresh interval. */
+    std::uint64_t actMaxPerEpoch = 1360000;
+
+    /**
+     * When true, the defense feeds its own refreshes back into the
+     * aggressor tracker (the fix Section IX-B discusses, requiring
+     * proprietary row mappings): escalation then compounds one
+     * factor of T_V per blast-radius level.
+     */
+    bool refreshesCounted = false;
+};
+
+/** Result of one feasibility query. */
+struct HalfDoubleResult
+{
+    std::uint64_t aggressorActsNeeded = 0; ///< H to flip the target
+    double inducedActs = 0.0;      ///< activations at the target row
+    bool feasibleWithinEpoch = false;
+    double epochFraction = 0.0;    ///< H / ACT_max
+};
+
+/** The half-double feasibility model. */
+class HalfDoubleModel
+{
+  public:
+    explicit HalfDoubleModel(const HalfDoubleParams &params);
+
+    /**
+     * Induced activations at distance @p distance from the
+     * aggressor after @p aggressorActs direct activations.
+     * Distance 0 is the aggressor itself.
+     */
+    double inducedActivations(std::uint32_t distance,
+                              std::uint64_t aggressorActs) const;
+
+    /**
+     * Feasibility of flipping bits at @p distance (the half-double
+     * target is blastRadius + 1).
+     */
+    HalfDoubleResult evaluateAtDistance(std::uint32_t distance) const;
+
+    /** The canonical half-double query: distance blastRadius + 1. */
+    HalfDoubleResult evaluate() const;
+
+    /**
+     * Largest mitigation period T_V for which half-double fits in
+     * one refresh interval — the "danger zone" boundary: a VFM with
+     * T_V at or below this value is exposed.
+     */
+    std::uint32_t maxVulnerablePeriod() const;
+
+    /**
+     * Classic distance-1 safety check: with @p sides simultaneous
+     * aggressors, the victim sees at most sides * T_V activations
+     * between its refreshes; safe while that stays below T_RH.
+     */
+    bool distance1Safe(std::uint32_t sides = 2) const;
+
+    const HalfDoubleParams &params() const { return params_; }
+
+  private:
+    HalfDoubleParams params_;
+};
+
+} // namespace srs
+
+#endif // SRS_SECURITY_HALF_DOUBLE_HH

@@ -1,0 +1,89 @@
+#include "security/monte_carlo.hh"
+
+#include <cmath>
+
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+MonteCarloAttack::MonteCarloAttack(const AttackParams &params,
+                                   std::uint64_t seed)
+    : params_(params), model_(params), rng_(seed)
+{
+}
+
+MonteCarloResult
+MonteCarloAttack::run(const AttackResult &analytic,
+                      std::uint64_t iterations,
+                      std::uint64_t epochLoopLimit)
+{
+    MonteCarloResult out;
+    out.iterations = iterations;
+    if (!analytic.feasible && analytic.k > 0)
+        return out;
+    out.feasible = true;
+
+    if (analytic.k == 0) {
+        // Latent activations alone break the row in the first epoch.
+        out.meanEpochs = 1.0;
+        out.meanTimeSec = params_.epochSec;
+        return out;
+    }
+
+    const double pRow = 1.0 / static_cast<double>(params_.rowsPerBank);
+    const auto g = static_cast<std::uint64_t>(analytic.guesses);
+    // Per-epoch success probability (exact upper tail).
+    const double pEpoch = binomialSf(g, analytic.k, pRow);
+    if (pEpoch <= 0.0) {
+        out.feasible = false;
+        return out;
+    }
+
+    const bool iterate =
+        pEpoch > 1.0 / static_cast<double>(epochLoopLimit);
+
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (std::uint64_t it = 0; it < iterations; ++it) {
+        std::uint64_t epochs = 0;
+        if (iterate) {
+            // Event-driven: draw guess landings epoch by epoch.
+            for (;;) {
+                ++epochs;
+                if (rng_.nextBinomial(g, pRow) >= analytic.k)
+                    break;
+                if (epochs > 100ULL * epochLoopLimit)
+                    break; // statistical safety valve
+            }
+        } else {
+            epochs = rng_.nextGeometric(pEpoch);
+        }
+        const double t = static_cast<double>(epochs) * params_.epochSec;
+        sum += t;
+        sumSq += t * t;
+    }
+    const double n = static_cast<double>(iterations);
+    out.meanTimeSec = sum / n;
+    out.meanEpochs = out.meanTimeSec / params_.epochSec;
+    const double var = std::max(0.0, sumSq / n -
+                                         out.meanTimeSec *
+                                             out.meanTimeSec);
+    out.stddevTimeSec = std::sqrt(var);
+    return out;
+}
+
+MonteCarloResult
+MonteCarloAttack::runRrs(std::uint64_t rounds, std::uint64_t iterations,
+                         std::uint64_t epochLoopLimit)
+{
+    return run(model_.evaluateRrs(rounds), iterations, epochLoopLimit);
+}
+
+MonteCarloResult
+MonteCarloAttack::runSrs(std::uint64_t iterations)
+{
+    return run(model_.evaluateSrs(), iterations, 100000);
+}
+
+} // namespace srs

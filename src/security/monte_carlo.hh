@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Event-driven Monte-Carlo validation of the analytical attack model
+ * (the "bins and buckets" simulation of the paper's artifact,
+ * validating Figure 6).
+ *
+ * Each trial simulates refresh epochs: per epoch the attacker makes
+ * G random guesses and the number landing on the aggressor's original
+ * location is drawn from Binomial(G, 1/R); the attack succeeds in the
+ * first epoch with >= k landings.  For success probabilities too
+ * small to iterate epoch-by-epoch the epoch count is drawn from the
+ * exact geometric distribution instead — statistically identical,
+ * just without the O(1/p) loop.
+ */
+
+#ifndef SRS_SECURITY_MONTE_CARLO_HH
+#define SRS_SECURITY_MONTE_CARLO_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "security/attack_model.hh"
+
+namespace srs
+{
+
+/** Aggregate outcome of a Monte-Carlo campaign. */
+struct MonteCarloResult
+{
+    std::uint64_t iterations = 0;
+    double meanEpochs = 0.0;
+    double meanTimeSec = 0.0;
+    double stddevTimeSec = 0.0;
+    bool feasible = false;
+};
+
+/** Monte-Carlo attack simulator. */
+class MonteCarloAttack
+{
+  public:
+    MonteCarloAttack(const AttackParams &params, std::uint64_t seed);
+
+    /**
+     * Simulate the Juggernaut attack on RRS with N biasing rounds.
+     * @param iterations number of independent trials
+     * @param epochLoopLimit trials iterate epoch-by-epoch while the
+     *        per-epoch success probability exceeds 1/epochLoopLimit
+     */
+    MonteCarloResult runRrs(std::uint64_t rounds,
+                            std::uint64_t iterations,
+                            std::uint64_t epochLoopLimit = 100000);
+
+    /** Simulate the random-guess attack on SRS (no latent rounds). */
+    MonteCarloResult runSrs(std::uint64_t iterations);
+
+  private:
+    MonteCarloResult run(const AttackResult &analytic,
+                         std::uint64_t iterations,
+                         std::uint64_t epochLoopLimit);
+
+    AttackParams params_;
+    JuggernautModel model_;
+    Rng rng_;
+};
+
+} // namespace srs
+
+#endif // SRS_SECURITY_MONTE_CARLO_HH

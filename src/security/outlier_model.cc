@@ -1,0 +1,87 @@
+#include "security/outlier_model.hh"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace srs
+{
+
+OutlierModel::OutlierModel(const OutlierParams &params)
+    : params_(params)
+{
+    if (params_.ts() == 0)
+        fatal("outlier model: T_S rounds to zero");
+}
+
+double
+OutlierModel::swapsPerEpoch() const
+{
+    return static_cast<double>(params_.actMaxPerEpoch) /
+           static_cast<double>(params_.ts());
+}
+
+double
+OutlierModel::pRowChosen(std::uint64_t k) const
+{
+    const auto g = static_cast<std::uint64_t>(swapsPerEpoch());
+    const double p = 1.0 / static_cast<double>(params_.rowsPerBank);
+    return binomialPmf(g, k, p);
+}
+
+double
+OutlierModel::expectedRowsWith(std::uint64_t k) const
+{
+    return static_cast<double>(params_.rowsPerBank) * pRowChosen(k);
+}
+
+double
+OutlierModel::pSimultaneous(std::uint64_t m, std::uint64_t k) const
+{
+    const double rk = expectedRowsWith(k);
+    // Poisson(R_K) point mass at M (paper footnote 4).
+    return poissonPmf(m, rk);
+}
+
+double
+OutlierModel::timeToAppearSec(std::uint64_t m, std::uint64_t k) const
+{
+    const double p = pSimultaneous(m, k);
+    if (p <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return params_.epochSec / p;
+}
+
+double
+OutlierModel::timeToAppearSec(std::uint64_t m) const
+{
+    return timeToAppearSec(m, params_.swapRate);
+}
+
+double
+OutlierModel::simulateSimultaneous(std::uint64_t m, std::uint64_t k,
+                                   std::uint64_t epochs,
+                                   std::uint64_t seed) const
+{
+    Rng rng(seed);
+    const auto g = static_cast<std::uint64_t>(swapsPerEpoch());
+    std::uint64_t hits = 0;
+    std::unordered_map<std::uint64_t, std::uint32_t> landings;
+    for (std::uint64_t e = 0; e < epochs; ++e) {
+        landings.clear();
+        std::uint64_t rowsAtK = 0;
+        for (std::uint64_t s = 0; s < g; ++s) {
+            const std::uint64_t row =
+                rng.nextBelow(params_.rowsPerBank);
+            if (++landings[row] == k)
+                ++rowsAtK;
+        }
+        if (rowsAtK >= m)
+            ++hits;
+    }
+    return static_cast<double>(hits) / static_cast<double>(epochs);
+}
+
+} // namespace srs

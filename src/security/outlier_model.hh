@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Outlier-row statistics (paper Section V-B, Figure 13).
+ *
+ * Under a maximal attack, at most ACT_max / T_S rows can be driven
+ * past T_S per epoch; their swap destinations are uniform over the
+ * bank's R rows.  The expected number of rows chosen k times is
+ * R_K = R * pmf(Binomial(G, 1/R) = k), and the probability of M such
+ * rows appearing simultaneously follows Poisson(R_K) (footnote 4):
+ * p_M = e^{-R_K} R_K^M / M!.  Time-to-appear = epoch / p_M.
+ */
+
+#ifndef SRS_SECURITY_OUTLIER_MODEL_HH
+#define SRS_SECURITY_OUTLIER_MODEL_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+
+namespace srs
+{
+
+/** Parameters for the outlier analysis. */
+struct OutlierParams
+{
+    std::uint32_t trh = 4800;
+    std::uint32_t swapRate = 3;
+    std::uint64_t rowsPerBank = 131072;
+    std::uint64_t actMaxPerEpoch = 1360000;  ///< ACT_max (Section II-B)
+    double epochSec = 64e-3;
+
+    std::uint32_t ts() const { return trh / swapRate; }
+};
+
+/** Poisson model of simultaneous outlier rows. */
+class OutlierModel
+{
+  public:
+    explicit OutlierModel(const OutlierParams &params);
+
+    /** Rows the attacker can push past T_S per epoch (G). */
+    double swapsPerEpoch() const;
+
+    /** P[a given row is chosen exactly k times within one epoch]. */
+    double pRowChosen(std::uint64_t k) const;
+
+    /** Expected rows with exactly k swaps per epoch (R_K). */
+    double expectedRowsWith(std::uint64_t k) const;
+
+    /** P[M rows with k swaps appear in the same epoch] (Poisson). */
+    double pSimultaneous(std::uint64_t m, std::uint64_t k) const;
+
+    /** Expected time until M rows with k swaps coincide, seconds. */
+    double timeToAppearSec(std::uint64_t m, std::uint64_t k) const;
+
+    /**
+     * Convenience for Figure 13: time until M outliers (k = swap
+     * rate, i.e. rows whose landings alone would cross T_RH).
+     */
+    double timeToAppearSec(std::uint64_t m) const;
+
+    const OutlierParams &params() const { return params_; }
+
+    /**
+     * Monte-Carlo cross-check of the footnote-4 statistics: simulate
+     * @p epochs epochs of G uniform swap landings over R rows and
+     * return the fraction of epochs in which at least @p m rows
+     * collected >= @p k landings.  Compare against pSimultaneous().
+     */
+    double simulateSimultaneous(std::uint64_t m, std::uint64_t k,
+                                std::uint64_t epochs,
+                                std::uint64_t seed) const;
+
+  private:
+    OutlierParams params_;
+};
+
+} // namespace srs
+
+#endif // SRS_SECURITY_OUTLIER_MODEL_HH

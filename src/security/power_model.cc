@@ -1,0 +1,32 @@
+#include "security/power_model.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+PowerModel::PowerModel(const PowerParams &params)
+    : params_(params)
+{
+}
+
+double
+PowerModel::sramPowerMw(double sramKb) const
+{
+    SRS_ASSERT(sramKb >= 0.0, "negative SRAM size");
+    return params_.sramBaseMw + params_.sramSlopeMwPerKb * sramKb;
+}
+
+double
+PowerModel::dramOverheadPct(std::uint32_t swapRate,
+                            double movesPerMitigation) const
+{
+    SRS_ASSERT(swapRate > 0, "zero swap rate");
+    // Mitigation frequency scales with the swap rate (lower T_S =>
+    // more swaps); each mitigation costs movesPerMitigation row-pair
+    // movements.
+    return params_.dramPctPerUnit *
+        static_cast<double>(swapRate) / 6.0 * movesPerMitigation;
+}
+
+} // namespace srs

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Power-overhead model (paper Table V).
+ *
+ * SRAM power: an affine CACTI-6.0 surrogate at 32nm calibrated to
+ * the paper's two data points (RRS 36KB -> 903 mW, Scale-SRS
+ * 18.7KB -> 703 mW): P = base + slope * KB, where the base term
+ * captures peripheral/decoder power and the slope the array.
+ *
+ * DRAM power: swap traffic expressed in row-movement units per
+ * mitigation.  RRS re-mitigations move two row pairs (unswap-swap)
+ * at swap rate 6; Scale-SRS moves one pair at swap rate 3 plus a
+ * counter access — calibrated so the worst case lands on the paper's
+ * 0.5% / 0.2% overheads.
+ */
+
+#ifndef SRS_SECURITY_POWER_MODEL_HH
+#define SRS_SECURITY_POWER_MODEL_HH
+
+#include <cstdint>
+
+namespace srs
+{
+
+/** Calibration constants (see file header). */
+struct PowerParams
+{
+    double sramBaseMw = 487.0;       ///< peripheral power
+    double sramSlopeMwPerKb = 11.56; ///< array power per KB
+    /** DRAM overhead percent per row-movement unit at swap rate 1. */
+    double dramPctPerUnit = 0.25;
+};
+
+/** Power estimates for a mitigation configuration. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params = {});
+
+    /** SRAM power (mW) for @p sramKb of on-chip structures. */
+    double sramPowerMw(double sramKb) const;
+
+    /**
+     * DRAM power overhead (percent of DRAM power) from swaps.
+     * @param swapRate      T_RH / T_S
+     * @param movesPerMitigation  2 for RRS unswap-swap, 1 for SRS
+     */
+    double dramOverheadPct(std::uint32_t swapRate,
+                           double movesPerMitigation) const;
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace srs
+
+#endif // SRS_SECURITY_POWER_MODEL_HH

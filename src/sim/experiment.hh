@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Experiment harness: builds Systems from workload profiles, runs
+ * them for a fixed cycle budget, and reports normalized performance
+ * against the unprotected baseline — the methodology behind every
+ * performance figure (4, 12, 14, 15, 16).
+ */
+
+#ifndef SRS_SIM_EXPERIMENT_HH
+#define SRS_SIM_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace srs
+{
+
+/** Result of one simulation run. */
+struct RunResult
+{
+    double aggregateIpc = 0.0;
+    std::vector<double> coreIpc;
+    std::uint64_t swaps = 0;
+    std::uint64_t unswapSwaps = 0;
+    std::uint64_t placeBacks = 0;
+    std::uint64_t latentActivations = 0;
+    std::uint64_t maxRowActivations = 0;
+    std::uint64_t rowsPinned = 0;
+};
+
+/** Knobs of the experiment harness. */
+struct ExperimentConfig
+{
+    /** CPU cycles to simulate per run (after warmup). */
+    Cycle cycles = 3'000'000;
+    /** Warmup cycles excluded implicitly (IPC uses the full window;
+     *  warmup is kept small instead of tracked separately). */
+    Cycle warmup = 0;
+    /** Scaled-down refresh interval for tractable runs (default:
+     *  1 ms at 3.2 GHz; thresholds stay unscaled — see DESIGN.md). */
+    Cycle epochLen = 3'200'000;
+    std::uint32_t numCores = 8;
+    std::uint64_t seed = 0xBEEFULL;
+};
+
+/** Build the SystemConfig for one (mitigation, trh, swapRate) point. */
+SystemConfig makeSystemConfig(const ExperimentConfig &exp,
+                              MitigationKind kind, std::uint32_t trh,
+                              std::uint32_t swapRate,
+                              TrackerKind tracker
+                              = TrackerKind::MisraGries);
+
+/**
+ * Run one workload (same profile on every core, rate mode) on a
+ * configured system.
+ */
+RunResult runWorkload(const SystemConfig &sysCfg,
+                      const WorkloadProfile &profile,
+                      const ExperimentConfig &exp);
+
+/** Run a MIX workload (per-core profiles). */
+RunResult runWorkloadMix(const SystemConfig &sysCfg,
+                         const std::vector<WorkloadProfile> &perCore,
+                         const ExperimentConfig &exp);
+
+/**
+ * Normalized performance of @p kind vs. the unprotected baseline for
+ * one workload: IPC(kind) / IPC(baseline).
+ */
+double normalizedPerf(const ExperimentConfig &exp, MitigationKind kind,
+                      std::uint32_t trh, std::uint32_t swapRate,
+                      const WorkloadProfile &profile,
+                      TrackerKind tracker = TrackerKind::MisraGries);
+
+/** Geometric mean, the figure-of-merit for suite averages. */
+double geoMean(const std::vector<double> &values);
+
+} // namespace srs
+
+#endif // SRS_SIM_EXPERIMENT_HH

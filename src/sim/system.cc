@@ -1,0 +1,334 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+const char *
+mitigationKindName(MitigationKind kind)
+{
+    switch (kind) {
+      case MitigationKind::None:        return "baseline";
+      case MitigationKind::Rrs:         return "rrs";
+      case MitigationKind::RrsNoUnswap: return "rrs-no-unswap";
+      case MitigationKind::Srs:         return "srs";
+      case MitigationKind::ScaleSrs:    return "scale-srs";
+      case MitigationKind::BlockHammer: return "blockhammer";
+      case MitigationKind::Aqua:        return "aqua";
+    }
+    return "?";
+}
+
+Cycle
+SystemConfig::effectiveEpochLen() const
+{
+    if (epochLen != 0)
+        return epochLen;
+    return nsToCycles(kRefreshIntervalSec * 1e9, timingNs.cpuFreqGHz);
+}
+
+std::uint64_t
+SystemConfig::actMaxPerEpoch() const
+{
+    const double epochSec =
+        static_cast<double>(effectiveEpochLen()) /
+        (timingNs.cpuFreqGHz * 1e9);
+    const double refreshShare =
+        350e-9 * 8192.0 * (epochSec / kRefreshIntervalSec);
+    return static_cast<std::uint64_t>(
+        (epochSec - refreshShare) / (timingNs.tRC * 1e-9));
+}
+
+System::System(const SystemConfig &cfg)
+    : cfg_(cfg), epochLen_(cfg.effectiveEpochLen()),
+      timing_(DramTiming::fromNs(cfg.timingNs)),
+      nextEpochAt_(epochLen_)
+{
+    cfg_.org.validate();
+    ctrl_ = std::make_unique<MemoryController>(cfg_.org, timing_,
+                                               cfg_.memCtrl);
+    llc_ = std::make_unique<Llc>(cfg_.llc, cfg_.org.rowBytes,
+                                 cfg_.pinCapacity);
+
+    const std::uint32_t banksPerChannel =
+        cfg_.org.ranksPerChannel * cfg_.org.banksPerRank;
+
+    switch (cfg_.tracker) {
+      case TrackerKind::MisraGries: {
+        MisraGriesConfig t;
+        t.ts = cfg_.mit.ts();
+        t.actMaxPerEpoch = cfg_.actMaxPerEpoch();
+        t.channels = cfg_.org.channels;
+        t.banksPerChannel = banksPerChannel;
+        tracker_ = std::make_unique<MisraGriesTracker>(t);
+        break;
+      }
+      case TrackerKind::Hydra: {
+        HydraConfig t;
+        t.ts = cfg_.mit.ts();
+        t.channels = cfg_.org.channels;
+        t.banksPerChannel = banksPerChannel;
+        t.rowsPerBank = cfg_.org.rowsPerBank;
+        t.rctAccessCycles = timing_.tRC + timing_.tCAS + timing_.tBL;
+        auto hydra = std::make_unique<HydraTracker>(t);
+        hydra->setTrafficHook(
+            [this](std::uint32_t ch, std::uint32_t bank,
+                   MigrationJob job) {
+                ctrl_->scheduleMigration(ch, bank, std::move(job));
+            });
+        tracker_ = std::move(hydra);
+        break;
+      }
+      case TrackerKind::Cbt: {
+        CbtConfig t;
+        t.ts = cfg_.mit.ts();
+        t.rowsPerBank = cfg_.org.rowsPerBank;
+        t.channels = cfg_.org.channels;
+        t.banksPerChannel = banksPerChannel;
+        tracker_ = std::make_unique<CbtTracker>(t);
+        break;
+      }
+      case TrackerKind::TwiCe: {
+        TwiceConfig t;
+        t.ts = cfg_.mit.ts();
+        t.actMaxPerEpoch = cfg_.actMaxPerEpoch();
+        t.channels = cfg_.org.channels;
+        t.banksPerChannel = banksPerChannel;
+        tracker_ = std::make_unique<TwiceTracker>(t);
+        break;
+      }
+    }
+
+    switch (cfg_.mitigation) {
+      case MitigationKind::None:
+        mitigation_ = std::make_unique<NoMitigation>(*ctrl_, *tracker_,
+                                                     cfg_.mit);
+        break;
+      case MitigationKind::Rrs:
+        mitigation_ = std::make_unique<Rrs>(*ctrl_, *tracker_, cfg_.mit,
+                                            RrsConfig{true});
+        break;
+      case MitigationKind::RrsNoUnswap:
+        mitigation_ = std::make_unique<Rrs>(*ctrl_, *tracker_, cfg_.mit,
+                                            RrsConfig{false});
+        break;
+      case MitigationKind::Srs:
+        mitigation_ = std::make_unique<Srs>(*ctrl_, *tracker_, cfg_.mit,
+                                            cfg_.srsCfg);
+        break;
+      case MitigationKind::ScaleSrs: {
+        auto scale = std::make_unique<ScaleSrs>(
+            *ctrl_, *tracker_, cfg_.mit, cfg_.srsCfg, cfg_.scaleCfg);
+        scale->setPinHook([this](std::uint32_t ch, std::uint32_t bank,
+                                 RowId logical) {
+            const std::uint32_t rank = bank / cfg_.org.banksPerRank;
+            const std::uint32_t bankInRank =
+                bank % cfg_.org.banksPerRank;
+            const Addr base = ctrl_->addressMap().rowBaseAddr(
+                ch, rank, bankInRank, logical);
+            return llc_->pinRow(base);
+        });
+        mitigation_ = std::move(scale);
+        break;
+      }
+      case MitigationKind::BlockHammer:
+        mitigation_ = std::make_unique<BlockHammer>(
+            *ctrl_, *tracker_, cfg_.mit, cfg_.bhCfg);
+        break;
+      case MitigationKind::Aqua:
+        mitigation_ = std::make_unique<Aqua>(*ctrl_, *tracker_,
+                                             cfg_.mit, cfg_.aquaCfg);
+        break;
+    }
+
+    // The baseline runs without a listener: no remap, no tracking
+    // overheads — "a baseline that does not mitigate against RH".
+    if (cfg_.mitigation != MitigationKind::None)
+        ctrl_->setListener(mitigation_.get());
+
+    ctrl_->setReadCallback(
+        [this](const MemRequest &req) { onReadDone(req); });
+
+    traces_.resize(cfg_.numCores);
+    maxEpochActsPerBank_.assign(
+        static_cast<std::size_t>(cfg_.org.channels) * banksPerChannel,
+        0);
+}
+
+void
+System::setTrace(CoreId core, std::unique_ptr<TraceSource> trace)
+{
+    SRS_ASSERT(core < cfg_.numCores, "core index out of range");
+    traces_[core] = std::move(trace);
+}
+
+void
+System::onReadDone(const MemRequest &req)
+{
+    const auto it = outstanding_.find(req.id);
+    if (it == outstanding_.end())
+        return; // request issued by a non-core agent
+    const auto [core, token] = it->second;
+    outstanding_.erase(it);
+    cores_[core]->complete(token, now_);
+}
+
+CoreMemoryInterface::Outcome
+System::access(Addr addr, bool isWrite, CoreId core, std::uint64_t token,
+               Cycle now, Cycle &latencyOut)
+{
+    // The pin-buffer fronts everything (Section V-C): accesses to
+    // pinned rows never reach DRAM.
+    if (llc_->rowPinned(addr)) {
+        stats_.inc("pinned_absorbed");
+        latencyOut = cfg_.llcHitLatency;
+        // Record the hit in the LLC stats for visibility.
+        llc_->access(addr, isWrite);
+        return Outcome::Hit;
+    }
+
+    if (cfg_.modelLlc) {
+        // Make sure any writeback can be posted before mutating tags.
+        if (!ctrl_->canAccept(addr, isWrite) ||
+            !ctrl_->canAccept(addr, true)) {
+            return Outcome::Reject;
+        }
+        const LlcResult res = llc_->access(addr, isWrite);
+        if (res.writebackNeeded)
+            ctrl_->enqueue(res.writebackAddr, true, core, now);
+        if (res.hit) {
+            latencyOut = cfg_.llcHitLatency;
+            return Outcome::Hit;
+        }
+        if (isWrite) {
+            // No-allocate store miss: post the write to memory.
+            ctrl_->enqueue(addr, true, core, now);
+            latencyOut = 1;
+            return Outcome::Hit;
+        }
+        const std::uint64_t id = ctrl_->enqueue(addr, false, core, now);
+        outstanding_.emplace(id, std::make_pair(core, token));
+        return Outcome::Pending;
+    }
+
+    // USIMM mode: the trace is already a post-LLC miss stream.
+    if (!ctrl_->canAccept(addr, isWrite))
+        return Outcome::Reject;
+    if (isWrite) {
+        ctrl_->enqueue(addr, true, core, now);
+        latencyOut = 1;
+        return Outcome::Hit;
+    }
+    const std::uint64_t id = ctrl_->enqueue(addr, false, core, now);
+    outstanding_.emplace(id, std::make_pair(core, token));
+    return Outcome::Pending;
+}
+
+void
+System::onEpochBoundary()
+{
+    ++epochs_;
+    // Sample the Row Hammer ground truth before counters reset.
+    const std::uint32_t banksPerChannel =
+        cfg_.org.ranksPerChannel * cfg_.org.banksPerRank;
+    for (std::uint32_t ch = 0; ch < cfg_.org.channels; ++ch) {
+        for (std::uint32_t b = 0; b < banksPerChannel; ++b) {
+            const std::uint64_t acts =
+                ctrl_->bankAt(ch, b).maxActivations();
+            auto &cell = maxEpochActsPerBank_[
+                static_cast<std::size_t>(ch) * banksPerChannel + b];
+            cell = std::max(cell, acts);
+            maxEpochActs_ = std::max(maxEpochActs_, acts);
+        }
+    }
+    ctrl_->resetEpochCounters();
+    mitigation_->onEpochEnd(now_, epochLen_);
+
+    // Pinned rows are evicted at the refresh boundary; restore their
+    // contents with posted writes (one per row: the full-row restore
+    // is modelled at row granularity).
+    for (const Addr rowBase : llc_->unpinAll()) {
+        if (ctrl_->canAccept(rowBase, true))
+            ctrl_->enqueue(rowBase, true, 0, now_);
+        stats_.inc("pinned_rows_restored");
+    }
+}
+
+void
+System::run(Cycle cycles)
+{
+    // Lazily build cores on first run so all traces are attached.
+    if (cores_.empty()) {
+        for (CoreId c = 0; c < cfg_.numCores; ++c) {
+            SRS_ASSERT(traces_[c] != nullptr,
+                       "core ", c, " has no trace attached");
+            cores_.push_back(std::make_unique<Core>(c, cfg_.core,
+                                                    *traces_[c], *this));
+        }
+    }
+
+    const Cycle end = now_ + cycles;
+    const Cycle busClock = timing_.busClock;
+    while (now_ < end) {
+        for (auto &core : cores_)
+            core->tick(now_);
+        if (now_ % busClock == 0) {
+            ctrl_->tick(now_);
+            mitigation_->tick(now_);
+        }
+        if (now_ >= nextEpochAt_) {
+            onEpochBoundary();
+            nextEpochAt_ += epochLen_;
+        }
+        ++now_;
+    }
+}
+
+double
+System::aggregateIpc() const
+{
+    double total = 0.0;
+    for (const auto &core : cores_)
+        total += core->ipc(now_);
+    return total;
+}
+
+double
+System::coreIpc(CoreId core) const
+{
+    SRS_ASSERT(core < cores_.size(), "core index out of range");
+    return cores_[core]->ipc(now_);
+}
+
+std::uint64_t
+System::maxEpochActivations() const
+{
+    std::uint64_t best = maxEpochActs_;
+    const std::uint32_t banksPerChannel =
+        cfg_.org.ranksPerChannel * cfg_.org.banksPerRank;
+    for (std::uint32_t ch = 0; ch < cfg_.org.channels; ++ch) {
+        for (std::uint32_t b = 0; b < banksPerChannel; ++b) {
+            best = std::max(best,
+                            ctrl_->bankAt(ch, b).maxActivations());
+        }
+    }
+    return best;
+}
+
+std::uint64_t
+System::maxEpochActivationsAt(std::uint32_t channel,
+                              std::uint32_t bank) const
+{
+    const std::uint32_t banksPerChannel =
+        cfg_.org.ranksPerChannel * cfg_.org.banksPerRank;
+    // Include the in-progress epoch so short runs see live counts.
+    const std::uint64_t live =
+        ctrl_->bankAt(channel, bank).maxActivations();
+    return std::max(live, maxEpochActsPerBank_[
+        static_cast<std::size_t>(channel) * banksPerChannel + bank]);
+}
+
+} // namespace srs

@@ -1,0 +1,73 @@
+#include "trace/attack.hh"
+
+namespace srs
+{
+
+HammerTrace::HammerTrace(const AddressMap &map, std::uint32_t channel,
+                         std::uint32_t bank, RowId row, std::uint32_t gap)
+    : map_(map), base_(map.rowBaseAddr(channel, 0, bank, row)), gap_(gap)
+{
+}
+
+TraceRecord
+HammerTrace::next()
+{
+    const DramOrg &org = map_.org();
+    TraceRecord rec;
+    rec.nonMemGap = gap_;
+    rec.addr = base_ +
+        static_cast<Addr>(col_++ % org.linesPerRow()) * org.lineBytes;
+    rec.isWrite = false;
+    return rec;
+}
+
+JuggernautTrace::JuggernautTrace(const AddressMap &map,
+                                 std::uint32_t channel, std::uint32_t bank,
+                                 RowId aggrRow, std::uint32_t ts,
+                                 std::uint32_t rounds, std::uint64_t seed,
+                                 std::uint32_t gap)
+    : map_(map), channel_(channel), bank_(bank), aggrRow_(aggrRow),
+      ts_(ts), gap_(gap),
+      // Phase 1: 2*T_S - 1 initial activations plus T_S per biasing
+      // round (each round forces one unswap-swap on the aggressor).
+      biasAccessesLeft_(2ULL * ts - 1 +
+                        static_cast<std::uint64_t>(rounds) * ts),
+      rng_(seed)
+{
+}
+
+Addr
+JuggernautTrace::rowAddr(RowId row, std::uint32_t col) const
+{
+    const DramOrg &org = map_.org();
+    return map_.rowBaseAddr(channel_, 0, bank_, row) +
+        static_cast<Addr>(col % org.linesPerRow()) * org.lineBytes;
+}
+
+TraceRecord
+JuggernautTrace::next()
+{
+    TraceRecord rec;
+    rec.nonMemGap = gap_;
+    rec.isWrite = false;
+
+    if (biasAccessesLeft_ > 0) {
+        --biasAccessesLeft_;
+        rec.addr = rowAddr(aggrRow_, col_++);
+        return rec;
+    }
+
+    guessing_ = true;
+    if (guessAccessesLeft_ == 0) {
+        // Pick a fresh random row and hammer it T_S times.
+        guessRow_ = static_cast<RowId>(
+            rng_.nextBelow(map_.org().rowsPerBank));
+        guessAccessesLeft_ = ts_;
+        ++guesses_;
+    }
+    --guessAccessesLeft_;
+    rec.addr = rowAddr(guessRow_, col_++);
+    return rec;
+}
+
+} // namespace srs

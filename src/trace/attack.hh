@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Attacker access-pattern generators (Section III).
+ *
+ * HammerTrace issues back-to-back accesses to one logical row — the
+ * biasing phase of Juggernaut.  Because the attacker addresses the
+ * row *logically*, the stream keeps following the row through every
+ * swap the mitigation performs, forcing unswap-swap after unswap-swap
+ * and depositing latent activations at the row's original physical
+ * location (under RRS) or not (under SRS).
+ *
+ * JuggernautTrace composes the full two-phase pattern of Figure 5:
+ * N biasing rounds on the aggressor followed by random-guess rounds
+ * of T_S activations each.
+ */
+
+#ifndef SRS_TRACE_ATTACK_HH
+#define SRS_TRACE_ATTACK_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "dram/address.hh"
+
+namespace srs
+{
+
+/** Continuous single-row hammer with configurable spacing. */
+class HammerTrace : public TraceSource
+{
+  public:
+    /**
+     * @param map   address map
+     * @param channel/bank/row  logical target row
+     * @param gap   non-memory instructions between accesses.  The
+     *              default spaces accesses ~tRC apart, modelling the
+     *              clflush+fence serialization real Row Hammer
+     *              attacks use to force one ACT per access (without
+     *              it, FR-FCFS coalesces the stream into row hits).
+     */
+    HammerTrace(const AddressMap &map, std::uint32_t channel,
+                std::uint32_t bank, RowId row, std::uint32_t gap = 600);
+
+    TraceRecord next() override;
+
+    Addr targetRowBase() const { return base_; }
+
+  private:
+    const AddressMap &map_;
+    Addr base_;
+    std::uint32_t gap_;
+    std::uint32_t col_ = 0;
+};
+
+/** Two-phase Juggernaut pattern (Figure 5). */
+class JuggernautTrace : public TraceSource
+{
+  public:
+    /**
+     * @param map      address map
+     * @param channel/bank  attacked bank
+     * @param aggrRow  logical aggressor row
+     * @param ts       activations per round (T_S)
+     * @param rounds   biasing rounds (N) before random guessing
+     * @param seed     RNG seed for the guess sequence
+     * @param gap      access spacing (see HammerTrace)
+     */
+    JuggernautTrace(const AddressMap &map, std::uint32_t channel,
+                    std::uint32_t bank, RowId aggrRow, std::uint32_t ts,
+                    std::uint32_t rounds, std::uint64_t seed,
+                    std::uint32_t gap = 600);
+
+    TraceRecord next() override;
+
+    /** @return true once the biasing phase is over. */
+    bool guessing() const { return guessing_; }
+
+    /** Rows guessed so far in phase two. */
+    std::uint64_t guessesMade() const { return guesses_; }
+
+  private:
+    Addr rowAddr(RowId row, std::uint32_t col) const;
+
+    const AddressMap &map_;
+    std::uint32_t channel_;
+    std::uint32_t bank_;
+    RowId aggrRow_;
+    std::uint32_t ts_;
+    std::uint32_t gap_;
+    std::uint64_t biasAccessesLeft_;
+    Rng rng_;
+
+    bool guessing_ = false;
+    RowId guessRow_ = kInvalidRow;
+    std::uint32_t guessAccessesLeft_ = 0;
+    std::uint64_t guesses_ = 0;
+    std::uint32_t col_ = 0;
+};
+
+} // namespace srs
+
+#endif // SRS_TRACE_ATTACK_HH

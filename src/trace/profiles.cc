@@ -1,0 +1,134 @@
+#include "trace/profiles.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+/**
+ * The profile table.  Intensity and hot-row parameters are chosen so
+ * the benchmarks the paper singles out as swap-heavy at T_RH = 1200
+ * (gcc, hmmer, bzip2, zeusmp, astar, sphinx, xz_17, GUPS) have rows
+ * crossing T_S many times per epoch, while compute-bound codes
+ * (swaptions, freqmine, ...) barely touch memory.
+ */
+std::vector<WorkloadProfile>
+buildProfiles()
+{
+    std::vector<WorkloadProfile> p;
+    auto add = [&p](const char *name, const char *suite, double gap,
+                    double hotProb, std::uint32_t hotRows, double skew,
+                    std::uint64_t fpMB, double stream, double wf) {
+        p.push_back(WorkloadProfile{name, suite, gap, hotProb, hotRows,
+                                    skew, fpMB, stream, wf});
+    };
+
+    // name, suite, avgGap, hotProb, hotRows, hotSkew, fpMB, stream, wr
+    add("gups", "GUPS", 1.0, 0.75, 2, 0.60, 64, 0.00, 0.50);
+
+    add("gcc", "SPEC2K6", 8.0, 0.50, 6, 0.35, 96, 0.35, 0.30);
+    add("hmmer", "SPEC2K6", 7.0, 0.40, 6, 0.30, 24, 0.50, 0.25);
+    add("bzip2", "SPEC2K6", 9.0, 0.35, 8, 0.30, 48, 0.40, 0.30);
+    add("zeusmp", "SPEC2K6", 10.0, 0.32, 8, 0.30, 128, 0.60, 0.30);
+    add("astar", "SPEC2K6", 11.0, 0.30, 8, 0.30, 64, 0.20, 0.25);
+    add("sphinx3", "SPEC2K6", 10.0, 0.30, 8, 0.30, 80, 0.30, 0.20);
+    add("mcf", "SPEC2K6", 6.0, 0.04, 32, 0.40, 384, 0.10, 0.25);
+    add("lbm", "SPEC2K6", 8.0, 0.05, 8, 0.40, 256, 0.90, 0.45);
+    add("libquantum", "SPEC2K6", 9.0, 0.04, 4, 0.50, 128, 0.95, 0.25);
+    add("omnetpp", "SPEC2K6", 13.0, 0.12, 24, 0.35, 160, 0.15, 0.30);
+    add("milc", "SPEC2K6", 11.0, 0.06, 8, 0.40, 192, 0.70, 0.35);
+    add("soplex", "SPEC2K6", 10.0, 0.10, 16, 0.35, 224, 0.40, 0.25);
+
+    add("xz_17", "SPEC2K17", 7.0, 0.40, 6, 0.30, 64, 0.30, 0.35);
+    add("gcc_17", "SPEC2K17", 14.0, 0.10, 20, 0.30, 96, 0.35, 0.30);
+    add("mcf_17", "SPEC2K17", 7.0, 0.08, 32, 0.40, 320, 0.10, 0.25);
+    add("lbm_17", "SPEC2K17", 8.0, 0.05, 8, 0.40, 256, 0.90, 0.45);
+    add("cam4_17", "SPEC2K17", 22.0, 0.10, 12, 0.35, 96, 0.50, 0.30);
+    add("fotonik3d_17", "SPEC2K17", 12.0, 0.04, 4, 0.50, 192, 0.92, 0.40);
+
+    add("bc", "GAP", 6.0, 0.08, 48, 0.15, 256, 0.05, 0.20);
+    add("bfs", "GAP", 7.0, 0.07, 40, 0.15, 256, 0.05, 0.15);
+    add("cc", "GAP", 8.0, 0.06, 40, 0.18, 224, 0.05, 0.15);
+    add("pr", "GAP", 5.0, 0.09, 64, 0.12, 320, 0.05, 0.25);
+    add("sssp", "GAP", 7.0, 0.07, 48, 0.15, 256, 0.05, 0.20);
+    add("tc", "GAP", 9.0, 0.05, 32, 0.20, 192, 0.05, 0.10);
+
+    add("comm1", "COMMERCIAL", 20.0, 0.06, 24, 0.30, 128, 0.20, 0.35);
+    add("comm2", "COMMERCIAL", 26.0, 0.10, 16, 0.30, 96, 0.25, 0.35);
+    add("comm3", "COMMERCIAL", 30.0, 0.08, 16, 0.35, 128, 0.20, 0.30);
+    add("comm4", "COMMERCIAL", 24.0, 0.06, 20, 0.30, 160, 0.15, 0.40);
+    add("comm5", "COMMERCIAL", 34.0, 0.05, 8, 0.40, 96, 0.30, 0.30);
+
+    add("canneal", "PARSEC", 12.0, 0.07, 32, 0.30, 384, 0.05, 0.25);
+    add("facesim", "PARSEC", 24.0, 0.08, 12, 0.35, 128, 0.55, 0.35);
+    add("ferret", "PARSEC", 28.0, 0.06, 8, 0.40, 96, 0.35, 0.25);
+    add("fluidanimate", "PARSEC", 26.0, 0.06, 8, 0.40, 128, 0.60, 0.35);
+    add("freqmine", "PARSEC", 60.0, 0.02, 4, 0.50, 64, 0.40, 0.20);
+    add("streamcluster", "PARSEC", 10.0, 0.03, 4, 0.50, 160, 0.95, 0.20);
+    add("swaptions", "PARSEC", 120.0, 0.00, 0, 0.50, 16, 0.50, 0.20);
+
+    add("mummer", "BIOBENCH", 7.0, 0.09, 24, 0.25, 192, 0.15, 0.15);
+    add("tigr", "BIOBENCH", 9.0, 0.07, 20, 0.30, 160, 0.20, 0.15);
+
+    return p;
+}
+
+} // namespace
+
+const std::vector<WorkloadProfile> &
+allProfiles()
+{
+    static const std::vector<WorkloadProfile> table = buildProfiles();
+    return table;
+}
+
+const WorkloadProfile &
+profileByName(const std::string &name)
+{
+    for (const WorkloadProfile &p : allProfiles()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown workload profile: ", name);
+}
+
+std::vector<WorkloadProfile>
+profilesOfSuite(const std::string &suite)
+{
+    std::vector<WorkloadProfile> out;
+    for (const WorkloadProfile &p : allProfiles()) {
+        if (p.suite == suite)
+            out.push_back(p);
+    }
+    if (out.empty())
+        fatal("unknown suite: ", suite);
+    return out;
+}
+
+const std::vector<std::string> &
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "GUPS", "SPEC2K6", "SPEC2K17", "GAP",
+        "COMMERCIAL", "PARSEC", "BIOBENCH",
+    };
+    return names;
+}
+
+std::vector<WorkloadProfile>
+mixWorkload(std::uint32_t index, std::uint32_t cores)
+{
+    const auto &pool = allProfiles();
+    Rng rng(0xC0FFEE00ULL + index);
+    std::vector<WorkloadProfile> out;
+    out.reserve(cores);
+    for (std::uint32_t c = 0; c < cores; ++c)
+        out.push_back(pool[rng.nextBelow(pool.size())]);
+    return out;
+}
+
+} // namespace srs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Named workload profiles standing in for the paper's Pin traces.
+ *
+ * The paper drives USIMM with post-cache memory traces of SPEC2006,
+ * SPEC2017, GAP, COMMERCIAL, PARSEC and BIOBENCH (Section VI).  Those
+ * traces are not redistributable, so each benchmark is represented by
+ * a deterministic synthetic profile whose knobs control exactly the
+ * properties the row-swap mechanisms are sensitive to:
+ *
+ *  - avgGap:       non-memory instructions per memory access
+ *                  (memory intensity)
+ *  - hotProb:      fraction of accesses landing in a small hot-row
+ *                  set (drives rows past T_S and forces swaps)
+ *  - hotRows:      hot-set size; with hotSkew, sets how many rows
+ *                  cross a given activation threshold per epoch
+ *  - hotSkew:      geometric weighting so the hottest rows see
+ *                  multiples of the T_S threshold
+ *  - footprintMB:  background working set per core
+ *  - streamProb:   background sequential (row-streaming) fraction
+ *  - writeFrac:    store ratio
+ */
+
+#ifndef SRS_TRACE_PROFILES_HH
+#define SRS_TRACE_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace srs
+{
+
+/** Tunable description of one benchmark's memory behaviour. */
+struct WorkloadProfile
+{
+    std::string name;
+    std::string suite;
+    double avgGap = 30.0;
+    double hotProb = 0.0;
+    std::uint32_t hotRows = 0;
+    double hotSkew = 0.5;
+    std::uint64_t footprintMB = 64;
+    double streamProb = 0.5;
+    double writeFrac = 0.3;
+};
+
+/** All built-in benchmark profiles (39 workloads across 7 suites). */
+const std::vector<WorkloadProfile> &allProfiles();
+
+/** Look up one profile by name; fatal() when unknown. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** Profiles belonging to @p suite (GUPS/SPEC2K6/.../BIOBENCH). */
+std::vector<WorkloadProfile> profilesOfSuite(const std::string &suite);
+
+/** Distinct suite names in presentation order (matches the figures). */
+const std::vector<std::string> &suiteNames();
+
+/**
+ * Compose a MIX workload: per-core profiles drawn deterministically
+ * (seeded by @p index) from the single-benchmark pool.
+ */
+std::vector<WorkloadProfile> mixWorkload(std::uint32_t index,
+                                         std::uint32_t cores);
+
+} // namespace srs
+
+#endif // SRS_TRACE_PROFILES_HH

@@ -1,0 +1,114 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+SyntheticTrace::SyntheticTrace(const WorkloadProfile &profile,
+                               const AddressMap &map, CoreId core,
+                               std::uint64_t seed)
+    : profile_(profile), map_(map), core_(core),
+      rng_(seed ^ (0x9E3779B9ULL * (core + 1)))
+{
+    const DramOrg &org = map_.org();
+    const std::uint64_t fpBytes = profile_.footprintMB * 1024 * 1024;
+    if (fpBytes == 0)
+        fatal("workload footprint must be nonzero");
+    if (fpBytes * 8 > org.capacityBytes())
+        fatal("workload footprint exceeds memory capacity");
+    footprintBase_ = static_cast<Addr>(core_) * fpBytes;
+    footprintLines_ = fpBytes / org.lineBytes;
+
+    // Hot rows live in a per-core band high in the row space —
+    // below the top 2%, so defenses that reserve the top of the
+    // bank (AQUA's quarantine region) never collide with them — and
+    // above the streaming footprints, so the bands see only their
+    // own traffic.
+    const std::uint32_t spread = org.channels * org.banksPerRank;
+    constexpr std::uint32_t maxBandRows = 64;
+    SRS_ASSERT(profile_.hotRows <= maxBandRows * spread,
+               "hot set too large for the per-core row band");
+    for (std::uint32_t j = 0; j < profile_.hotRows; ++j) {
+        // Offset the bank walk by core so rate-mode copies do not
+        // pile their hot rows into the same few banks (which would
+        // cap per-row activation rates at tRC / cores).
+        const std::uint32_t slot = core_ * 7 + j;
+        const std::uint32_t channel = slot % org.channels;
+        const std::uint32_t bank =
+            (slot / org.channels) % org.banksPerRank;
+        const RowId bandTop = org.rowsPerBank -
+            org.rowsPerBank / 50 - 1;
+        const RowId row = bandTop - (core_ * maxBandRows + j / spread);
+        hotBases_.push_back(map_.rowBaseAddr(channel, 0, bank, row));
+        hotCol_.push_back(0);
+    }
+
+    // Geometric skew: the hottest row gets ~1/skew^2 times the
+    // coldest row's share, decaying smoothly across the set.
+    double acc = 0.0;
+    for (std::uint32_t j = 0; j < profile_.hotRows; ++j) {
+        const double expo = profile_.hotRows <= 1
+            ? 0.0
+            : 2.0 * static_cast<double>(j) /
+                  static_cast<double>(profile_.hotRows);
+        acc += std::pow(std::max(profile_.hotSkew, 1e-3), expo);
+        hotCdf_.push_back(acc);
+    }
+    for (double &v : hotCdf_)
+        v /= acc;
+}
+
+TraceRecord
+SyntheticTrace::next()
+{
+    TraceRecord rec;
+    // Exponentially distributed non-memory run length.
+    const double u = rng_.nextDouble();
+    rec.nonMemGap = static_cast<std::uint32_t>(
+        std::min(-profile_.avgGap * std::log1p(-u), 100000.0));
+
+    const double pick = rng_.nextDouble();
+    if (!hotBases_.empty() && pick < profile_.hotProb) {
+        rec.addr = pickHotAddr();
+    } else if (rng_.nextDouble() < profile_.streamProb) {
+        rec.addr = pickStreamAddr();
+    } else {
+        rec.addr = pickRandomAddr();
+    }
+    rec.isWrite = rng_.nextBool(profile_.writeFrac);
+    return rec;
+}
+
+Addr
+SyntheticTrace::pickHotAddr()
+{
+    const double u = rng_.nextDouble();
+    const auto it = std::lower_bound(hotCdf_.begin(), hotCdf_.end(), u);
+    const std::size_t j = static_cast<std::size_t>(
+        std::min<std::ptrdiff_t>(it - hotCdf_.begin(),
+                                 static_cast<std::ptrdiff_t>(
+                                     hotCdf_.size() - 1)));
+    const DramOrg &org = map_.org();
+    const std::uint32_t col = hotCol_[j]++ % org.linesPerRow();
+    return hotBases_[j] + static_cast<Addr>(col) * org.lineBytes;
+}
+
+Addr
+SyntheticTrace::pickStreamAddr()
+{
+    const Addr line = streamCursor_++ % footprintLines_;
+    return footprintBase_ + line * map_.org().lineBytes;
+}
+
+Addr
+SyntheticTrace::pickRandomAddr()
+{
+    const Addr line = rng_.nextBelow(footprintLines_);
+    return footprintBase_ + line * map_.org().lineBytes;
+}
+
+} // namespace srs

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic synthetic trace generator implementing TraceSource.
+ *
+ * Produces a post-cache memory access stream for one core from a
+ * WorkloadProfile.  Address streams have three components:
+ *
+ *  1. hot-row accesses: a small set of (bank, row) targets placed at
+ *     the top of the row space, selected with geometric skew and
+ *     visited column-round-robin — these are the rows that cross T_S
+ *     and exercise the swap machinery;
+ *  2. background streaming: a sequential sweep through the core's
+ *     private footprint (row-buffer-friendly, ACT per line under the
+ *     closed-page policy);
+ *  3. background random: uniform lines in the footprint.
+ */
+
+#ifndef SRS_TRACE_SYNTHETIC_HH
+#define SRS_TRACE_SYNTHETIC_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "cpu/core.hh"
+#include "dram/address.hh"
+#include "trace/profiles.hh"
+
+namespace srs
+{
+
+/** Per-core synthetic trace. */
+class SyntheticTrace : public TraceSource
+{
+  public:
+    /**
+     * @param profile behavioural knobs
+     * @param map     system address map (for hot-row placement)
+     * @param core    core index (offsets footprint and hot set)
+     * @param seed    RNG seed; same seed -> identical stream
+     */
+    SyntheticTrace(const WorkloadProfile &profile, const AddressMap &map,
+                   CoreId core, std::uint64_t seed);
+
+    TraceRecord next() override;
+
+    /** Hot-row targets chosen for this core (for tests/analysis). */
+    const std::vector<Addr> &hotRowBases() const { return hotBases_; }
+
+  private:
+    Addr pickHotAddr();
+    Addr pickStreamAddr();
+    Addr pickRandomAddr();
+
+    WorkloadProfile profile_;
+    const AddressMap &map_;
+    CoreId core_;
+    Rng rng_;
+
+    Addr footprintBase_ = 0;
+    std::uint64_t footprintLines_ = 0;
+    std::uint64_t streamCursor_ = 0;
+
+    std::vector<Addr> hotBases_;       ///< row base address per hot row
+    std::vector<double> hotCdf_;       ///< geometric-skew CDF
+    std::vector<std::uint32_t> hotCol_;///< per-row column cursor
+};
+
+} // namespace srs
+
+#endif // SRS_TRACE_SYNTHETIC_HH

@@ -1,0 +1,127 @@
+#include "trace/trace_file.hh"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+TraceWriter::TraceWriter(const std::string &path)
+    : out_(new std::ofstream(path))
+{
+    if (!out_->is_open())
+        fatal("trace writer: cannot create '%s'", path.c_str());
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+    delete out_;
+    out_ = nullptr;
+}
+
+void
+TraceWriter::append(const TraceRecord &rec, Addr pc)
+{
+    SRS_ASSERT(out_ != nullptr && out_->is_open(),
+               "append on a closed trace writer");
+    (*out_) << rec.nonMemGap << ' ' << (rec.isWrite ? 'W' : 'R')
+            << " 0x" << std::hex << rec.addr;
+    if (!rec.isWrite)
+        (*out_) << " 0x" << pc;
+    (*out_) << std::dec << '\n';
+    ++records_;
+}
+
+void
+TraceWriter::close()
+{
+    if (out_ != nullptr && out_->is_open()) {
+        out_->flush();
+        out_->close();
+    }
+}
+
+bool
+parseTraceLine(const std::string &line, TraceRecord &out,
+               const std::string &context)
+{
+    std::size_t i = 0;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+    }
+    if (i == line.size() || line[i] == '#')
+        return false;
+
+    std::istringstream is(line);
+    std::uint64_t gap = 0;
+    std::string op;
+    std::string addr;
+    if (!(is >> gap >> op >> addr))
+        fatal("%s: malformed trace line '%s'", context.c_str(),
+              line.c_str());
+    if (op != "R" && op != "W")
+        fatal("%s: bad op '%s' (want R or W)", context.c_str(),
+              op.c_str());
+
+    out.nonMemGap = static_cast<std::uint32_t>(gap);
+    out.isWrite = (op == "W");
+    try {
+        out.addr = std::stoull(addr, nullptr, 16);
+    } catch (const std::exception &) {
+        fatal("%s: bad address '%s'", context.c_str(), addr.c_str());
+    }
+    // Reads carry a PC column; it is optional and unused here.
+    return true;
+}
+
+FileTrace::FileTrace(const std::string &path, bool loop)
+    : loop_(loop)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        fatal("file trace: cannot open '%s'", path.c_str());
+    std::string line;
+    std::uint64_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        TraceRecord rec;
+        const std::string context =
+            path + ":" + std::to_string(lineNo);
+        if (parseTraceLine(line, rec, context))
+            records_.push_back(rec);
+    }
+    if (records_.empty())
+        fatal("file trace: '%s' contains no records", path.c_str());
+}
+
+FileTrace::FileTrace(std::vector<TraceRecord> records, bool loop)
+    : records_(std::move(records)), loop_(loop)
+{
+    if (records_.empty())
+        fatal("file trace: no records");
+}
+
+TraceRecord
+FileTrace::next()
+{
+    if (cursor_ == records_.size()) {
+        if (!loop_) {
+            // Exhausted non-looping trace: emit pure compute so the
+            // core idles without touching memory again.
+            TraceRecord idle;
+            idle.nonMemGap = 1000;
+            idle.addr = kInvalidAddr;
+            return idle;
+        }
+        cursor_ = 0;
+        ++wraps_;
+    }
+    return records_[cursor_++];
+}
+
+} // namespace srs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * USIMM-format trace file reader and writer.
+ *
+ * The paper's artifact consumes Pin-captured, cache-filtered memory
+ * traces in the USIMM text format, one access per line:
+ *
+ *     <gap> R <hex-address> <hex-pc>
+ *     <gap> W <hex-address>
+ *
+ * where <gap> is the number of non-memory instructions preceding
+ * the access.  Lines starting with '#' and blank lines are skipped.
+ * This module lets users bring their own Pin/DynamoRIO traces to
+ * the simulator (the artifact's workflow) and lets the synthetic
+ * generator export reproducible workloads.
+ *
+ * FileTrace loads the whole file and replays it as a TraceSource;
+ * like USIMM's rate mode it loops back to the beginning when the
+ * trace is exhausted.
+ */
+
+#ifndef SRS_TRACE_TRACE_FILE_HH
+#define SRS_TRACE_TRACE_FILE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+
+namespace srs
+{
+
+/** Writes TraceRecords in USIMM text format. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() when it cannot be created. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record (@p pc is emitted for reads only). */
+    void append(const TraceRecord &rec, Addr pc = 0);
+
+    /** Flush and close; further appends are invalid. */
+    void close();
+
+    std::uint64_t recordsWritten() const { return records_; }
+
+  private:
+    std::ofstream *out_;
+    std::uint64_t records_ = 0;
+};
+
+/** In-memory replay of a USIMM-format trace file. */
+class FileTrace : public TraceSource
+{
+  public:
+    /**
+     * Parse @p path eagerly; fatal() on I/O errors or malformed
+     * lines (the line number is reported).
+     * @param loop  wrap to the start when exhausted (rate mode);
+     *              when false, the source repeats a terminal
+     *              non-memory gap forever after the last record
+     */
+    explicit FileTrace(const std::string &path, bool loop = true);
+
+    /** Build directly from records (tests, programmatic use). */
+    explicit FileTrace(std::vector<TraceRecord> records,
+                       bool loop = true);
+
+    TraceRecord next() override;
+
+    std::size_t size() const { return records_.size(); }
+    std::uint64_t wraps() const { return wraps_; }
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+    std::size_t cursor_ = 0;
+    bool loop_;
+    std::uint64_t wraps_ = 0;
+};
+
+/**
+ * Parse one USIMM trace line into @p out.
+ * @return false for blank/comment lines; fatal() on malformed input
+ *         (@p context names the source for the error message)
+ */
+bool parseTraceLine(const std::string &line, TraceRecord &out,
+                    const std::string &context);
+
+} // namespace srs
+
+#endif // SRS_TRACE_TRACE_FILE_HH

@@ -1,0 +1,137 @@
+#include "tracker/cbt.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+CbtTracker::CbtTracker(const CbtConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.ts == 0)
+        fatal("cbt: T_S must be nonzero");
+    if (cfg_.maxCounters < 2)
+        fatal("cbt: need at least two counters per bank");
+    if (cfg_.splitFraction <= 0.0 || cfg_.splitFraction > 1.0)
+        fatal("cbt: split fraction must be in (0, 1]");
+    if (cfg_.rowsPerBank < 2)
+        fatal("cbt: bank needs at least two rows");
+    trees_.resize(static_cast<std::size_t>(cfg_.channels) *
+                  cfg_.banksPerChannel);
+    resetEpoch();
+}
+
+CbtTracker::BankTree &
+CbtTracker::tree(std::uint32_t channel, std::uint32_t bank)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(channel) * cfg_.banksPerChannel + bank;
+    SRS_ASSERT(idx < trees_.size(), "bank index out of range");
+    return trees_[idx];
+}
+
+const CbtTracker::BankTree &
+CbtTracker::tree(std::uint32_t channel, std::uint32_t bank) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(channel) * cfg_.banksPerChannel + bank;
+    SRS_ASSERT(idx < trees_.size(), "bank index out of range");
+    return trees_[idx];
+}
+
+std::size_t
+CbtTracker::leafIndex(const BankTree &t, RowId row)
+{
+    // Leaves are sorted by lo and cover the row space: binary search
+    // for the first leaf whose hi >= row.
+    const auto it = std::lower_bound(
+        t.leaves.begin(), t.leaves.end(), row,
+        [](const Leaf &leaf, RowId r) { return leaf.hi < r; });
+    SRS_ASSERT(it != t.leaves.end() && it->lo <= row && row <= it->hi,
+               "cbt leaves lost coverage");
+    return static_cast<std::size_t>(it - t.leaves.begin());
+}
+
+bool
+CbtTracker::recordActivation(std::uint32_t channel, std::uint32_t bank,
+                             RowId physRow, Cycle now)
+{
+    (void)now;
+    SRS_ASSERT(physRow < cfg_.rowsPerBank, "row out of range");
+    BankTree &t = tree(channel, bank);
+    std::size_t i = leafIndex(t, physRow);
+    Leaf *leaf = &t.leaves[i];
+    ++leaf->count;
+
+    const auto splitAt = static_cast<std::uint64_t>(
+        cfg_.splitFraction * cfg_.ts);
+    // Narrow hot ranges while counter budget remains.  Children
+    // inherit the parent count so the estimate never under-counts.
+    while (leaf->lo != leaf->hi &&
+           leaf->count >= std::max<std::uint64_t>(1, splitAt) &&
+           t.leaves.size() < cfg_.maxCounters) {
+        const RowId mid = leaf->lo + (leaf->hi - leaf->lo) / 2;
+        Leaf right{static_cast<RowId>(mid + 1), leaf->hi, leaf->count};
+        leaf->hi = mid;
+        t.leaves.insert(t.leaves.begin() +
+                            static_cast<std::ptrdiff_t>(i) + 1,
+                        right);
+        stats_.inc("splits");
+        if (physRow > mid)
+            ++i;
+        leaf = &t.leaves[i];
+    }
+
+    if (leaf->lo == leaf->hi && leaf->count >= cfg_.ts) {
+        leaf->count = 0;
+        stats_.inc("triggers");
+        return true;
+    }
+    if (leaf->lo != leaf->hi && leaf->count >= cfg_.ts) {
+        // Out of counters: the range can no longer narrow, so fire
+        // conservatively on the accessed row (a granularity false
+        // positive, counted separately for analysis).
+        leaf->count = 0;
+        stats_.inc("coarse_triggers");
+        return true;
+    }
+    return false;
+}
+
+void
+CbtTracker::resetEpoch()
+{
+    for (BankTree &t : trees_) {
+        t.leaves.clear();
+        t.leaves.push_back(
+            Leaf{0, static_cast<RowId>(cfg_.rowsPerBank - 1), 0});
+    }
+    stats_.inc("epoch_resets");
+}
+
+std::uint64_t
+CbtTracker::storageBitsPerBank() const
+{
+    // Each counter: two row-range bounds (17 bits each) plus a
+    // 13-bit count (T_S < 8192 in every configuration evaluated).
+    return static_cast<std::uint64_t>(cfg_.maxCounters) *
+           (2 * 17 + 13);
+}
+
+std::uint32_t
+CbtTracker::leavesAt(std::uint32_t channel, std::uint32_t bank) const
+{
+    return static_cast<std::uint32_t>(tree(channel, bank).leaves.size());
+}
+
+std::uint64_t
+CbtTracker::countOf(std::uint32_t channel, std::uint32_t bank,
+                    RowId physRow) const
+{
+    const BankTree &t = tree(channel, bank);
+    return t.leaves[leafIndex(t, physRow)].count;
+}
+
+} // namespace srs

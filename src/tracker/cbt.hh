@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CBT — Counter-Based Tree aggressor tracker (Seyedzadeh et al.,
+ * ISCA 2018; paper Section IX-B).
+ *
+ * CBT tracks activations with a small adaptive binary tree per
+ * bank: each leaf counter covers a contiguous range of rows.  A
+ * counter that grows hot *splits*, halving its range and focusing
+ * resolution where the activity is; the split children inherit the
+ * parent's count (never under-counting, like the counting Bloom
+ * filter).  When every row of a leaf's range could not individually
+ * have crossed T_S the leaf stays coarse and cheap.
+ *
+ * A leaf whose range has narrowed to a single row and whose count
+ * reaches T_S fires the mitigation trigger.  All counters reset at
+ * the epoch boundary (the tree collapses back to the root).
+ *
+ * Compared to Misra-Gries the tree needs far fewer counters, at the
+ * cost of range-granularity false positives early in an epoch —
+ * both properties are covered by tests and visible in the stats.
+ */
+
+#ifndef SRS_TRACKER_CBT_HH
+#define SRS_TRACKER_CBT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "tracker/tracker.hh"
+
+namespace srs
+{
+
+/** Configuration for the CBT tracker. */
+struct CbtConfig
+{
+    std::uint32_t ts = 800;          ///< trigger threshold T_S
+    std::uint32_t maxCounters = 256; ///< counters per bank
+    std::uint32_t rowsPerBank = 128 * 1024;
+    std::uint32_t channels = 2;
+    std::uint32_t banksPerChannel = 16;
+
+    /** Split a leaf when its count reaches splitFraction * T_S. */
+    double splitFraction = 0.5;
+};
+
+/** Per-bank adaptive counter-tree tracking. */
+class CbtTracker : public AggressorTracker
+{
+  public:
+    explicit CbtTracker(const CbtConfig &cfg);
+
+    bool recordActivation(std::uint32_t channel, std::uint32_t bank,
+                          RowId physRow, Cycle now) override;
+    void resetEpoch() override;
+    std::uint64_t storageBitsPerBank() const override;
+    const char *name() const override { return "cbt"; }
+
+    /** Live leaves in one bank's tree (tests/analysis). */
+    std::uint32_t leavesAt(std::uint32_t channel,
+                           std::uint32_t bank) const;
+
+    /** Count currently accumulated for the leaf covering a row. */
+    std::uint64_t countOf(std::uint32_t channel, std::uint32_t bank,
+                          RowId physRow) const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    /** One leaf: a row range [lo, hi] with a shared counter. */
+    struct Leaf
+    {
+        RowId lo;
+        RowId hi;
+        std::uint64_t count;
+    };
+
+    struct BankTree
+    {
+        std::vector<Leaf> leaves;  ///< sorted, disjoint, covering
+    };
+
+    BankTree &tree(std::uint32_t channel, std::uint32_t bank);
+    const BankTree &tree(std::uint32_t channel,
+                         std::uint32_t bank) const;
+    static std::size_t leafIndex(const BankTree &t, RowId row);
+
+    CbtConfig cfg_;
+    std::vector<BankTree> trees_;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_TRACKER_CBT_HH

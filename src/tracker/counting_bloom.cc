@@ -1,0 +1,144 @@
+#include "tracker/counting_bloom.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+/** Stateless 64-bit mix (splitmix64 finalizer). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+CountingBloom::CountingBloom(const CountingBloomConfig &cfg,
+                             std::uint64_t seed)
+    : cfg_(cfg)
+{
+    if (cfg_.counters == 0 ||
+        (cfg_.counters & (cfg_.counters - 1)) != 0) {
+        fatal("counting bloom: counters must be a power of two");
+    }
+    if (cfg_.hashes == 0 || cfg_.hashes > 8)
+        fatal("counting bloom: need 1-8 hash functions");
+    if (cfg_.counterBits == 0 || cfg_.counterBits > 32)
+        fatal("counting bloom: counter width must be 1-32 bits");
+    mask_ = cfg_.counters - 1;
+    maxCount_ = cfg_.counterBits >= 32
+        ? ~0u
+        : (1u << cfg_.counterBits) - 1;
+    counts_.assign(cfg_.counters, 0);
+    Rng rng(seed);
+    seeds_.reserve(cfg_.hashes);
+    for (std::uint32_t h = 0; h < cfg_.hashes; ++h)
+        seeds_.push_back(rng.next() | 1);
+}
+
+std::uint32_t
+CountingBloom::indexOf(RowId key, std::uint32_t hash) const
+{
+    return static_cast<std::uint32_t>(mix64(key ^ seeds_[hash])) & mask_;
+}
+
+std::uint32_t
+CountingBloom::insert(RowId key)
+{
+    ++inserts_;
+    std::uint32_t minBefore = ~0u;
+    for (std::uint32_t h = 0; h < cfg_.hashes; ++h)
+        minBefore = std::min(minBefore, counts_[indexOf(key, h)]);
+    std::uint32_t minAfter = ~0u;
+    for (std::uint32_t h = 0; h < cfg_.hashes; ++h) {
+        std::uint32_t &slot = counts_[indexOf(key, h)];
+        if (cfg_.conservativeUpdate && slot != minBefore) {
+            // Conservative update: a counter above the current
+            // minimum already over-counts this key; bumping it again
+            // would only loosen the estimate.
+            minAfter = std::min(minAfter, slot);
+            continue;
+        }
+        if (slot < maxCount_)
+            ++slot;
+        minAfter = std::min(minAfter, slot);
+    }
+    return minAfter;
+}
+
+std::uint32_t
+CountingBloom::estimate(RowId key) const
+{
+    std::uint32_t est = ~0u;
+    for (std::uint32_t h = 0; h < cfg_.hashes; ++h)
+        est = std::min(est, counts_[indexOf(key, h)]);
+    return est;
+}
+
+void
+CountingBloom::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    inserts_ = 0;
+}
+
+std::uint64_t
+CountingBloom::storageBits() const
+{
+    return static_cast<std::uint64_t>(cfg_.counters) * cfg_.counterBits;
+}
+
+DualCountingBloom::DualCountingBloom(const CountingBloomConfig &cfg,
+                                     std::uint64_t seed)
+    : filters_{CountingBloom(cfg, mix64(seed)),
+               CountingBloom(cfg, mix64(seed + 1))}
+{
+}
+
+std::uint32_t
+DualCountingBloom::insert(RowId key)
+{
+    filters_[active_].insert(key);
+    return estimate(key);
+}
+
+std::uint32_t
+DualCountingBloom::estimate(RowId key) const
+{
+    return std::max(filters_[0].estimate(key),
+                    filters_[1].estimate(key));
+}
+
+void
+DualCountingBloom::rotate()
+{
+    const std::uint32_t passive = active_ ^ 1u;
+    filters_[passive].clear();
+    active_ = passive;
+    ++rotations_;
+}
+
+void
+DualCountingBloom::clearAll()
+{
+    filters_[0].clear();
+    filters_[1].clear();
+}
+
+std::uint64_t
+DualCountingBloom::storageBits() const
+{
+    return filters_[0].storageBits() + filters_[1].storageBits();
+}
+
+} // namespace srs

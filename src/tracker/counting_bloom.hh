@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Counting Bloom filters — the tracking substrate of BlockHammer
+ * (Yaglikci et al., HPCA 2021; paper Section IX-A).
+ *
+ * A counting Bloom filter over-approximates per-row activation
+ * counts in bounded SRAM: each insert increments k hashed counters
+ * and the estimate of a key is the minimum of its counters, so the
+ * estimate never under-counts (the property BlockHammer's safety
+ * argument rests on).  The optional conservative-update policy only
+ * bumps the counters that equal the current minimum, tightening the
+ * over-approximation at no storage cost.
+ *
+ * DualCountingBloom time-interleaves two filters so history always
+ * spans at least one full blacklisting window: the active filter
+ * absorbs inserts, estimates take the maximum over both, and at
+ * every window boundary the passive filter is cleared and the roles
+ * swap.
+ */
+
+#ifndef SRS_TRACKER_COUNTING_BLOOM_HH
+#define SRS_TRACKER_COUNTING_BLOOM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** Sizing and policy knobs for one counting Bloom filter. */
+struct CountingBloomConfig
+{
+    std::uint32_t counters = 8192;   ///< counter array size (pow2)
+    std::uint32_t hashes = 4;        ///< k
+    std::uint32_t counterBits = 16;  ///< saturation width
+    bool conservativeUpdate = true;  ///< bump only min counters
+};
+
+/** One counting Bloom filter over RowId keys. */
+class CountingBloom
+{
+  public:
+    CountingBloom(const CountingBloomConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Record one occurrence of @p key.
+     * @return the key's post-insert estimate
+     */
+    std::uint32_t insert(RowId key);
+
+    /** Over-approximate occurrence count of @p key. */
+    std::uint32_t estimate(RowId key) const;
+
+    /** Zero all counters. */
+    void clear();
+
+    /** Inserts since the last clear. */
+    std::uint64_t inserts() const { return inserts_; }
+
+    /** SRAM bits: counters x counter width. */
+    std::uint64_t storageBits() const;
+
+    const CountingBloomConfig &config() const { return cfg_; }
+
+  private:
+    std::uint32_t indexOf(RowId key, std::uint32_t hash) const;
+
+    CountingBloomConfig cfg_;
+    std::uint32_t mask_;
+    std::uint32_t maxCount_;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::uint64_t> seeds_;
+    std::uint64_t inserts_ = 0;
+};
+
+/** Two time-interleaved filters (the BlockHammer arrangement). */
+class DualCountingBloom
+{
+  public:
+    DualCountingBloom(const CountingBloomConfig &cfg,
+                      std::uint64_t seed);
+
+    /** Record into the active filter; @return combined estimate. */
+    std::uint32_t insert(RowId key);
+
+    /** max(active, passive) — never under-counts across windows. */
+    std::uint32_t estimate(RowId key) const;
+
+    /** Window boundary: clear the passive filter, swap roles. */
+    void rotate();
+
+    /** Clear both filters (epoch reset). */
+    void clearAll();
+
+    std::uint64_t storageBits() const;
+
+    /** Rotations performed. */
+    std::uint64_t rotations() const { return rotations_; }
+
+  private:
+    CountingBloom filters_[2];
+    std::uint32_t active_ = 0;
+    std::uint64_t rotations_ = 0;
+};
+
+} // namespace srs
+
+#endif // SRS_TRACKER_COUNTING_BLOOM_HH

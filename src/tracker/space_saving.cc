@@ -1,0 +1,82 @@
+#include "tracker/space_saving.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+SpaceSaving::SpaceSaving(std::uint32_t capacity)
+    : capacity_(capacity)
+{
+    SRS_ASSERT(capacity_ > 0, "zero-capacity tracker");
+}
+
+void
+SpaceSaving::moveBucket(RowId row, std::uint32_t from, std::uint32_t to)
+{
+    auto it = byCount_.find(from);
+    SRS_ASSERT(it != byCount_.end(), "bucket bookkeeping broken");
+    it->second.erase(row);
+    if (it->second.empty())
+        byCount_.erase(it);
+    byCount_[to].insert(row);
+}
+
+std::uint32_t
+SpaceSaving::increment(RowId row)
+{
+    auto it = counts_.find(row);
+    if (it != counts_.end()) {
+        const std::uint32_t old = it->second;
+        ++it->second;
+        moveBucket(row, old, it->second);
+        return it->second;
+    }
+
+    if (counts_.size() < capacity_) {
+        counts_[row] = 1;
+        byCount_[1].insert(row);
+        return 1;
+    }
+
+    // Displace a minimum-count victim; the newcomer inherits its
+    // count + 1 (the Space-Saving overestimate).
+    auto minIt = byCount_.begin();
+    const std::uint32_t minCount = minIt->first;
+    const RowId victim = *minIt->second.begin();
+    minIt->second.erase(victim);
+    if (minIt->second.empty())
+        byCount_.erase(minIt);
+    counts_.erase(victim);
+
+    const std::uint32_t newCount = minCount + 1;
+    counts_[row] = newCount;
+    byCount_[newCount].insert(row);
+    return newCount;
+}
+
+std::uint32_t
+SpaceSaving::countOf(RowId row) const
+{
+    const auto it = counts_.find(row);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+void
+SpaceSaving::reset(RowId row)
+{
+    auto it = counts_.find(row);
+    if (it == counts_.end())
+        return;
+    moveBucket(row, it->second, 0);
+    it->second = 0;
+}
+
+void
+SpaceSaving::clear()
+{
+    counts_.clear();
+    byCount_.clear();
+}
+
+} // namespace srs

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Space-Saving frequent-item summary — the Misra-Gries-family
+ * counting structure behind Graphene-style trackers.
+ *
+ * Guarantee: any row with true count > ACT_max / capacity is present
+ * in the table, and estimates never undercount (a displaced entry's
+ * successor inherits its count).  Overcounting is security-safe: it
+ * can only trigger mitigations early.
+ */
+
+#ifndef SRS_TRACKER_SPACE_SAVING_HH
+#define SRS_TRACKER_SPACE_SAVING_HH
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/types.hh"
+
+namespace srs
+{
+
+/** Bounded-size counter table with O(log) bucket maintenance. */
+class SpaceSaving
+{
+  public:
+    explicit SpaceSaving(std::uint32_t capacity);
+
+    /**
+     * Count one occurrence of @p row.
+     * @return the row's (possibly overestimated) count after update
+     */
+    std::uint32_t increment(RowId row);
+
+    /** Current estimate; 0 when untracked. */
+    std::uint32_t countOf(RowId row) const;
+
+    /** Reset a row's count to zero (post-mitigation). */
+    void reset(RowId row);
+
+    /** Drop everything (epoch boundary). */
+    void clear();
+
+    std::uint32_t size() const
+    {
+        return static_cast<std::uint32_t>(counts_.size());
+    }
+    std::uint32_t capacity() const { return capacity_; }
+
+  private:
+    void moveBucket(RowId row, std::uint32_t from, std::uint32_t to);
+
+    std::uint32_t capacity_;
+    std::unordered_map<RowId, std::uint32_t> counts_;
+    /** count -> rows at that count; begin() is the eviction pool. */
+    std::map<std::uint32_t, std::unordered_set<RowId>> byCount_;
+};
+
+} // namespace srs
+
+#endif // SRS_TRACKER_SPACE_SAVING_HH

@@ -1,0 +1,122 @@
+#include "tracker/twice.hh"
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+TwiceTracker::TwiceTracker(const TwiceConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.ts == 0)
+        fatal("twice: T_S must be nonzero");
+    if (cfg_.checkpoints == 0)
+        fatal("twice: need at least one checkpoint per window");
+    if (cfg_.checkpointInterval() == 0)
+        fatal("twice: checkpoint interval rounds to zero");
+    tables_.resize(static_cast<std::size_t>(cfg_.channels) *
+                   cfg_.banksPerChannel);
+}
+
+TwiceTracker::BankTable &
+TwiceTracker::table(std::uint32_t channel, std::uint32_t bank)
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(channel) * cfg_.banksPerChannel + bank;
+    SRS_ASSERT(idx < tables_.size(), "bank index out of range");
+    return tables_[idx];
+}
+
+const TwiceTracker::BankTable &
+TwiceTracker::table(std::uint32_t channel, std::uint32_t bank) const
+{
+    const std::size_t idx =
+        static_cast<std::size_t>(channel) * cfg_.banksPerChannel + bank;
+    SRS_ASSERT(idx < tables_.size(), "bank index out of range");
+    return tables_[idx];
+}
+
+void
+TwiceTracker::checkpoint(BankTable &t)
+{
+    // Pace test: after `age` checkpoints a row must have at least
+    // age * T_S / checkpoints activations, or it can no longer reach
+    // T_S at the maximum remaining rate a single row sustains.
+    for (auto it = t.rows.begin(); it != t.rows.end();) {
+        Entry &e = it->second;
+        ++e.age;
+        const std::uint64_t pace =
+            static_cast<std::uint64_t>(e.age) * cfg_.ts /
+            cfg_.checkpoints;
+        if (e.count < pace) {
+            it = t.rows.erase(it);
+            stats_.inc("pruned");
+        } else {
+            ++it;
+        }
+    }
+    stats_.inc("checkpoints");
+}
+
+bool
+TwiceTracker::recordActivation(std::uint32_t channel,
+                               std::uint32_t bank, RowId physRow,
+                               Cycle now)
+{
+    (void)now;
+    BankTable &t = table(channel, bank);
+    Entry &e = t.rows[physRow];
+    ++e.count;
+
+    bool fired = false;
+    if (e.count >= cfg_.ts) {
+        t.rows.erase(physRow);
+        stats_.inc("triggers");
+        fired = true;
+    }
+
+    if (++t.actsSinceCheckpoint >= cfg_.checkpointInterval()) {
+        t.actsSinceCheckpoint = 0;
+        checkpoint(t);
+    }
+    return fired;
+}
+
+void
+TwiceTracker::resetEpoch()
+{
+    for (BankTable &t : tables_) {
+        t.rows.clear();
+        t.actsSinceCheckpoint = 0;
+    }
+    stats_.inc("epoch_resets");
+}
+
+std::uint64_t
+TwiceTracker::storageBitsPerBank() const
+{
+    // Pruning bounds the live table near checkpoints * (rows on
+    // pace); TWiCe provisions ACT_max / T_S entries (every row that
+    // could reach T_S), each holding a 17-bit row id, a count up to
+    // T_S (<= 13 bits) and a checkpoint age.
+    const std::uint64_t entries = cfg_.actMaxPerEpoch / cfg_.ts;
+    const std::uint64_t entryBits = 17 + 13 + 5;
+    return entries * entryBits;
+}
+
+std::size_t
+TwiceTracker::entriesAt(std::uint32_t channel, std::uint32_t bank) const
+{
+    return table(channel, bank).rows.size();
+}
+
+std::uint32_t
+TwiceTracker::countOf(std::uint32_t channel, std::uint32_t bank,
+                      RowId physRow) const
+{
+    const BankTable &t = table(channel, bank);
+    const auto it = t.rows.find(physRow);
+    return it == t.rows.end() ? 0 : it->second.count;
+}
+
+} // namespace srs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * TWiCe — Time Window Counter tracker (Lee et al., ISCA 2019; cited
+ * by the paper as a VFM-era tracker, Section IX-B).
+ *
+ * TWiCe keeps an exact counter per *tracked* row but bounds the
+ * table by pruning: a row whose activation count after `age` epochs
+ * of its lifetime could not reach the threshold even at the maximum
+ * remaining rate is dropped.  Concretely, an entry is pruned at its
+ * periodic checkpoint when
+ *
+ *     count < age * threshold / checkpointsPerWindow
+ *
+ * i.e. the row is not on pace.  Rows on pace survive and fire at
+ * T_S like every other tracker here, so TWiCe slots into the same
+ * AggressorTracker seam as Misra-Gries / Hydra / CBT and can drive
+ * any of the mitigations.
+ *
+ * The interesting properties — table occupancy bounded by pruning,
+ * no false negatives for on-pace rows, pruning false negatives only
+ * for rows that stop hammering — are covered by tests.
+ */
+
+#ifndef SRS_TRACKER_TWICE_HH
+#define SRS_TRACKER_TWICE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "tracker/tracker.hh"
+
+namespace srs
+{
+
+/** Configuration for the TWiCe tracker. */
+struct TwiceConfig
+{
+    std::uint32_t ts = 800;            ///< trigger threshold T_S
+    std::uint64_t actMaxPerEpoch = 1360000;
+    std::uint32_t channels = 2;
+    std::uint32_t banksPerChannel = 16;
+
+    /** Pruning checkpoints per refresh window. */
+    std::uint32_t checkpoints = 16;
+
+    /** Activations between checkpoints (derived). */
+    std::uint64_t checkpointInterval() const
+    {
+        return actMaxPerEpoch / checkpoints;
+    }
+};
+
+/** Per-bank time-window counters with on-pace pruning. */
+class TwiceTracker : public AggressorTracker
+{
+  public:
+    explicit TwiceTracker(const TwiceConfig &cfg);
+
+    bool recordActivation(std::uint32_t channel, std::uint32_t bank,
+                          RowId physRow, Cycle now) override;
+    void resetEpoch() override;
+    std::uint64_t storageBitsPerBank() const override;
+    const char *name() const override { return "twice"; }
+
+    /** Live entries in one bank's table. */
+    std::size_t entriesAt(std::uint32_t channel,
+                          std::uint32_t bank) const;
+
+    /** Tracked count for a row (0 when pruned/untracked). */
+    std::uint32_t countOf(std::uint32_t channel, std::uint32_t bank,
+                          RowId physRow) const;
+
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t count = 0;
+        std::uint32_t age = 0;   ///< checkpoints survived
+    };
+
+    struct BankTable
+    {
+        std::unordered_map<RowId, Entry> rows;
+        std::uint64_t actsSinceCheckpoint = 0;
+    };
+
+    void checkpoint(BankTable &table);
+
+    BankTable &table(std::uint32_t channel, std::uint32_t bank);
+    const BankTable &table(std::uint32_t channel,
+                           std::uint32_t bank) const;
+
+    TwiceConfig cfg_;
+    std::vector<BankTable> tables_;
+    StatSet stats_;
+};
+
+} // namespace srs
+
+#endif // SRS_TRACKER_TWICE_HH

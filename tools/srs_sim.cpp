@@ -1,0 +1,308 @@
+/**
+ * @file
+ * srs_sim — the command-line front-end of the library.
+ *
+ * Subcommands:
+ *
+ *   perf     run one workload under one defense and print IPC and
+ *            normalized performance (optionally as CSV):
+ *              srs_sim perf --workload=gcc --mitigation=scale-srs
+ *                      --trh=1200 --rate=3 [--tracker=misra-gries]
+ *                      [--cycles=N] [--epoch=N] [--csv]
+ *
+ *   attack   evaluate the Juggernaut analytical model (and optional
+ *            Monte-Carlo validation) for one configuration:
+ *              srs_sim attack --defense=rrs --trh=4800 --rate=6
+ *                      [--rounds=N|best] [--open-page] [--banks=B]
+ *                      [--montecarlo=ITERS]
+ *
+ *   storage  print the Table IV storage breakdown:
+ *              srs_sim storage --trh=1200
+ *
+ *   trace    export a synthetic workload as a USIMM trace file:
+ *              srs_sim trace --workload=gups --records=100000
+ *                      --out=gups.usimm
+ *
+ *   list     list the built-in workload profiles.
+ *
+ * All subcommands validate unknown flags (a typo is a fatal error,
+ * not a silently ignored knob).
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "security/attack_model.hh"
+#include "security/monte_carlo.hh"
+#include "security/storage_model.hh"
+#include "sim/experiment.hh"
+#include "trace/profiles.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+using namespace srs;
+
+MitigationKind
+kindOf(const std::string &name)
+{
+    if (name == "none" || name == "baseline")
+        return MitigationKind::None;
+    if (name == "rrs")
+        return MitigationKind::Rrs;
+    if (name == "rrs-no-unswap")
+        return MitigationKind::RrsNoUnswap;
+    if (name == "srs")
+        return MitigationKind::Srs;
+    if (name == "scale-srs")
+        return MitigationKind::ScaleSrs;
+    if (name == "blockhammer")
+        return MitigationKind::BlockHammer;
+    if (name == "aqua")
+        return MitigationKind::Aqua;
+    fatal("unknown mitigation '%s' (want none|rrs|rrs-no-unswap|srs|"
+          "scale-srs|blockhammer|aqua)", name.c_str());
+    return MitigationKind::None; // unreachable
+}
+
+TrackerKind
+trackerOf(const std::string &name)
+{
+    if (name == "misra-gries")
+        return TrackerKind::MisraGries;
+    if (name == "hydra")
+        return TrackerKind::Hydra;
+    if (name == "cbt")
+        return TrackerKind::Cbt;
+    if (name == "twice")
+        return TrackerKind::TwiCe;
+    fatal("unknown tracker '%s' (want misra-gries|hydra|cbt|twice)",
+          name.c_str());
+    return TrackerKind::MisraGries; // unreachable
+}
+
+int
+cmdPerf(const Options &opts)
+{
+    const std::string workload = opts.getString("workload", "gcc");
+    const std::string defense = opts.getString("mitigation", "scale-srs");
+    const std::uint32_t trh =
+        static_cast<std::uint32_t>(opts.getUint("trh", 1200));
+    const std::uint32_t rate =
+        static_cast<std::uint32_t>(opts.getUint("rate", 3));
+    const TrackerKind tracker =
+        trackerOf(opts.getString("tracker", "misra-gries"));
+    ExperimentConfig exp;
+    exp.cycles = opts.getUint("cycles", 1'500'000);
+    exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
+    const bool csv = opts.getBool("csv", false);
+    opts.rejectUnknown();
+
+    const WorkloadProfile &profile = profileByName(workload);
+    const MitigationKind kind = kindOf(defense);
+
+    const SystemConfig baseCfg =
+        makeSystemConfig(exp, MitigationKind::None, trh, rate, tracker);
+    const double baseIpc =
+        runWorkload(baseCfg, profile, exp).aggregateIpc;
+    const SystemConfig cfg =
+        makeSystemConfig(exp, kind, trh, rate, tracker);
+    const RunResult res = runWorkload(cfg, profile, exp);
+    const double norm = baseIpc > 0.0 ? res.aggregateIpc / baseIpc : 1.0;
+
+    if (csv) {
+        std::printf("workload,mitigation,trh,rate,ipc,baseline_ipc,"
+                    "normalized,swaps,unswap_swaps,place_backs\n");
+        std::printf("%s,%s,%u,%u,%.4f,%.4f,%.4f,%llu,%llu,%llu\n",
+                    workload.c_str(), defense.c_str(), trh, rate,
+                    res.aggregateIpc, baseIpc, norm,
+                    static_cast<unsigned long long>(res.swaps),
+                    static_cast<unsigned long long>(res.unswapSwaps),
+                    static_cast<unsigned long long>(res.placeBacks));
+    } else {
+        std::printf("workload %s under %s (T_RH %u, rate %u)\n",
+                    workload.c_str(), defense.c_str(), trh, rate);
+        std::printf("  ipc        %.4f (baseline %.4f)\n",
+                    res.aggregateIpc, baseIpc);
+        std::printf("  normalized %.4f\n", norm);
+        std::printf("  swaps %llu  unswap-swaps %llu  place-backs "
+                    "%llu  pinned %llu\n",
+                    static_cast<unsigned long long>(res.swaps),
+                    static_cast<unsigned long long>(res.unswapSwaps),
+                    static_cast<unsigned long long>(res.placeBacks),
+                    static_cast<unsigned long long>(res.rowsPinned));
+    }
+    return 0;
+}
+
+int
+cmdAttack(const Options &opts)
+{
+    const std::string defense = opts.getString("defense", "rrs");
+    AttackParams p;
+    p.trh = static_cast<std::uint32_t>(opts.getUint("trh", 4800));
+    p.swapRate = static_cast<std::uint32_t>(opts.getUint("rate", 6));
+    if (opts.getBool("open-page", false))
+        p.actTimeFactor = kOpenPageActFactor;
+    if (opts.getBool("ddr5", false)) {
+        // Section VIII-5: refresh runs twice as often, halving the
+        // accumulation window.
+        p.epochSec = 32e-3;
+        p.refreshOpsPerEpoch = 4096;
+    }
+    const std::uint32_t banks =
+        static_cast<std::uint32_t>(opts.getUint("banks", 1));
+    const std::string rounds = opts.getString("rounds", "best");
+    const std::uint64_t mcIters = opts.getUint("montecarlo", 0);
+    opts.rejectUnknown();
+
+    JuggernautModel model(p);
+    AttackResult r;
+    if (defense == "srs" || defense == "scale-srs") {
+        r = model.evaluateSrs();
+    } else if (defense == "rrs") {
+        if (banks > 1)
+            r = model.evaluateRrsMultiBank(banks);
+        else if (rounds == "best")
+            r = model.bestRrs();
+        else
+            r = model.evaluateRrs(std::strtoull(rounds.c_str(),
+                                                nullptr, 10));
+    } else {
+        fatal("attack model covers 'rrs', 'srs' and 'scale-srs'");
+    }
+
+    std::printf("%s, T_RH %u, swap rate %u, %u bank(s)%s%s\n",
+                defense.c_str(), p.trh, p.swapRate, banks,
+                p.actTimeFactor > 1.0 ? ", open page" : "",
+                p.epochSec < 64e-3 ? ", ddr5" : "");
+    if (!r.feasible) {
+        std::printf("  attack infeasible within one refresh epoch\n");
+        return 0;
+    }
+    std::printf("  rounds N        %llu\n",
+                static_cast<unsigned long long>(r.rounds));
+    std::printf("  required k      %llu\n",
+                static_cast<unsigned long long>(r.k));
+    std::printf("  guesses G       %.0f per epoch\n", r.guesses);
+    std::printf("  p(success)      %.3g per epoch\n", r.pSuccess);
+    std::printf("  time-to-break   %.3g days\n",
+                r.timeToBreakSec / 86400.0);
+
+    if (mcIters > 0) {
+        MonteCarloAttack mc(p, /*seed=*/0x5eed);
+        const MonteCarloResult sim =
+            defense == "rrs" ? mc.runRrs(r.rounds, mcIters)
+                             : mc.runSrs(mcIters);
+        std::printf("  monte-carlo     %.3g days (%llu iters)\n",
+                    sim.meanTimeSec / 86400.0,
+                    static_cast<unsigned long long>(mcIters));
+    }
+    return 0;
+}
+
+int
+cmdStorage(const Options &opts)
+{
+    StorageParams p;
+    p.trh = static_cast<std::uint32_t>(opts.getUint("trh", 1200));
+    opts.rejectUnknown();
+    StorageModel model(p);
+    std::printf("per-bank storage at T_RH = %u\n%-20s %10s %10s\n",
+                p.trh, "structure", "RRS", "Scale-SRS");
+    for (const StorageLine &line : model.breakdown()) {
+        std::printf("%-20s %9.1fK %9.1fK\n", line.structure.c_str(),
+                    line.rrsBytes / 1024.0,
+                    line.scaleSrsBytes / 1024.0);
+    }
+    std::printf("%-20s %9.1fK %9.1fK   (%.1fx)\n", "total",
+                model.totalRrsBytes() / 1024.0,
+                model.totalScaleSrsBytes() / 1024.0,
+                model.savingsRatio());
+    std::printf("single-table RIT option (Section VIII-4): %.1fK\n",
+                model.ritBytesScaleSrsSingleTable() / 1024.0);
+    return 0;
+}
+
+int
+cmdTrace(const Options &opts)
+{
+    const std::string workload = opts.getString("workload", "gups");
+    const std::string out = opts.getString("out", workload + ".usimm");
+    const std::uint64_t records = opts.getUint("records", 100'000);
+    const std::uint64_t seed = opts.getUint("seed", 0xBEEF);
+    const std::uint32_t core =
+        static_cast<std::uint32_t>(opts.getUint("core", 0));
+    opts.rejectUnknown();
+
+    const DramOrg org;
+    AddressMap map(org);
+    SyntheticTrace source(profileByName(workload), map, core, seed);
+    TraceWriter writer(out);
+    for (std::uint64_t i = 0; i < records; ++i)
+        writer.append(source.next());
+    std::printf("wrote %llu records to %s\n",
+                static_cast<unsigned long long>(
+                    writer.recordsWritten()),
+                out.c_str());
+    return 0;
+}
+
+int
+cmdList(const Options &opts)
+{
+    opts.rejectUnknown();
+    std::printf("%-16s %-12s %7s %7s %8s %6s\n", "name", "suite",
+                "avgGap", "hotPr", "hotRows", "fpMB");
+    for (const WorkloadProfile &p : allProfiles()) {
+        std::printf("%-16s %-12s %7.1f %7.2f %8u %6llu\n",
+                    p.name.c_str(), p.suite.c_str(), p.avgGap,
+                    p.hotProb, p.hotRows,
+                    static_cast<unsigned long long>(p.footprintMB));
+    }
+    return 0;
+}
+
+void
+usage()
+{
+    std::printf(
+        "usage: srs_sim <perf|attack|storage|trace|list> [--key=value]\n"
+        "run 'srs_sim' with a subcommand; see the file header or\n"
+        "README.md for the full flag list per subcommand.\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuietLogging(true);
+    const Options opts = Options::fromArgs(argc, argv);
+    if (opts.positional().empty()) {
+        usage();
+        return 1;
+    }
+    const std::string &cmd = opts.positional().front();
+    try {
+        if (cmd == "perf")
+            return cmdPerf(opts);
+        if (cmd == "attack")
+            return cmdAttack(opts);
+        if (cmd == "storage")
+            return cmdStorage(opts);
+        if (cmd == "trace")
+            return cmdTrace(opts);
+        if (cmd == "list")
+            return cmdList(opts);
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "srs_sim: %s\n", err.what());
+        return 1;
+    }
+    usage();
+    return 1;
+}
