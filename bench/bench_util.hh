@@ -3,9 +3,11 @@
  * Shared plumbing for the figure/table reproduction benches.
  *
  * Environment knobs:
- *  - SRS_BENCH_CYCLES: simulated CPU cycles per run (default 1.2M)
- *  - SRS_BENCH_FULL:   nonzero -> run every workload in the profile
- *                      table instead of the representative subset
+ *  - SRS_BENCH_CYCLES:  simulated CPU cycles per run (default 1.2M)
+ *  - SRS_BENCH_FULL:    nonzero -> run every workload in the profile
+ *                       table instead of the representative subset
+ *  - SRS_BENCH_THREADS: sweep worker threads for the multi-config
+ *                       benches (default 0 = hardware concurrency)
  */
 
 #ifndef SRS_BENCH_BENCH_UTIL_HH
@@ -36,6 +38,16 @@ benchExperiment()
     // measurement window.
     exp.epochLen = exp.cycles / 2 - 10'000;
     return exp;
+}
+
+/** Sweep worker-thread count honouring SRS_BENCH_THREADS. */
+inline std::size_t
+benchThreads()
+{
+    if (const char *env = std::getenv("SRS_BENCH_THREADS"))
+        return static_cast<std::size_t>(
+            std::strtoull(env, nullptr, 10));
+    return 0; // hardware concurrency
 }
 
 /** Representative per-suite workload subset used by default. */

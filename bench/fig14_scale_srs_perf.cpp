@@ -6,10 +6,15 @@
  *
  * Paper shape: RRS loses ~4% on average with >10% outliers (gcc
  * worst at 26.5%); Scale-SRS loses ~0.7%.
+ *
+ * The per-workload cells run through SweepRunner (two cells per
+ * workload), so wall-clock scales down with core count; the MIX
+ * points need runWorkloadMix and stay serial.
  */
 
 #include "bench_util.hh"
 #include "common/logging.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -19,21 +24,42 @@ main()
     setQuietLogging(true);
 
     const ExperimentConfig exp = benchExperiment();
-    BaselineCache base(exp);
     constexpr std::uint32_t trh = 1200;
 
+    // Two cells per workload: RRS at rate 6, Scale-SRS at rate 3.
+    std::vector<SweepCell> cells;
+    const auto workloads = benchWorkloads();
+    for (const WorkloadProfile &w : workloads) {
+        SweepCell rrs;
+        rrs.workload = w.name;
+        rrs.mitigation = MitigationKind::Rrs;
+        rrs.trh = trh;
+        rrs.swapRate = 6;
+        cells.push_back(rrs);
+        SweepCell scale = rrs;
+        scale.mitigation = MitigationKind::ScaleSrs;
+        scale.swapRate = 3;
+        cells.push_back(scale);
+    }
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(cells);
+
     header("Figure 14: normalized performance at T_RH = 1200");
-    std::printf("%-16s%12s%12s%14s\n", "workload", "RRS(r=6)",
+    std::printf("%-16s%12s%14s%14s\n", "workload", "RRS(r=6)",
                 "ScaleSRS(r=3)", "swaps R/S");
     std::vector<double> rrsAll, scaleAll;
-    for (const WorkloadProfile &w : benchWorkloads()) {
-        const double rrs =
-            normalized(base, exp, MitigationKind::Rrs, trh, 6, w);
-        const double scale =
-            normalized(base, exp, MitigationKind::ScaleSrs, trh, 3, w);
-        rrsAll.push_back(rrs);
-        scaleAll.push_back(scale);
-        std::printf("%-16s%12.4f%12.4f\n", w.name.c_str(), rrs, scale);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        const SweepResult &rrs = results[2 * i];
+        const SweepResult &scale = results[2 * i + 1];
+        rrsAll.push_back(rrs.normalized);
+        scaleAll.push_back(scale.normalized);
+        char swapCol[32];
+        std::snprintf(swapCol, sizeof(swapCol), "%llu/%llu",
+                      static_cast<unsigned long long>(rrs.run.swaps),
+                      static_cast<unsigned long long>(scale.run.swaps));
+        std::printf("%-16s%12.4f%14.4f%14s\n",
+                    workloads[i].name.c_str(), rrs.normalized,
+                    scale.normalized, swapCol);
         std::fflush(stdout);
     }
 
@@ -54,11 +80,11 @@ main()
             runWorkloadMix(scaleCfg, perCore, exp).aggregateIpc / b;
         rrsAll.push_back(rrs);
         scaleAll.push_back(scale);
-        std::printf("mix%-13u%12.4f%12.4f\n", mix, rrs, scale);
+        std::printf("mix%-13u%12.4f%14.4f\n", mix, rrs, scale);
         std::fflush(stdout);
     }
 
-    std::printf("%-16s%12.4f%12.4f\n", "ALL (geomean)",
+    std::printf("%-16s%12.4f%14.4f\n", "ALL (geomean)",
                 geoMean(rrsAll), geoMean(scaleAll));
     std::printf("\naverage slowdown: RRS %.2f%%, Scale-SRS %.2f%%\n",
                 (1.0 - geoMean(rrsAll)) * 100.0,

@@ -52,7 +52,7 @@ Options::fromFile(const std::string &path)
 {
     std::ifstream in(path);
     if (!in.is_open())
-        fatal("options: cannot open '%s'", path.c_str());
+        fatal("options: cannot open '", path, "'");
     Options opts;
     std::string line;
     std::uint64_t lineNo = 0;
@@ -66,8 +66,7 @@ Options::fromFile(const std::string &path)
             continue;
         const std::size_t eq = body.find('=');
         if (eq == std::string::npos)
-            fatal("%s:%llu: expected key=value", path.c_str(),
-                  static_cast<unsigned long long>(lineNo));
+            fatal(path, ":", lineNo, ": expected key=value");
         opts.values_[trim(body.substr(0, eq))] =
             trim(body.substr(eq + 1));
     }
@@ -98,8 +97,8 @@ Options::getUint(const std::string &key, std::uint64_t def) const
     char *end = nullptr;
     const std::uint64_t v = std::strtoull(it->second.c_str(), &end, 0);
     if (end == it->second.c_str() || *end != '\0')
-        fatal("option --%s: '%s' is not an integer", key.c_str(),
-              it->second.c_str());
+        fatal("option --", key, ": '", it->second,
+              "' is not an integer");
     return v;
 }
 
@@ -113,8 +112,8 @@ Options::getDouble(const std::string &key, double def) const
     char *end = nullptr;
     const double v = std::strtod(it->second.c_str(), &end);
     if (end == it->second.c_str() || *end != '\0')
-        fatal("option --%s: '%s' is not a number", key.c_str(),
-              it->second.c_str());
+        fatal("option --", key, ": '", it->second,
+              "' is not a number");
     return v;
 }
 
@@ -130,7 +129,7 @@ Options::getBool(const std::string &key, bool def) const
         return true;
     if (v == "0" || v == "false" || v == "no" || v == "off")
         return false;
-    fatal("option --%s: '%s' is not a boolean", key.c_str(), v.c_str());
+    fatal("option --", key, ": '", v, "' is not a boolean");
     return def; // unreachable
 }
 
@@ -140,7 +139,7 @@ Options::rejectUnknown() const
     for (const auto &[key, value] : values_) {
         (void)value;
         if (consumed_.find(key) == consumed_.end())
-            fatal("unknown option --%s", key.c_str());
+            fatal("unknown option --", key);
     }
 }
 

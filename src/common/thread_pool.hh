@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Minimal fixed-size thread pool for embarrassingly parallel
+ * experiment fan-out (the sweep engine, parallel benches).
+ *
+ * Jobs are arbitrary std::function<void()>; submit() is callable from
+ * any thread, wait() blocks until every submitted job has finished.
+ * The pool makes no ordering promise between jobs — callers that need
+ * deterministic output must write results into pre-assigned slots and
+ * serialize after wait() (see sim/sweep.hh).
+ */
+
+#ifndef SRS_COMMON_THREAD_POOL_HH
+#define SRS_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace srs
+{
+
+/** Fixed set of worker threads draining one shared job queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * Start @p threads workers.  0 picks the hardware concurrency
+     * (at least 1).
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Finishes all queued work, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue one job; runs on some worker at some later point. */
+    void submit(std::function<void()> job);
+
+    /** Block until every job submitted so far has completed. */
+    void wait();
+
+    std::size_t threadCount() const { return workers_.size(); }
+
+    /** Resolve a requested thread count: 0 -> hardware concurrency. */
+    static std::size_t resolveThreads(std::size_t requested);
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable hasWork_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace srs
+
+#endif // SRS_COMMON_THREAD_POOL_HH

@@ -16,7 +16,7 @@ Aqua::Aqua(MemoryController &ctrl, AggressorTracker &tracker,
         ? aquaCfg_.quarantineRows
         : rows / 100;
     if (quarantineRows_ < 2 || quarantineRows_ >= rows / 2)
-        fatal("aqua: quarantine must cover [2, 50%%) of the bank");
+        fatal("aqua: quarantine must cover [2, 50%) of the bank");
     quarantineBase_ = rows - quarantineRows_;
 
     // An AQUA migration moves one row one way: two row transfers

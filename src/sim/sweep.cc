@@ -1,0 +1,263 @@
+#include "sim/sweep.hh"
+
+#include <cstdio>
+#include <mutex>
+#include <ostream>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "trace/profiles.hh"
+
+namespace srs
+{
+
+std::vector<SweepCell>
+SweepGrid::expand() const
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(workloads.size() * mitigations.size() * trhs.size()
+                  * swapRates.size());
+    for (const std::string &w : workloads) {
+        for (const MitigationKind m : mitigations) {
+            for (const std::uint32_t trh : trhs) {
+                for (const std::uint32_t rate : swapRates) {
+                    SweepCell cell;
+                    cell.workload = w;
+                    cell.mitigation = m;
+                    cell.trh = trh;
+                    cell.swapRate = rate;
+                    cell.tracker = tracker;
+                    cells.push_back(std::move(cell));
+                }
+            }
+        }
+    }
+    return cells;
+}
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+SweepRunner::cellSeed(std::uint64_t base, const std::string &workload)
+{
+    return splitmix64(base ^ splitmix64(fnv1a(workload)));
+}
+
+SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
+    : exp_(exp), threads_(ThreadPool::resolveThreads(threads))
+{
+}
+
+std::size_t
+SweepRunner::threadCount() const
+{
+    return threads_;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const SweepGrid &grid)
+{
+    return run(grid.expand());
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const std::vector<SweepCell> &cells)
+{
+    // Validate every workload before any simulation starts, so a typo
+    // is a clean fatal() in the calling thread, not a worker abort.
+    std::vector<std::string> workloads;
+    std::unordered_map<std::string, std::size_t> workloadIndex;
+    for (const SweepCell &cell : cells) {
+        if (workloadIndex.count(cell.workload))
+            continue;
+        profileByName(cell.workload); // fatal() on unknown names
+        workloadIndex.emplace(cell.workload, workloads.size());
+        workloads.push_back(cell.workload);
+    }
+
+    ThreadPool pool(threads_);
+
+    // A FatalError escaping a worker would std::terminate the whole
+    // process, so jobs trap it; the first message (in cell order) is
+    // re-raised on the calling thread after the phase completes.
+    std::mutex errorMutex;
+    std::size_t errorAt = cells.size() + workloads.size();
+    std::string errorMsg;
+    const auto record = [&](std::size_t at, const std::string &msg) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (at < errorAt) {
+            errorAt = at;
+            errorMsg = msg;
+        }
+    };
+    const auto rethrow = [&] {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!errorMsg.empty())
+            throw FatalError(errorMsg);
+    };
+
+    // Phase 1: one unprotected baseline per distinct workload.  The
+    // baseline ignores trh/rate (no mitigation is wired), so any
+    // values work; mirror bench_util's BaselineCache choice.
+    std::vector<RunResult> baseline(workloads.size());
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+        pool.submit([this, &workloads, &baseline, &record, i] {
+            try {
+                ExperimentConfig exp = exp_;
+                exp.seed = cellSeed(exp_.seed, workloads[i]);
+                const SystemConfig cfg = makeSystemConfig(
+                    exp, MitigationKind::None, 4800, 6);
+                baseline[i] = runWorkload(
+                    cfg, profileByName(workloads[i]), exp);
+            } catch (const FatalError &err) {
+                record(i, err.what());
+            }
+        });
+    }
+    pool.wait();
+    rethrow();
+
+    // Phase 2: every cell, each writing its pre-assigned slot.
+    // Unprotected cells replay the phase-1 baseline bit-for-bit
+    // (same seed, same config), so reuse it instead of re-running.
+    std::vector<SweepResult> results(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].mitigation == MitigationKind::None)
+            continue;
+        pool.submit([this, &cells, &results, &record, i] {
+            try {
+                const SweepCell &cell = cells[i];
+                ExperimentConfig exp = exp_;
+                exp.seed = cellSeed(exp_.seed, cell.workload);
+                const SystemConfig cfg =
+                    makeSystemConfig(exp, cell.mitigation, cell.trh,
+                                     cell.swapRate, cell.tracker);
+                results[i].run =
+                    runWorkload(cfg, profileByName(cell.workload), exp);
+            } catch (const FatalError &err) {
+                record(i, err.what());
+            }
+        });
+    }
+    pool.wait();
+    rethrow();
+
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SweepResult &r = results[i];
+        r.cell = cells[i];
+        r.seed = cellSeed(exp_.seed, cells[i].workload);
+        const RunResult &base =
+            baseline[workloadIndex.at(cells[i].workload)];
+        if (cells[i].mitigation == MitigationKind::None)
+            r.run = base;
+        r.baselineIpc = base.aggregateIpc;
+        r.normalized = r.baselineIpc > 0.0
+                           ? r.run.aggregateIpc / r.baselineIpc
+                           : 1.0;
+    }
+    return results;
+}
+
+void
+SweepRunner::writeCsv(std::ostream &os,
+                      const std::vector<SweepResult> &results)
+{
+    os << "index,workload,mitigation,tracker,trh,rate,seed,ipc,"
+          "baseline_ipc,normalized,swaps,unswap_swaps,place_backs,"
+          "rows_pinned,max_row_acts\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SweepResult &r = results[i];
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%zu,%s,%s,%s,%u,%u,0x%016llx,%.6f,%.6f,%.6f,%llu,%llu,"
+            "%llu,%llu,%llu\n",
+            i, r.cell.workload.c_str(),
+            mitigationKindName(r.cell.mitigation),
+            trackerKindName(r.cell.tracker), r.cell.trh,
+            r.cell.swapRate,
+            static_cast<unsigned long long>(r.seed),
+            r.run.aggregateIpc, r.baselineIpc, r.normalized,
+            static_cast<unsigned long long>(r.run.swaps),
+            static_cast<unsigned long long>(r.run.unswapSwaps),
+            static_cast<unsigned long long>(r.run.placeBacks),
+            static_cast<unsigned long long>(r.run.rowsPinned),
+            static_cast<unsigned long long>(r.run.maxRowActivations));
+        os << buf;
+    }
+}
+
+MitigationKind
+mitigationKindFromName(const std::string &name)
+{
+    if (name == "none" || name == "baseline")
+        return MitigationKind::None;
+    if (name == "rrs")
+        return MitigationKind::Rrs;
+    if (name == "rrs-no-unswap")
+        return MitigationKind::RrsNoUnswap;
+    if (name == "srs")
+        return MitigationKind::Srs;
+    if (name == "scale-srs")
+        return MitigationKind::ScaleSrs;
+    if (name == "blockhammer")
+        return MitigationKind::BlockHammer;
+    if (name == "aqua")
+        return MitigationKind::Aqua;
+    fatal("unknown mitigation '", name,
+          "' (want none|rrs|rrs-no-unswap|srs|scale-srs|blockhammer|"
+          "aqua)");
+}
+
+TrackerKind
+trackerKindFromName(const std::string &name)
+{
+    if (name == "misra-gries")
+        return TrackerKind::MisraGries;
+    if (name == "hydra")
+        return TrackerKind::Hydra;
+    if (name == "cbt")
+        return TrackerKind::Cbt;
+    if (name == "twice")
+        return TrackerKind::TwiCe;
+    fatal("unknown tracker '", name,
+          "' (want misra-gries|hydra|cbt|twice)");
+}
+
+const char *
+trackerKindName(TrackerKind kind)
+{
+    switch (kind) {
+      case TrackerKind::MisraGries: return "misra-gries";
+      case TrackerKind::Hydra:      return "hydra";
+      case TrackerKind::Cbt:        return "cbt";
+      case TrackerKind::TwiCe:      return "twice";
+    }
+    return "?";
+}
+
+} // namespace srs

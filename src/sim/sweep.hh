@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multi-threaded experiment-sweep engine.
+ *
+ * The performance figures all share one shape: run a grid of
+ * (workload x mitigation x T_RH x swap-rate) experiment cells, each
+ * an independent single-threaded simulation, and normalize against
+ * the unprotected baseline of the same workload.  SweepRunner fans
+ * that grid across a ThreadPool:
+ *
+ *  - one baseline run per distinct workload (phase 1), then one run
+ *    per cell (phase 2), all pool-parallel;
+ *  - deterministic per-cell RNG seeding: the trace seed is a pure
+ *    function of (base seed, workload name), so a cell's result does
+ *    not depend on thread count or completion order, and protected
+ *    runs replay the exact trace of their baseline;
+ *  - results land in pre-assigned slots and are reported in cell
+ *    order, so CSV output is byte-identical for threads=1 and
+ *    threads=N.
+ */
+
+#ifndef SRS_SIM_SWEEP_HH
+#define SRS_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+
+namespace srs
+{
+
+/** One experiment point of a sweep. */
+struct SweepCell
+{
+    std::string workload;
+    MitigationKind mitigation = MitigationKind::ScaleSrs;
+    std::uint32_t trh = 1200;
+    std::uint32_t swapRate = 3;
+    TrackerKind tracker = TrackerKind::MisraGries;
+};
+
+/**
+ * Cross-product sweep description.  expand() enumerates cells in
+ * row-major order: workloads outermost, then mitigations, then
+ * trhs, then swapRates innermost.
+ */
+struct SweepGrid
+{
+    std::vector<std::string> workloads;
+    std::vector<MitigationKind> mitigations;
+    std::vector<std::uint32_t> trhs;
+    std::vector<std::uint32_t> swapRates;
+    TrackerKind tracker = TrackerKind::MisraGries;
+
+    std::vector<SweepCell> expand() const;
+};
+
+/** Result of one sweep cell, in input order. */
+struct SweepResult
+{
+    SweepCell cell;
+    /** Trace seed actually used (derived, see SweepRunner::cellSeed). */
+    std::uint64_t seed = 0;
+    RunResult run;
+    /** Unprotected IPC of the same workload and seed. */
+    double baselineIpc = 0.0;
+    /** run.aggregateIpc / baselineIpc (1.0 when baseline is zero). */
+    double normalized = 1.0;
+};
+
+/** Thread-pool-backed sweep executor. */
+class SweepRunner
+{
+  public:
+    /**
+     * @param exp      shared experiment knobs (cycles, epoch, cores,
+     *                 base seed); per-cell seeds are derived from
+     *                 exp.seed.
+     * @param threads  worker count; 0 picks hardware concurrency.
+     */
+    SweepRunner(const ExperimentConfig &exp, std::size_t threads);
+
+    /**
+     * Run every cell (plus one baseline per distinct workload) and
+     * return results in cell order.  fatal()s on unknown workload
+     * names before any simulation starts.
+     */
+    std::vector<SweepResult> run(const std::vector<SweepCell> &cells);
+
+    /** Convenience: expand + run. */
+    std::vector<SweepResult> run(const SweepGrid &grid);
+
+    std::size_t threadCount() const;
+
+    /**
+     * Trace seed for one cell: splitmix64 over the base seed and an
+     * FNV-1a hash of the workload name.  Workload-only on purpose —
+     * every mitigation replays the identical trace, keeping
+     * normalization an apples-to-apples comparison.
+     */
+    static std::uint64_t cellSeed(std::uint64_t base,
+                                  const std::string &workload);
+
+    /** Write header + one line per result (stable formatting). */
+    static void writeCsv(std::ostream &os,
+                         const std::vector<SweepResult> &results);
+
+  private:
+    ExperimentConfig exp_;
+    std::size_t threads_;
+};
+
+/** Parse a mitigation name (same spellings the CLI accepts). */
+MitigationKind mitigationKindFromName(const std::string &name);
+
+/** Parse a tracker name; fatal() when unknown. */
+TrackerKind trackerKindFromName(const std::string &name);
+
+/** @return printable tracker name (round-trips with FromName). */
+const char *trackerKindName(TrackerKind kind);
+
+} // namespace srs
+
+#endif // SRS_SIM_SWEEP_HH

@@ -13,7 +13,7 @@ TraceWriter::TraceWriter(const std::string &path)
     : out_(new std::ofstream(path))
 {
     if (!out_->is_open())
-        fatal("trace writer: cannot create '%s'", path.c_str());
+        fatal("trace writer: cannot create '", path, "'");
 }
 
 TraceWriter::~TraceWriter()
@@ -62,18 +62,16 @@ parseTraceLine(const std::string &line, TraceRecord &out,
     std::string op;
     std::string addr;
     if (!(is >> gap >> op >> addr))
-        fatal("%s: malformed trace line '%s'", context.c_str(),
-              line.c_str());
+        fatal(context, ": malformed trace line '", line, "'");
     if (op != "R" && op != "W")
-        fatal("%s: bad op '%s' (want R or W)", context.c_str(),
-              op.c_str());
+        fatal(context, ": bad op '", op, "' (want R or W)");
 
     out.nonMemGap = static_cast<std::uint32_t>(gap);
     out.isWrite = (op == "W");
     try {
         out.addr = std::stoull(addr, nullptr, 16);
     } catch (const std::exception &) {
-        fatal("%s: bad address '%s'", context.c_str(), addr.c_str());
+        fatal(context, ": bad address '", addr, "'");
     }
     // Reads carry a PC column; it is optional and unused here.
     return true;
@@ -84,7 +82,7 @@ FileTrace::FileTrace(const std::string &path, bool loop)
 {
     std::ifstream in(path);
     if (!in.is_open())
-        fatal("file trace: cannot open '%s'", path.c_str());
+        fatal("file trace: cannot open '", path, "'");
     std::string line;
     std::uint64_t lineNo = 0;
     while (std::getline(in, line)) {
@@ -96,7 +94,7 @@ FileTrace::FileTrace(const std::string &path, bool loop)
             records_.push_back(rec);
     }
     if (records_.empty())
-        fatal("file trace: '%s' contains no records", path.c_str());
+        fatal("file trace: '", path, "' contains no records");
 }
 
 FileTrace::FileTrace(std::vector<TraceRecord> records, bool loop)

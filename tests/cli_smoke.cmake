@@ -1,0 +1,49 @@
+# CLI smoke test, run via `cmake -DSRS_SIM=<path> -P cli_smoke.cmake`.
+#
+# Asserts that the cheap srs_sim subcommands exit 0 and that an
+# unknown flag is rejected with a fatal error (nonzero exit) instead
+# of being silently ignored.
+
+if(NOT DEFINED SRS_SIM)
+  message(FATAL_ERROR "pass -DSRS_SIM=<path to srs_sim>")
+endif()
+
+function(run_expect_ok)
+  execute_process(COMMAND ${SRS_SIM} ${ARGV}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "srs_sim ${ARGV} exited ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+  endif()
+endfunction()
+
+function(run_expect_fail)
+  execute_process(COMMAND ${SRS_SIM} ${ARGV}
+                  RESULT_VARIABLE rc
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "srs_sim ${ARGV} unexpectedly exited 0")
+  endif()
+endfunction()
+
+# Tiny cycle budgets keep the smoke test fast.
+run_expect_ok(list)
+run_expect_ok(storage --trh=1200)
+run_expect_ok(perf --workload=gups --mitigation=rrs --trh=1200
+              --rate=6 --cycles=60000 --epoch=25000 --csv)
+run_expect_ok(sweep --workloads=gups --mitigations=rrs --trh=1200
+              --rates=6 --cycles=60000 --epoch=25000 --threads=2)
+
+# Unknown flags must be fatal on every subcommand.
+run_expect_fail(list --bogus=1)
+run_expect_fail(storage --thr=1200)
+run_expect_fail(perf --workload=gups --cylces=1000)
+run_expect_fail(sweep --workloads=gups --thread=2)
+
+# No subcommand / unknown subcommand -> usage + nonzero exit.
+run_expect_fail()
+run_expect_fail(frobnicate)
+
+message(STATUS "cli_smoke passed")

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * SweepRunner / ThreadPool coverage: grid expansion order, result
+ * ordering under concurrency, threads=1 vs threads=8 determinism,
+ * per-cell seeding, and CSV stability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "sim/sweep.hh"
+
+namespace srs
+{
+namespace
+{
+
+/** Small budget so a full sweep stays fast in Debug CI. */
+ExperimentConfig
+tinyExperiment()
+{
+    ExperimentConfig exp;
+    exp.cycles = 60'000;
+    exp.epochLen = 25'000;
+    return exp;
+}
+
+TEST(ThreadPool, RunsEveryJobOnce)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, ResolveThreadsDefaultsToHardware)
+{
+    EXPECT_GE(ThreadPool::resolveThreads(0), 1u);
+    EXPECT_EQ(ThreadPool::resolveThreads(3), 3u);
+}
+
+TEST(SweepGrid, ExpandsRowMajorRatesInnermost)
+{
+    SweepGrid grid;
+    grid.workloads = {"gups", "gcc"};
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200, 4800};
+    grid.swapRates = {3, 6};
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 16u);
+    // First block: workload gups, mitigation rrs.
+    EXPECT_EQ(cells[0].workload, "gups");
+    EXPECT_EQ(cells[0].mitigation, MitigationKind::Rrs);
+    EXPECT_EQ(cells[0].trh, 1200u);
+    EXPECT_EQ(cells[0].swapRate, 3u);
+    EXPECT_EQ(cells[1].swapRate, 6u);
+    EXPECT_EQ(cells[2].trh, 4800u);
+    // Mitigation increments after rates x trhs cells.
+    EXPECT_EQ(cells[4].mitigation, MitigationKind::ScaleSrs);
+    // Workload increments after mitigations x trhs x rates cells.
+    EXPECT_EQ(cells[8].workload, "gcc");
+    EXPECT_EQ(cells[8].mitigation, MitigationKind::Rrs);
+}
+
+TEST(SweepGrid, EmptyAxisYieldsNoCells)
+{
+    SweepGrid grid;
+    grid.workloads = {"gups"};
+    grid.mitigations = {};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    EXPECT_TRUE(grid.expand().empty());
+}
+
+TEST(SweepRunner, CellSeedIsDeterministicAndWorkloadKeyed)
+{
+    const std::uint64_t a = SweepRunner::cellSeed(0xBEEF, "gups");
+    EXPECT_EQ(a, SweepRunner::cellSeed(0xBEEF, "gups"));
+    EXPECT_NE(a, SweepRunner::cellSeed(0xBEEF, "gcc"));
+    EXPECT_NE(a, SweepRunner::cellSeed(0xF00D, "gups"));
+}
+
+TEST(SweepRunner, ResultsMatchCellOrder)
+{
+    SweepGrid grid;
+    grid.workloads = {"gups", "gcc"};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200, 4800};
+    grid.swapRates = {6};
+    const std::vector<SweepCell> cells = grid.expand();
+
+    SweepRunner runner(tinyExperiment(), 8);
+    const std::vector<SweepResult> results = runner.run(cells);
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        EXPECT_EQ(results[i].cell.workload, cells[i].workload);
+        EXPECT_EQ(results[i].cell.mitigation, cells[i].mitigation);
+        EXPECT_EQ(results[i].cell.trh, cells[i].trh);
+        EXPECT_EQ(results[i].cell.swapRate, cells[i].swapRate);
+        EXPECT_GT(results[i].run.aggregateIpc, 0.0);
+        EXPECT_GT(results[i].baselineIpc, 0.0);
+    }
+}
+
+TEST(SweepRunner, ThreadCountDoesNotChangeResults)
+{
+    SweepGrid grid;
+    grid.workloads = {"gups", "gcc", "hmmer"};
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    const ExperimentConfig exp = tinyExperiment();
+
+    SweepRunner serial(exp, 1);
+    SweepRunner parallel(exp, 8);
+    const std::vector<SweepResult> a = serial.run(grid);
+    const std::vector<SweepResult> b = parallel.run(grid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].seed, b[i].seed) << "cell " << i;
+        EXPECT_EQ(a[i].run.aggregateIpc, b[i].run.aggregateIpc)
+            << "cell " << i;
+        EXPECT_EQ(a[i].run.swaps, b[i].run.swaps) << "cell " << i;
+        EXPECT_EQ(a[i].baselineIpc, b[i].baselineIpc) << "cell " << i;
+        EXPECT_EQ(a[i].normalized, b[i].normalized) << "cell " << i;
+    }
+
+    // CSV serialization is byte-identical too.
+    std::ostringstream csvA, csvB;
+    SweepRunner::writeCsv(csvA, a);
+    SweepRunner::writeCsv(csvB, b);
+    EXPECT_EQ(csvA.str(), csvB.str());
+}
+
+TEST(SweepRunner, BaselineSharesTraceSeedWithProtectedCells)
+{
+    // A baseline-mitigation cell replays the exact baseline run, so
+    // its normalized performance is exactly 1.
+    std::vector<SweepCell> cells(1);
+    cells[0].workload = "gups";
+    cells[0].mitigation = MitigationKind::None;
+    SweepRunner runner(tinyExperiment(), 2);
+    const std::vector<SweepResult> results = runner.run(cells);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_DOUBLE_EQ(results[0].run.aggregateIpc,
+                     results[0].baselineIpc);
+    EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+}
+
+TEST(SweepRunner, UnknownWorkloadIsFatalBeforeSimulation)
+{
+    std::vector<SweepCell> cells(1);
+    cells[0].workload = "no-such-benchmark";
+    SweepRunner runner(tinyExperiment(), 2);
+    EXPECT_THROW(runner.run(cells), FatalError);
+}
+
+TEST(SweepRunner, ConfigErrorInWorkerSurfacesAsFatalError)
+{
+    // A bad cell config only trips inside the worker (System
+    // construction); the error must come back as a FatalError on the
+    // calling thread, not std::terminate the process.
+    std::vector<SweepCell> cells(1);
+    cells[0].workload = "gups";
+    cells[0].mitigation = MitigationKind::Rrs;
+    cells[0].trh = 1200;
+    cells[0].swapRate = 2000; // swap rate exceeds T_RH
+    SweepRunner runner(tinyExperiment(), 2);
+    EXPECT_THROW(runner.run(cells), FatalError);
+}
+
+TEST(SweepCsv, HeaderAndRowShape)
+{
+    SweepResult r;
+    r.cell.workload = "gups";
+    r.cell.mitigation = MitigationKind::Rrs;
+    r.cell.trh = 1200;
+    r.cell.swapRate = 6;
+    r.seed = 0x1234;
+    r.run.aggregateIpc = 1.5;
+    r.baselineIpc = 2.0;
+    r.normalized = 0.75;
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, {r});
+    const std::string csv = os.str();
+    EXPECT_NE(csv.find("index,workload,mitigation,tracker,trh,rate,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0.750000"), std::string::npos);
+}
+
+TEST(SweepNames, MitigationAndTrackerRoundTrip)
+{
+    for (const MitigationKind kind :
+         {MitigationKind::Rrs, MitigationKind::RrsNoUnswap,
+          MitigationKind::Srs, MitigationKind::ScaleSrs,
+          MitigationKind::BlockHammer, MitigationKind::Aqua}) {
+        EXPECT_EQ(mitigationKindFromName(mitigationKindName(kind)),
+                  kind);
+    }
+    for (const TrackerKind kind :
+         {TrackerKind::MisraGries, TrackerKind::Hydra, TrackerKind::Cbt,
+          TrackerKind::TwiCe}) {
+        EXPECT_EQ(trackerKindFromName(trackerKindName(kind)), kind);
+    }
+    EXPECT_THROW(mitigationKindFromName("bogus"), FatalError);
+    EXPECT_THROW(trackerKindFromName("bogus"), FatalError);
+}
+
+} // namespace
+} // namespace srs

@@ -23,6 +23,18 @@
  *              srs_sim trace --workload=gups --records=100000
  *                      --out=gups.usimm
  *
+ *   sweep    run a (workload x mitigation x TRH x rate) grid across
+ *            a thread pool and emit one CSV row per cell:
+ *              srs_sim sweep --workloads=gups,gcc
+ *                      --mitigations=rrs,scale-srs --trh=1200,2400
+ *                      --rates=3,6 [--tracker=misra-gries]
+ *                      [--threads=N] [--cycles=N] [--epoch=N]
+ *                      [--seed=S] [--out=FILE]
+ *            --workloads=all sweeps every built-in profile; CSV goes
+ *            to stdout unless --out is given.  Output is ordered by
+ *            cell (workloads outermost, rates innermost) and is
+ *            byte-identical for any --threads value.
+ *
  *   list     list the built-in workload profiles.
  *
  * All subcommands validate unknown flags (a typo is a fatal error,
@@ -30,7 +42,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
+#include <limits>
+#include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/options.hh"
@@ -38,6 +54,7 @@
 #include "security/monte_carlo.hh"
 #include "security/storage_model.hh"
 #include "sim/experiment.hh"
+#include "sim/sweep.hh"
 #include "trace/profiles.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
@@ -47,42 +64,41 @@ namespace
 
 using namespace srs;
 
-MitigationKind
-kindOf(const std::string &name)
+/** Split a comma-separated flag value ("a,b,c") into its items. */
+std::vector<std::string>
+splitList(const std::string &value)
 {
-    if (name == "none" || name == "baseline")
-        return MitigationKind::None;
-    if (name == "rrs")
-        return MitigationKind::Rrs;
-    if (name == "rrs-no-unswap")
-        return MitigationKind::RrsNoUnswap;
-    if (name == "srs")
-        return MitigationKind::Srs;
-    if (name == "scale-srs")
-        return MitigationKind::ScaleSrs;
-    if (name == "blockhammer")
-        return MitigationKind::BlockHammer;
-    if (name == "aqua")
-        return MitigationKind::Aqua;
-    fatal("unknown mitigation '%s' (want none|rrs|rrs-no-unswap|srs|"
-          "scale-srs|blockhammer|aqua)", name.c_str());
-    return MitigationKind::None; // unreachable
+    std::vector<std::string> items;
+    std::string::size_type start = 0;
+    while (start <= value.size()) {
+        const auto comma = value.find(',', start);
+        const auto end = comma == std::string::npos ? value.size()
+                                                    : comma;
+        if (end > start)
+            items.push_back(value.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
 }
 
-TrackerKind
-trackerOf(const std::string &name)
+std::vector<std::uint32_t>
+splitUintList(const std::string &value, const char *flag)
 {
-    if (name == "misra-gries")
-        return TrackerKind::MisraGries;
-    if (name == "hydra")
-        return TrackerKind::Hydra;
-    if (name == "cbt")
-        return TrackerKind::Cbt;
-    if (name == "twice")
-        return TrackerKind::TwiCe;
-    fatal("unknown tracker '%s' (want misra-gries|hydra|cbt|twice)",
-          name.c_str());
-    return TrackerKind::MisraGries; // unreachable
+    std::vector<std::uint32_t> items;
+    for (const std::string &item : splitList(value)) {
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || item[0] == '-'
+            || v > std::numeric_limits<std::uint32_t>::max()) {
+            fatal("--", flag, ": '", item,
+                  "' is not a 32-bit unsigned integer");
+        }
+        items.push_back(static_cast<std::uint32_t>(v));
+    }
+    return items;
 }
 
 int
@@ -95,7 +111,7 @@ cmdPerf(const Options &opts)
     const std::uint32_t rate =
         static_cast<std::uint32_t>(opts.getUint("rate", 3));
     const TrackerKind tracker =
-        trackerOf(opts.getString("tracker", "misra-gries"));
+        trackerKindFromName(opts.getString("tracker", "misra-gries"));
     ExperimentConfig exp;
     exp.cycles = opts.getUint("cycles", 1'500'000);
     exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
@@ -103,7 +119,7 @@ cmdPerf(const Options &opts)
     opts.rejectUnknown();
 
     const WorkloadProfile &profile = profileByName(workload);
-    const MitigationKind kind = kindOf(defense);
+    const MitigationKind kind = mitigationKindFromName(defense);
 
     const SystemConfig baseCfg =
         makeSystemConfig(exp, MitigationKind::None, trh, rate, tracker);
@@ -135,6 +151,61 @@ cmdPerf(const Options &opts)
                     static_cast<unsigned long long>(res.unswapSwaps),
                     static_cast<unsigned long long>(res.placeBacks),
                     static_cast<unsigned long long>(res.rowsPinned));
+    }
+    return 0;
+}
+
+int
+cmdSweep(const Options &opts)
+{
+    SweepGrid grid;
+    const std::string workloads = opts.getString("workloads", "gcc");
+    if (workloads == "all") {
+        for (const WorkloadProfile &p : allProfiles())
+            grid.workloads.push_back(p.name);
+    } else {
+        grid.workloads = splitList(workloads);
+    }
+    for (const std::string &m :
+         splitList(opts.getString("mitigations", "scale-srs")))
+        grid.mitigations.push_back(mitigationKindFromName(m));
+    grid.trhs = splitUintList(opts.getString("trh", "1200"), "trh");
+    grid.swapRates = splitUintList(opts.getString("rates", "3"),
+                                   "rates");
+    grid.tracker =
+        trackerKindFromName(opts.getString("tracker", "misra-gries"));
+
+    ExperimentConfig exp;
+    exp.cycles = opts.getUint("cycles", 1'500'000);
+    exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
+    exp.seed = opts.getUint("seed", exp.seed);
+    const std::size_t threads =
+        static_cast<std::size_t>(opts.getUint("threads", 0));
+    const std::string out = opts.getString("out", "");
+    opts.rejectUnknown();
+
+    if (grid.workloads.empty() || grid.mitigations.empty()
+        || grid.trhs.empty() || grid.swapRates.empty()) {
+        fatal("sweep grid is empty: need at least one workload, "
+              "mitigation, trh and rate");
+    }
+
+    SweepRunner runner(exp, threads);
+    const std::vector<SweepResult> results = runner.run(grid);
+    if (out.empty()) {
+        SweepRunner::writeCsv(std::cout, results);
+        if (!std::cout.flush())
+            fatal("error writing CSV to stdout");
+    } else {
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot open '", out, "' for writing");
+        SweepRunner::writeCsv(file, results);
+        if (!file.flush())
+            fatal("error writing CSV to '", out, "'");
+        std::fprintf(stderr, "wrote %zu cells to %s (%zu threads)\n",
+                     results.size(), out.c_str(),
+                     runner.threadCount());
     }
     return 0;
 }
@@ -271,7 +342,8 @@ void
 usage()
 {
     std::printf(
-        "usage: srs_sim <perf|attack|storage|trace|list> [--key=value]\n"
+        "usage: srs_sim <perf|sweep|attack|storage|trace|list> "
+        "[--key=value]\n"
         "run 'srs_sim' with a subcommand; see the file header or\n"
         "README.md for the full flag list per subcommand.\n");
 }
@@ -291,6 +363,8 @@ main(int argc, char **argv)
     try {
         if (cmd == "perf")
             return cmdPerf(opts);
+        if (cmd == "sweep")
+            return cmdSweep(opts);
         if (cmd == "attack")
             return cmdAttack(opts);
         if (cmd == "storage")
