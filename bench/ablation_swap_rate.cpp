@@ -12,11 +12,15 @@
  * which is exactly what Scale-SRS's swap-count detection plus LLC
  * pinning absorbs.  Together the two halves justify the paper's
  * choice of rate 3 (with pinning) over RRS's rate 6 (without).
+ *
+ * The perf grid runs through SweepRunner (SRS_BENCH_THREADS
+ * overrides the worker count).
  */
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "security/outlier_model.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -28,26 +32,32 @@ main()
     // The analytic outlier sweep covers all rates; the cycle-level
     // perf sweep uses the design-relevant subset to bound runtime.
     const std::uint32_t allRates[] = {2, 3, 4, 6, 8};
-    const std::uint32_t rates[] = {3, 6, 8};
 
     header("performance vs swap rate (T_RH = 1200, geomean)");
     ExperimentConfig exp = benchExperiment();
-    BaselineCache base(exp);
-    const auto workloads = benchWorkloads();
+    SweepGrid grid;
+    grid.workloads = benchWorkloadNames();
+    grid.mitigations = {MitigationKind::ScaleSrs, MitigationKind::Srs};
+    grid.trhs = {1200};
+    grid.swapRates = {3, 6, 8};
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(grid);
+
     std::printf("%-12s", "defense");
-    for (const std::uint32_t rate : rates)
+    for (const std::uint32_t rate : grid.swapRates)
         std::printf("  rate=%-6u", rate);
     std::printf("\n");
-    for (const MitigationKind kind :
-         {MitigationKind::ScaleSrs, MitigationKind::Srs}) {
-        std::printf("%-12s", mitigationKindName(kind));
-        for (const std::uint32_t rate : rates) {
+    // Expansion order: workloads, then mitigations, then rates.
+    const std::size_t nMit = grid.mitigations.size();
+    const std::size_t nRate = grid.swapRates.size();
+    for (std::size_t mi = 0; mi < nMit; ++mi) {
+        std::printf("%-12s", mitigationKindName(grid.mitigations[mi]));
+        for (std::size_t ri = 0; ri < nRate; ++ri) {
             std::vector<double> norms;
-            for (const WorkloadProfile &w : workloads)
+            for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi)
                 norms.push_back(
-                    normalized(base, exp, kind, 1200, rate, w));
+                    results[(wi * nMit + mi) * nRate + ri].normalized);
             std::printf("  %-11.4f", geoMean(norms));
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

@@ -1,6 +1,8 @@
 /**
  * @file
- * Shared plumbing for the figure/table reproduction benches.
+ * Shared plumbing for the figure/table reproduction benches.  All
+ * multi-configuration benches run their grids through SweepRunner
+ * (sim/sweep.hh), which owns the baseline runs and normalization.
  *
  * Environment knobs:
  *  - SRS_BENCH_CYCLES:  simulated CPU cycles per run (default 1.2M)
@@ -15,7 +17,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -66,43 +67,14 @@ benchWorkloads()
     return out;
 }
 
-/** Cache of baseline IPCs: the unprotected system is T_RH-agnostic. */
-class BaselineCache
+/** Names of the default workload subset (sweep-grid workload axis). */
+inline std::vector<std::string>
+benchWorkloadNames()
 {
-  public:
-    explicit BaselineCache(const ExperimentConfig &exp) : exp_(exp) {}
-
-    double
-    ipcOf(const WorkloadProfile &profile)
-    {
-        const auto it = cache_.find(profile.name);
-        if (it != cache_.end())
-            return it->second;
-        const SystemConfig cfg =
-            makeSystemConfig(exp_, MitigationKind::None, 4800, 6);
-        const double ipc =
-            runWorkload(cfg, profile, exp_).aggregateIpc;
-        cache_.emplace(profile.name, ipc);
-        return ipc;
-    }
-
-  private:
-    ExperimentConfig exp_;
-    std::map<std::string, double> cache_;
-};
-
-/** Normalized performance of one protected run. */
-inline double
-normalized(BaselineCache &base, const ExperimentConfig &exp,
-           MitigationKind kind, std::uint32_t trh, std::uint32_t rate,
-           const WorkloadProfile &profile,
-           TrackerKind tracker = TrackerKind::MisraGries)
-{
-    const SystemConfig cfg =
-        makeSystemConfig(exp, kind, trh, rate, tracker);
-    const double ipc = runWorkload(cfg, profile, exp).aggregateIpc;
-    const double b = base.ipcOf(profile);
-    return b > 0.0 ? ipc / b : 1.0;
+    std::vector<std::string> names;
+    for (const WorkloadProfile &w : benchWorkloads())
+        names.push_back(w.name);
+    return names;
 }
 
 /** Pretty header for a bench section. */

@@ -7,12 +7,14 @@
  *     {4800, 2400, 1200}.  Paper anchor: > 10^3 days at T_RH 4800
  *     with swap rate 6.
  * (b) Normalized performance of RRS as T_RH drops — the motivation
- *     for a scalable design.
+ *     for a scalable design.  The grid runs through SweepRunner
+ *     (SRS_BENCH_THREADS overrides the worker count).
  */
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "security/attack_model.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -44,17 +46,23 @@ main()
 
     header("Figure 1(b): normalized performance of RRS vs T_RH");
     const ExperimentConfig exp = benchExperiment();
-    BaselineCache base(exp);
-    const auto workloads = benchWorkloads();
+    SweepGrid grid;
+    grid.workloads = benchWorkloadNames();
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {4800, 2400, 1200};
+    grid.swapRates = {6};
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(grid);
+
     std::printf("%-10s%12s%12s%12s\n", "T_RH", "4800", "2400", "1200");
     std::printf("%-10s", "RRS");
-    for (const std::uint32_t trh : {4800u, 2400u, 1200u}) {
+    // Expansion order: workloads outermost, then the three T_RHs.
+    const std::size_t nTrh = grid.trhs.size();
+    for (std::size_t ti = 0; ti < nTrh; ++ti) {
         std::vector<double> norms;
-        for (const WorkloadProfile &w : workloads)
-            norms.push_back(normalized(base, exp, MitigationKind::Rrs,
-                                       trh, 6, w));
+        for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi)
+            norms.push_back(results[wi * nTrh + ti].normalized);
         std::printf("%12.4f", geoMean(norms));
-        std::fflush(stdout);
     }
     std::printf("\n");
     return 0;

@@ -7,6 +7,11 @@
  *
  * Paper anchors: cliffs where k drops; minimum < 4 hours at T_RH
  * 4800 (N ~ 1100); one-epoch breaks at T_RH <= 2400.
+ *
+ * The Monte-Carlo campaigns are sharded across the thread pool via
+ * MonteCarloBatch (SRS_BENCH_THREADS overrides the worker count);
+ * results are shard-deterministic, so any thread count reproduces
+ * the same numbers.
  */
 
 #include "bench_util.hh"
@@ -28,7 +33,7 @@ main()
         AttackParams p;
         p.trh = trh;
         JuggernautModel model(p);
-        MonteCarloAttack mc(p, 0x5EED + trh);
+        MonteCarloBatch mc(p, 0x5EED + trh, benchThreads());
         std::printf("-- T_RH = %u --\n", trh);
         for (std::uint64_t n = 0; n <= 1400; n += 100) {
             const AttackResult a = model.evaluateRrs(n);

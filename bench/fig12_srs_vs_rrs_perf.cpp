@@ -23,11 +23,9 @@ main()
     setQuietLogging(true);
 
     const ExperimentConfig exp = benchExperiment();
-    const auto workloads = benchWorkloads();
 
     SweepGrid grid;
-    for (const WorkloadProfile &w : workloads)
-        grid.workloads.push_back(w.name);
+    grid.workloads = benchWorkloadNames();
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::Srs};
     grid.trhs = {1200, 2400, 4800};
     grid.swapRates = {6};
@@ -45,7 +43,7 @@ main()
         std::printf("%-14s", mitigationKindName(grid.mitigations[mi]));
         for (std::size_t ti = 0; ti < nTrh; ++ti) {
             std::vector<double> norms;
-            for (std::size_t wi = 0; wi < workloads.size(); ++wi)
+            for (std::size_t wi = 0; wi < grid.workloads.size(); ++wi)
                 norms.push_back(
                     results[(wi * nMit + mi) * nTrh + ti].normalized);
             std::printf("%12.4f", geoMean(norms));

@@ -7,9 +7,10 @@
  * Paper shape: RRS loses ~4% on average with >10% outliers (gcc
  * worst at 26.5%); Scale-SRS loses ~0.7%.
  *
- * The per-workload cells run through SweepRunner (two cells per
- * workload), so wall-clock scales down with core count; the MIX
- * points need runWorkloadMix and stay serial.
+ * Every point — per-workload cells and the MIX points (per-core
+ * profile draws routed through runWorkloadMix) — runs through
+ * SweepRunner, two cells per workload, so wall-clock scales down
+ * with core count (SRS_BENCH_THREADS overrides).
  */
 
 #include "bench_util.hh"
@@ -26,21 +27,30 @@ main()
     const ExperimentConfig exp = benchExperiment();
     constexpr std::uint32_t trh = 1200;
 
-    // Two cells per workload: RRS at rate 6, Scale-SRS at rate 3.
+    // Two cells per point: RRS at rate 6, Scale-SRS at rate 3.  The
+    // MIX points (per-core random benchmark combinations) follow the
+    // single-workload points in the same cell list.
+    constexpr std::uint32_t kMixes = 2;
     std::vector<SweepCell> cells;
     const auto workloads = benchWorkloads();
-    for (const WorkloadProfile &w : workloads) {
-        SweepCell rrs;
-        rrs.workload = w.name;
+    const auto appendPair = [&](const SweepCell &proto) {
+        SweepCell rrs = proto;
         rrs.mitigation = MitigationKind::Rrs;
         rrs.trh = trh;
         rrs.swapRate = 6;
         cells.push_back(rrs);
-        SweepCell scale = rrs;
+        SweepCell scale = std::move(rrs);
         scale.mitigation = MitigationKind::ScaleSrs;
         scale.swapRate = 3;
-        cells.push_back(scale);
+        cells.push_back(std::move(scale));
+    };
+    for (const WorkloadProfile &w : workloads) {
+        SweepCell proto;
+        proto.workload = w.name;
+        appendPair(proto);
     }
+    for (std::uint32_t mix = 0; mix < kMixes; ++mix)
+        appendPair(mixSweepCell(mix, exp.numCores));
     SweepRunner runner(exp, benchThreads());
     const std::vector<SweepResult> results = runner.run(cells);
 
@@ -63,25 +73,14 @@ main()
         std::fflush(stdout);
     }
 
-    // MIX workloads (per-core random benchmark combinations).
-    for (std::uint32_t mix = 0; mix < 2; ++mix) {
-        const auto perCore = mixWorkload(mix, exp.numCores);
-        const SystemConfig baseCfg =
-            makeSystemConfig(exp, MitigationKind::None, trh, 6);
-        const SystemConfig rrsCfg =
-            makeSystemConfig(exp, MitigationKind::Rrs, trh, 6);
-        const SystemConfig scaleCfg =
-            makeSystemConfig(exp, MitigationKind::ScaleSrs, trh, 3);
-        const double b =
-            runWorkloadMix(baseCfg, perCore, exp).aggregateIpc;
-        const double rrs =
-            runWorkloadMix(rrsCfg, perCore, exp).aggregateIpc / b;
-        const double scale =
-            runWorkloadMix(scaleCfg, perCore, exp).aggregateIpc / b;
-        rrsAll.push_back(rrs);
-        scaleAll.push_back(scale);
-        std::printf("mix%-13u%12.4f%14.4f\n", mix, rrs, scale);
-        std::fflush(stdout);
+    for (std::uint32_t mix = 0; mix < kMixes; ++mix) {
+        const std::size_t at = 2 * (workloads.size() + mix);
+        const SweepResult &rrs = results[at];
+        const SweepResult &scale = results[at + 1];
+        rrsAll.push_back(rrs.normalized);
+        scaleAll.push_back(scale.normalized);
+        std::printf("mix%-13u%12.4f%14.4f\n", mix, rrs.normalized,
+                    scale.normalized);
     }
 
     std::printf("%-16s%12.4f%14.4f\n", "ALL (geomean)",

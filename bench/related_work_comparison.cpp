@@ -8,7 +8,9 @@
  *  1. BlockHammer's DoS exposure: the enforced per-activation delay
  *     for a blacklisted row as T_RH drops (paper anchor: ~20 us at
  *     T_RH 4800), versus Scale-SRS which delays nothing.
- *  2. Normalized performance on benign workloads at T_RH = 1200.
+ *  2. Normalized performance on benign workloads at T_RH = 1200
+ *     (the grid runs through SweepRunner; SRS_BENCH_THREADS
+ *     overrides the worker count).
  *  3. Per-bank SRAM and DRAM capacity costs.
  */
 
@@ -16,6 +18,7 @@
 #include "common/logging.hh"
 #include "mitigation/aqua.hh"
 #include "mitigation/blockhammer.hh"
+#include "sim/sweep.hh"
 #include "tracker/misra_gries.hh"
 
 namespace
@@ -64,7 +67,6 @@ main()
 
     header("benign performance at T_RH = 1200 (norm. to baseline)");
     ExperimentConfig exp = benchExperiment();
-    BaselineCache base(exp);
     const auto workloads = benchWorkloads();
     struct Point
     {
@@ -78,19 +80,34 @@ main()
         {"aqua", MitigationKind::Aqua, 6},
         {"rrs", MitigationKind::Rrs, 6},
     };
+    // Per-point swap rates differ, so build the cells explicitly
+    // (workload outer, defense inner) and fan out via SweepRunner.
+    std::vector<SweepCell> cells;
+    for (const WorkloadProfile &w : workloads) {
+        for (const Point &pt : points) {
+            SweepCell cell;
+            cell.workload = w.name;
+            cell.mitigation = pt.kind;
+            cell.trh = 1200;
+            cell.swapRate = pt.rate;
+            cells.push_back(std::move(cell));
+        }
+    }
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(cells);
+
     std::printf("%-13s", "workload");
     for (const Point &pt : points)
         std::printf(" %12s", pt.label);
     std::printf("\n");
     std::vector<std::vector<double>> cols(std::size(points));
-    for (const WorkloadProfile &w : workloads) {
-        std::printf("%-13s", w.name.c_str());
+    for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+        std::printf("%-13s", workloads[wi].name.c_str());
         for (std::size_t i = 0; i < std::size(points); ++i) {
-            const double n = normalized(base, exp, points[i].kind,
-                                        1200, points[i].rate, w);
+            const double n =
+                results[wi * std::size(points) + i].normalized;
             cols[i].push_back(n);
             std::printf(" %12.4f", n);
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

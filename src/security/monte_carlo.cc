@@ -1,8 +1,13 @@
 #include "security/monte_carlo.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <vector>
 
+#include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/thread_pool.hh"
 
 namespace srs
 {
@@ -84,6 +89,137 @@ MonteCarloResult
 MonteCarloAttack::runSrs(std::uint64_t iterations)
 {
     return run(model_.evaluateSrs(), iterations, 100000);
+}
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+MonteCarloBatch::MonteCarloBatch(const AttackParams &params,
+                                 std::uint64_t seed,
+                                 std::size_t threads)
+    : params_(params), seed_(seed), pool_(threads)
+{
+}
+
+std::size_t
+MonteCarloBatch::threadCount() const
+{
+    return pool_.threadCount();
+}
+
+std::uint64_t
+MonteCarloBatch::shardSeed(std::uint64_t base, std::size_t shard)
+{
+    if (shard == 0)
+        return base;
+    return splitmix64(base ^ splitmix64(shard));
+}
+
+std::size_t
+MonteCarloBatch::resolveShards(std::size_t requested,
+                               std::uint64_t iterations)
+{
+    std::uint64_t shards = requested == 0 ? 16 : requested;
+    shards = std::min<std::uint64_t>(shards, std::max<std::uint64_t>(
+                                                 iterations, 1));
+    return static_cast<std::size_t>(shards);
+}
+
+MonteCarloResult
+MonteCarloBatch::runShards(
+    std::uint64_t iterations, std::size_t shards,
+    const std::function<MonteCarloResult(MonteCarloAttack &,
+                                         std::uint64_t)> &shardRun)
+{
+    shards = resolveShards(shards, iterations);
+    const std::uint64_t perShard = iterations / shards;
+    const std::uint64_t remainder = iterations % shards;
+
+    std::vector<MonteCarloResult> parts(shards);
+    std::mutex errorMutex;
+    std::string errorMsg;
+    for (std::size_t s = 0; s < shards; ++s) {
+        pool_.submit([&, s] {
+            try {
+                MonteCarloAttack attack(params_, shardSeed(seed_, s));
+                const std::uint64_t iters =
+                    perShard + (s < remainder ? 1 : 0);
+                parts[s] = shardRun(attack, iters);
+            } catch (const FatalError &err) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (errorMsg.empty())
+                    errorMsg = err.what();
+            }
+        });
+    }
+    pool_.wait();
+    if (!errorMsg.empty())
+        throw FatalError(errorMsg);
+
+    // A one-shard batch IS the serial campaign; return it verbatim.
+    if (shards == 1)
+        return parts[0];
+
+    // Deterministic reduction: reconstruct each shard's time sums
+    // from its mean/stddev and fold them in shard order.  Pure
+    // arithmetic over the shard results, so the outcome is the same
+    // for every thread count.
+    MonteCarloResult out;
+    out.feasible = true;
+    double sum = 0.0;
+    double sumSq = 0.0;
+    for (const MonteCarloResult &part : parts) {
+        out.iterations += part.iterations;
+        out.feasible = out.feasible && part.feasible;
+        const double n = static_cast<double>(part.iterations);
+        sum += part.meanTimeSec * n;
+        sumSq += (part.stddevTimeSec * part.stddevTimeSec +
+                  part.meanTimeSec * part.meanTimeSec) *
+                 n;
+    }
+    if (!out.feasible || out.iterations == 0)
+        return out;
+    const double n = static_cast<double>(out.iterations);
+    out.meanTimeSec = sum / n;
+    out.meanEpochs = out.meanTimeSec / params_.epochSec;
+    const double var = std::max(0.0, sumSq / n -
+                                         out.meanTimeSec *
+                                             out.meanTimeSec);
+    out.stddevTimeSec = std::sqrt(var);
+    return out;
+}
+
+MonteCarloResult
+MonteCarloBatch::runRrs(std::uint64_t rounds, std::uint64_t iterations,
+                        std::uint64_t epochLoopLimit,
+                        std::size_t shards)
+{
+    return runShards(iterations, shards,
+                     [rounds, epochLoopLimit](MonteCarloAttack &mc,
+                                              std::uint64_t iters) {
+                         return mc.runRrs(rounds, iters,
+                                          epochLoopLimit);
+                     });
+}
+
+MonteCarloResult
+MonteCarloBatch::runSrs(std::uint64_t iterations, std::size_t shards)
+{
+    return runShards(iterations, shards,
+                     [](MonteCarloAttack &mc, std::uint64_t iters) {
+                         return mc.runSrs(iters);
+                     });
 }
 
 } // namespace srs

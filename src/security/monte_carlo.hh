@@ -11,14 +11,23 @@
  * small to iterate epoch-by-epoch the epoch count is drawn from the
  * exact geometric distribution instead — statistically identical,
  * just without the O(1/p) loop.
+ *
+ * Trials are independent, so MonteCarloBatch shards a campaign
+ * across a ThreadPool: each shard is a MonteCarloAttack with its own
+ * derived seed, and the shard results are reduced in shard order, so
+ * a batch result depends only on (seed, iterations, shard count) —
+ * never on the thread count or completion order.
  */
 
 #ifndef SRS_SECURITY_MONTE_CARLO_HH
 #define SRS_SECURITY_MONTE_CARLO_HH
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 #include "security/attack_model.hh"
 
 namespace srs
@@ -27,30 +36,46 @@ namespace srs
 /** Aggregate outcome of a Monte-Carlo campaign. */
 struct MonteCarloResult
 {
+    /** Number of independent trials behind the statistics. */
     std::uint64_t iterations = 0;
+    /** Mean refresh epochs until the first successful epoch. */
     double meanEpochs = 0.0;
+    /** Mean attack time (meanEpochs x AttackParams::epochSec). */
     double meanTimeSec = 0.0;
+    /** Standard deviation of the per-trial attack time. */
     double stddevTimeSec = 0.0;
+    /** False when the analytic model says the attack cannot land. */
     bool feasible = false;
 };
 
-/** Monte-Carlo attack simulator. */
+/** Single-threaded Monte-Carlo attack simulator. */
 class MonteCarloAttack
 {
   public:
+    /**
+     * @param params attack/system parameters (also fed to the
+     *               analytical JuggernautModel that derives G and k)
+     * @param seed   RNG seed; equal seeds replay equal campaigns
+     */
     MonteCarloAttack(const AttackParams &params, std::uint64_t seed);
 
     /**
      * Simulate the Juggernaut attack on RRS with N biasing rounds.
+     * @param rounds biasing rounds N (see JuggernautModel)
      * @param iterations number of independent trials
      * @param epochLoopLimit trials iterate epoch-by-epoch while the
      *        per-epoch success probability exceeds 1/epochLoopLimit
+     * @return aggregate statistics over the trials
      */
     MonteCarloResult runRrs(std::uint64_t rounds,
                             std::uint64_t iterations,
                             std::uint64_t epochLoopLimit = 100000);
 
-    /** Simulate the random-guess attack on SRS (no latent rounds). */
+    /**
+     * Simulate the random-guess attack on SRS (no latent rounds).
+     * @param iterations number of independent trials
+     * @return aggregate statistics over the trials
+     */
     MonteCarloResult runSrs(std::uint64_t iterations);
 
   private:
@@ -61,6 +86,80 @@ class MonteCarloAttack
     AttackParams params_;
     JuggernautModel model_;
     Rng rng_;
+};
+
+/**
+ * Thread-pool-backed Monte-Carlo campaign runner.
+ *
+ * Iterations are embarrassingly parallel: the campaign is split into
+ * shards, shard s running floor(iterations / shards) (+1 for the
+ * first iterations % shards shards) trials on its own
+ * MonteCarloAttack seeded with shardSeed(seed, s).  Shard statistics
+ * are reduced in shard order, making the result a pure function of
+ * (params, seed, iterations, shard count): any thread count produces
+ * bit-identical output.  A single-shard batch returns exactly what a
+ * serial MonteCarloAttack with the same seed returns.
+ */
+class MonteCarloBatch
+{
+  public:
+    /**
+     * @param params  attack/system parameters, as MonteCarloAttack
+     * @param seed    campaign base seed; per-shard seeds derive from
+     *                it via shardSeed()
+     * @param threads worker count; 0 picks hardware concurrency.
+     *                Changing it never changes results.
+     */
+    MonteCarloBatch(const AttackParams &params, std::uint64_t seed,
+                    std::size_t threads = 0);
+
+    /**
+     * Batched MonteCarloAttack::runRrs.
+     * @param rounds biasing rounds N
+     * @param iterations total trials across all shards
+     * @param epochLoopLimit as MonteCarloAttack::runRrs
+     * @param shards shard count; 0 picks min(iterations, 16).
+     *        Results depend on the shard count (each shard is its
+     *        own RNG stream) but not on the thread count.
+     */
+    MonteCarloResult runRrs(std::uint64_t rounds,
+                            std::uint64_t iterations,
+                            std::uint64_t epochLoopLimit = 100000,
+                            std::size_t shards = 0);
+
+    /**
+     * Batched MonteCarloAttack::runSrs.
+     * @param iterations total trials across all shards
+     * @param shards shard count; 0 picks min(iterations, 16)
+     */
+    MonteCarloResult runSrs(std::uint64_t iterations,
+                            std::size_t shards = 0);
+
+    /** Worker threads actually in use. */
+    std::size_t threadCount() const;
+
+    /**
+     * Seed of shard @p shard: the base seed itself for shard 0 (so a
+     * one-shard batch replays the serial campaign bit-for-bit),
+     * splitmix64-derived for the rest.
+     */
+    static std::uint64_t shardSeed(std::uint64_t base,
+                                   std::size_t shard);
+
+    /** Resolve a shard count: 0 -> min(iterations, 16), >= 1. */
+    static std::size_t resolveShards(std::size_t requested,
+                                     std::uint64_t iterations);
+
+  private:
+    MonteCarloResult
+    runShards(std::uint64_t iterations, std::size_t shards,
+              const std::function<MonteCarloResult(
+                  MonteCarloAttack &, std::uint64_t)> &shardRun);
+
+    AttackParams params_;
+    std::uint64_t seed_;
+    /** Reused across campaigns (wait() makes the pool reusable). */
+    ThreadPool pool_;
 };
 
 } // namespace srs

@@ -4,6 +4,11 @@
  * them for a fixed cycle budget, and reports normalized performance
  * against the unprotected baseline — the methodology behind every
  * performance figure (4, 12, 14, 15, 16).
+ *
+ * Multi-configuration grids should go through SweepRunner
+ * (sim/sweep.hh), which fans these primitives across a thread pool
+ * with deterministic per-cell seeding; the functions here run one
+ * simulation on the calling thread.
  */
 
 #ifndef SRS_SIM_EXPERIMENT_HH
@@ -22,13 +27,21 @@ namespace srs
 /** Result of one simulation run. */
 struct RunResult
 {
+    /** Sum of per-core IPCs over the measured window. */
     double aggregateIpc = 0.0;
+    /** Per-core IPC, indexed by core id. */
     std::vector<double> coreIpc;
+    /** Row swaps performed by the mitigation (AQUA: quarantine moves). */
     std::uint64_t swaps = 0;
+    /** Immediate unswap operations (RRS-style restores). */
     std::uint64_t unswapSwaps = 0;
+    /** Epoch-boundary place-backs plus lazy restores. */
     std::uint64_t placeBacks = 0;
+    /** Activations that landed on not-yet-restored (latent) rows. */
     std::uint64_t latentActivations = 0;
+    /** Hottest row's activation count in any single epoch. */
     std::uint64_t maxRowActivations = 0;
+    /** Rows parked in the LLC pin buffer (Scale-SRS outliers). */
     std::uint64_t rowsPinned = 0;
 };
 
@@ -43,11 +56,23 @@ struct ExperimentConfig
     /** Scaled-down refresh interval for tractable runs (default:
      *  1 ms at 3.2 GHz; thresholds stay unscaled — see DESIGN.md). */
     Cycle epochLen = 3'200'000;
+    /** Cores per simulated system (the paper evaluates 8). */
     std::uint32_t numCores = 8;
+    /** Trace/RIT base seed; equal seeds replay equal runs. */
     std::uint64_t seed = 0xBEEFULL;
 };
 
-/** Build the SystemConfig for one (mitigation, trh, swapRate) point. */
+/**
+ * Build the SystemConfig for one (mitigation, trh, swapRate) point.
+ *
+ * @param exp      shared harness knobs (cores, epoch, seed)
+ * @param kind     mitigation to wire (MitigationKind::None for the
+ *                 unprotected baseline)
+ * @param trh      Row Hammer threshold T_RH
+ * @param swapRate swaps per T_SWAP window (the paper's rate knob)
+ * @param tracker  aggressor tracker implementation
+ * @return a SystemConfig ready for System construction
+ */
 SystemConfig makeSystemConfig(const ExperimentConfig &exp,
                               MitigationKind kind, std::uint32_t trh,
                               std::uint32_t swapRate,
@@ -57,26 +82,47 @@ SystemConfig makeSystemConfig(const ExperimentConfig &exp,
 /**
  * Run one workload (same profile on every core, rate mode) on a
  * configured system.
+ *
+ * @param sysCfg  system under test (makeSystemConfig())
+ * @param profile synthetic benchmark profile driving every core
+ * @param exp     cycle budget, warmup and trace seed
+ * @return aggregate statistics of the run
  */
 RunResult runWorkload(const SystemConfig &sysCfg,
                       const WorkloadProfile &profile,
                       const ExperimentConfig &exp);
 
-/** Run a MIX workload (per-core profiles). */
+/**
+ * Run a MIX workload (per-core profiles).
+ *
+ * @param sysCfg  system under test
+ * @param perCore one profile per core; size must equal
+ *                sysCfg.numCores
+ * @param exp     cycle budget, warmup and trace seed
+ * @return aggregate statistics of the run
+ */
 RunResult runWorkloadMix(const SystemConfig &sysCfg,
                          const std::vector<WorkloadProfile> &perCore,
                          const ExperimentConfig &exp);
 
 /**
  * Normalized performance of @p kind vs. the unprotected baseline for
- * one workload: IPC(kind) / IPC(baseline).
+ * one workload: IPC(kind) / IPC(baseline).  Both runs replay the
+ * same trace seed.
+ *
+ * @return the IPC ratio, or 1.0 when the baseline IPC is zero
  */
 double normalizedPerf(const ExperimentConfig &exp, MitigationKind kind,
                       std::uint32_t trh, std::uint32_t swapRate,
                       const WorkloadProfile &profile,
                       TrackerKind tracker = TrackerKind::MisraGries);
 
-/** Geometric mean, the figure-of-merit for suite averages. */
+/**
+ * Geometric mean, the figure-of-merit for suite averages.
+ *
+ * @param values strictly positive samples (normalized IPCs)
+ * @return the geometric mean, or 0.0 for an empty input
+ */
 double geoMean(const std::vector<double> &values);
 
 } // namespace srs

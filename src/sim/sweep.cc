@@ -1,6 +1,9 @@
 #include "sim/sweep.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
@@ -12,18 +15,27 @@
 namespace srs
 {
 
+SweepCell
+mixSweepCell(std::uint32_t index, std::uint32_t cores)
+{
+    SweepCell cell;
+    cell.workload = "mix" + std::to_string(index);
+    for (const WorkloadProfile &p : mixWorkload(index, cores))
+        cell.mixProfiles.push_back(p.name);
+    return cell;
+}
+
 std::vector<SweepCell>
 SweepGrid::expand() const
 {
     std::vector<SweepCell> cells;
-    cells.reserve(workloads.size() * mitigations.size() * trhs.size()
-                  * swapRates.size());
-    for (const std::string &w : workloads) {
+    cells.reserve((workloads.size() + mixCount) * mitigations.size()
+                  * trhs.size() * swapRates.size());
+    const auto appendInner = [&](const SweepCell &proto) {
         for (const MitigationKind m : mitigations) {
             for (const std::uint32_t trh : trhs) {
                 for (const std::uint32_t rate : swapRates) {
-                    SweepCell cell;
-                    cell.workload = w;
+                    SweepCell cell = proto;
                     cell.mitigation = m;
                     cell.trh = trh;
                     cell.swapRate = rate;
@@ -32,7 +44,14 @@ SweepGrid::expand() const
                 }
             }
         }
+    };
+    for (const std::string &w : workloads) {
+        SweepCell proto;
+        proto.workload = w;
+        appendInner(proto);
     }
+    for (std::uint32_t mix = 0; mix < mixCount; ++mix)
+        appendInner(mixSweepCell(mix, mixCores));
     return cells;
 }
 
@@ -59,6 +78,44 @@ fnv1a(const std::string &s)
     return h;
 }
 
+/** Total fields of one CSV data row (7-column identity prefix +
+ *  8-column measurement payload). */
+constexpr std::size_t kRowColumns = 15;
+
+/**
+ * The first seven columns ("index,workload,mitigation,tracker,trh,
+ * rate,seed,") — the cell identity a resume row must reproduce.
+ */
+std::string
+keyPrefix(std::size_t index, const SweepCell &cell, std::uint64_t seed)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%u,%u,0x%016llx,",
+                  index, cell.workload.c_str(),
+                  mitigationKindName(cell.mitigation),
+                  trackerKindName(cell.tracker), cell.trh,
+                  cell.swapRate,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+/** Split one CSV line into its comma-separated fields. */
+std::vector<std::string>
+splitFields(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string::size_type start = 0;
+    for (;;) {
+        const auto comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            fields.push_back(line.substr(start));
+            return fields;
+        }
+        fields.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
 } // namespace
 
 std::uint64_t
@@ -70,6 +127,18 @@ SweepRunner::cellSeed(std::uint64_t base, const std::string &workload)
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
     : exp_(exp), threads_(ThreadPool::resolveThreads(threads))
 {
+}
+
+void
+SweepRunner::setJournal(const std::string &path)
+{
+    journalPath_ = path;
+}
+
+void
+SweepRunner::setResume(const std::string &path)
+{
+    resumePath_ = path;
 }
 
 std::size_t
@@ -84,20 +153,150 @@ SweepRunner::run(const SweepGrid &grid)
     return run(grid.expand());
 }
 
+void
+SweepRunner::loadResume(const std::vector<SweepCell> &cells,
+                        std::vector<SweepResult> &results,
+                        std::vector<char> &done) const
+{
+    std::ifstream in(resumePath_);
+    if (!in)
+        fatal("cannot open resume file '", resumePath_, "'");
+    std::string line;
+    while (std::getline(in, line)) {
+        // An interrupted writer can leave a torn final line — every
+        // complete row ends with '\n', so a line that ran into EOF
+        // instead may be cut anywhere (even mid-digit of the last
+        // field, where it still splits into 15 plausible fields).
+        // Never trust it; the cell is simply recomputed.
+        if (in.eof())
+            continue;
+        if (line.empty() || line.rfind("index,workload", 0) == 0)
+            continue;
+        const std::vector<std::string> fields = splitFields(line);
+        if (fields.size() != kRowColumns || fields.back().empty())
+            continue;
+        char *end = nullptr;
+        const unsigned long long index =
+            std::strtoull(fields[0].c_str(), &end, 10);
+        if (end == fields[0].c_str() || *end != '\0')
+            continue;
+        if (index >= cells.size()) {
+            fatal("resume file '", resumePath_, "': row index ",
+                  fields[0], " is outside this sweep's ",
+                  cells.size(), "-cell grid");
+        }
+        const std::size_t i = static_cast<std::size_t>(index);
+        const std::string expected =
+            keyPrefix(i, cells[i], cellSeed(exp_.seed, cells[i].workload));
+        if (line.compare(0, expected.size(), expected) != 0) {
+            fatal("resume file '", resumePath_, "': row ", fields[0],
+                  " does not match this sweep's cell (different grid "
+                  "or --seed?)\n  row:      ", line,
+                  "\n  expected: ", expected, "...");
+        }
+        SweepResult &r = results[i];
+        r.cell = cells[i];
+        r.seed = cellSeed(exp_.seed, cells[i].workload);
+        r.run.aggregateIpc = std::strtod(fields[7].c_str(), nullptr);
+        r.baselineIpc = std::strtod(fields[8].c_str(), nullptr);
+        r.normalized = std::strtod(fields[9].c_str(), nullptr);
+        r.run.swaps = std::strtoull(fields[10].c_str(), nullptr, 10);
+        r.run.unswapSwaps =
+            std::strtoull(fields[11].c_str(), nullptr, 10);
+        r.run.placeBacks =
+            std::strtoull(fields[12].c_str(), nullptr, 10);
+        r.run.rowsPinned =
+            std::strtoull(fields[13].c_str(), nullptr, 10);
+        r.run.maxRowActivations =
+            std::strtoull(fields[14].c_str(), nullptr, 10);
+        r.resumedRow = line;
+        done[i] = 1;
+    }
+}
+
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepCell> &cells)
 {
     // Validate every workload before any simulation starts, so a typo
     // is a clean fatal() in the calling thread, not a worker abort.
-    std::vector<std::string> workloads;
+    // MIX cells pre-resolve their per-core profiles here too, and a
+    // label reused with a different profile list is rejected (the
+    // label keys both the trace seed and the shared baseline).
+    struct Workload
+    {
+        std::string name;
+        const WorkloadProfile *single = nullptr;
+        std::vector<WorkloadProfile> perCore;
+    };
+    std::vector<Workload> workloads;
     std::unordered_map<std::string, std::size_t> workloadIndex;
-    for (const SweepCell &cell : cells) {
-        if (workloadIndex.count(cell.workload))
+    std::vector<std::size_t> keyOf(cells.size());
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+        const SweepCell &cell = cells[ci];
+        const auto it = workloadIndex.find(cell.workload);
+        if (it != workloadIndex.end()) {
+            const Workload &known = workloads[it->second];
+            std::vector<std::string> knownNames;
+            for (const WorkloadProfile &p : known.perCore)
+                knownNames.push_back(p.name);
+            if (knownNames != cell.mixProfiles) {
+                fatal("sweep cell ", ci, ": label '", cell.workload,
+                      "' reused with a different per-core profile "
+                      "list");
+            }
+            keyOf[ci] = it->second;
             continue;
-        profileByName(cell.workload); // fatal() on unknown names
+        }
+        Workload w;
+        w.name = cell.workload;
+        if (cell.mixProfiles.empty()) {
+            w.single = &profileByName(cell.workload); // fatal if unknown
+        } else {
+            if (cell.mixProfiles.size() != exp_.numCores) {
+                fatal("sweep cell ", ci, " ('", cell.workload,
+                      "'): ", cell.mixProfiles.size(),
+                      " per-core profiles but the experiment has ",
+                      exp_.numCores, " cores");
+            }
+            for (const std::string &name : cell.mixProfiles)
+                w.perCore.push_back(profileByName(name));
+        }
+        keyOf[ci] = workloads.size();
         workloadIndex.emplace(cell.workload, workloads.size());
-        workloads.push_back(cell.workload);
+        workloads.push_back(std::move(w));
     }
+
+    std::vector<SweepResult> results(cells.size());
+    std::vector<char> done(cells.size(), 0);
+    if (!resumePath_.empty())
+        loadResume(cells, results, done);
+
+    // The journal is rewritten each run: resumed rows first, so the
+    // file is a complete checkpoint even after repeated interruptions.
+    std::ofstream journal;
+    std::mutex journalMutex;
+    if (!journalPath_.empty()) {
+        journal.open(journalPath_, std::ios::trunc);
+        if (!journal)
+            fatal("cannot open journal '", journalPath_,
+                  "' for writing");
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (done[i])
+                journal << results[i].resumedRow << '\n';
+        }
+        if (!journal.flush())
+            fatal("error writing resumed rows to journal '",
+                  journalPath_, "'");
+    }
+    const auto journalAppend = [&](std::size_t i) {
+        if (!journal.is_open())
+            return;
+        const std::string row = formatRow(i, results[i]);
+        std::lock_guard<std::mutex> lock(journalMutex);
+        journal << row << '\n';
+        if (!journal.flush())
+            fatal("error appending to journal '", journalPath_, "'");
+    };
 
     ThreadPool pool(threads_);
 
@@ -120,19 +319,28 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             throw FatalError(errorMsg);
     };
 
-    // Phase 1: one unprotected baseline per distinct workload.  The
-    // baseline ignores trh/rate (no mitigation is wired), so any
-    // values work; mirror bench_util's BaselineCache choice.
+    // Phase 1: one unprotected baseline per distinct workload that
+    // still has pending cells.  The baseline ignores trh/rate (no
+    // mitigation is wired), so any values work.
+    std::vector<char> keyNeeded(workloads.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!done[i])
+            keyNeeded[keyOf[i]] = 1;
+    }
     std::vector<RunResult> baseline(workloads.size());
     for (std::size_t i = 0; i < workloads.size(); ++i) {
+        if (!keyNeeded[i])
+            continue;
         pool.submit([this, &workloads, &baseline, &record, i] {
             try {
+                const Workload &w = workloads[i];
                 ExperimentConfig exp = exp_;
-                exp.seed = cellSeed(exp_.seed, workloads[i]);
+                exp.seed = cellSeed(exp_.seed, w.name);
                 const SystemConfig cfg = makeSystemConfig(
                     exp, MitigationKind::None, 4800, 6);
-                baseline[i] = runWorkload(
-                    cfg, profileByName(workloads[i]), exp);
+                baseline[i] = w.single
+                                  ? runWorkload(cfg, *w.single, exp)
+                                  : runWorkloadMix(cfg, w.perCore, exp);
             } catch (const FatalError &err) {
                 record(i, err.what());
             }
@@ -141,45 +349,77 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     pool.wait();
     rethrow();
 
-    // Phase 2: every cell, each writing its pre-assigned slot.
-    // Unprotected cells replay the phase-1 baseline bit-for-bit
-    // (same seed, same config), so reuse it instead of re-running.
-    std::vector<SweepResult> results(cells.size());
-    for (std::size_t i = 0; i < cells.size(); ++i) {
-        if (cells[i].mitigation == MitigationKind::None)
-            continue;
-        pool.submit([this, &cells, &results, &record, i] {
-            try {
-                const SweepCell &cell = cells[i];
-                ExperimentConfig exp = exp_;
-                exp.seed = cellSeed(exp_.seed, cell.workload);
-                const SystemConfig cfg =
-                    makeSystemConfig(exp, cell.mitigation, cell.trh,
-                                     cell.swapRate, cell.tracker);
-                results[i].run =
-                    runWorkload(cfg, profileByName(cell.workload), exp);
-            } catch (const FatalError &err) {
-                record(i, err.what());
-            }
-        });
-    }
-    pool.wait();
-    rethrow();
-
-    for (std::size_t i = 0; i < cells.size(); ++i) {
+    // Fill one finished cell: identity, baseline normalization, and
+    // one journal line.  Safe concurrently — each call touches only
+    // its own slot and the journal lock serializes the append.
+    const auto finishCell = [&](std::size_t i) {
         SweepResult &r = results[i];
         r.cell = cells[i];
         r.seed = cellSeed(exp_.seed, cells[i].workload);
-        const RunResult &base =
-            baseline[workloadIndex.at(cells[i].workload)];
+        const RunResult &base = baseline[keyOf[i]];
         if (cells[i].mitigation == MitigationKind::None)
             r.run = base;
         r.baselineIpc = base.aggregateIpc;
         r.normalized = r.baselineIpc > 0.0
                            ? r.run.aggregateIpc / r.baselineIpc
                            : 1.0;
+        journalAppend(i);
+    };
+
+    // Unprotected cells replay the phase-1 baseline bit-for-bit
+    // (same seed, same config), so reuse it instead of re-running.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (!done[i] && cells[i].mitigation == MitigationKind::None)
+            finishCell(i);
     }
+
+    // Phase 2: every pending cell, each writing its pre-assigned slot.
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (done[i] || cells[i].mitigation == MitigationKind::None)
+            continue;
+        pool.submit([this, &cells, &workloads, &keyOf, &results,
+                     &finishCell, &record, i] {
+            try {
+                const SweepCell &cell = cells[i];
+                const Workload &w = workloads[keyOf[i]];
+                ExperimentConfig exp = exp_;
+                exp.seed = cellSeed(exp_.seed, cell.workload);
+                const SystemConfig cfg =
+                    makeSystemConfig(exp, cell.mitigation, cell.trh,
+                                     cell.swapRate, cell.tracker);
+                results[i].run =
+                    w.single ? runWorkload(cfg, *w.single, exp)
+                             : runWorkloadMix(cfg, w.perCore, exp);
+                finishCell(i);
+            } catch (const FatalError &err) {
+                record(i, err.what());
+            }
+        });
+    }
+    pool.wait();
+    rethrow();
     return results;
+}
+
+std::string
+SweepRunner::formatRow(std::size_t index, const SweepResult &r)
+{
+    char buf[512];
+    std::snprintf(
+        buf, sizeof(buf),
+        "%zu,%s,%s,%s,%u,%u,0x%016llx,%.6f,%.6f,%.6f,%llu,%llu,"
+        "%llu,%llu,%llu",
+        index, r.cell.workload.c_str(),
+        mitigationKindName(r.cell.mitigation),
+        trackerKindName(r.cell.tracker), r.cell.trh, r.cell.swapRate,
+        static_cast<unsigned long long>(r.seed), r.run.aggregateIpc,
+        r.baselineIpc, r.normalized,
+        static_cast<unsigned long long>(r.run.swaps),
+        static_cast<unsigned long long>(r.run.unswapSwaps),
+        static_cast<unsigned long long>(r.run.placeBacks),
+        static_cast<unsigned long long>(r.run.rowsPinned),
+        static_cast<unsigned long long>(r.run.maxRowActivations));
+    return buf;
 }
 
 void
@@ -191,23 +431,10 @@ SweepRunner::writeCsv(std::ostream &os,
           "rows_pinned,max_row_acts\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &r = results[i];
-        char buf[512];
-        std::snprintf(
-            buf, sizeof(buf),
-            "%zu,%s,%s,%s,%u,%u,0x%016llx,%.6f,%.6f,%.6f,%llu,%llu,"
-            "%llu,%llu,%llu\n",
-            i, r.cell.workload.c_str(),
-            mitigationKindName(r.cell.mitigation),
-            trackerKindName(r.cell.tracker), r.cell.trh,
-            r.cell.swapRate,
-            static_cast<unsigned long long>(r.seed),
-            r.run.aggregateIpc, r.baselineIpc, r.normalized,
-            static_cast<unsigned long long>(r.run.swaps),
-            static_cast<unsigned long long>(r.run.unswapSwaps),
-            static_cast<unsigned long long>(r.run.placeBacks),
-            static_cast<unsigned long long>(r.run.rowsPinned),
-            static_cast<unsigned long long>(r.run.maxRowActivations));
-        os << buf;
+        if (r.resumedRow.empty())
+            os << formatRow(i, r) << '\n';
+        else
+            os << r.resumedRow << '\n';
     }
 }
 

@@ -2,11 +2,10 @@
  * @file
  * Multi-threaded experiment-sweep engine.
  *
- * The performance figures all share one shape: run a grid of
- * (workload x mitigation x T_RH x swap-rate) experiment cells, each
- * an independent single-threaded simulation, and normalize against
- * the unprotected baseline of the same workload.  SweepRunner fans
- * that grid across a ThreadPool:
+ * The multi-configuration experiments all share one shape: run a
+ * grid of independent single-threaded simulation cells and normalize
+ * each against the unprotected baseline of the same workload and
+ * trace seed.  SweepRunner fans that grid across a ThreadPool:
  *
  *  - one baseline run per distinct workload (phase 1), then one run
  *    per cell (phase 2), all pool-parallel;
@@ -16,7 +15,15 @@
  *    runs replay the exact trace of their baseline;
  *  - results land in pre-assigned slots and are reported in cell
  *    order, so CSV output is byte-identical for threads=1 and
- *    threads=N.
+ *    threads=N;
+ *  - cells carrying a per-core profile list (MIX workloads) route
+ *    through runWorkloadMix with the same seeding and ordering
+ *    guarantees;
+ *  - completed cells are appended (one flushed line each) to an
+ *    optional sidecar journal, and a previous journal or truncated
+ *    CSV can be fed back via setResume() to skip already-computed
+ *    cells — the resumed output is byte-identical to an
+ *    uninterrupted run (docs/sweep-format.md has the file formats).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -32,10 +39,21 @@
 namespace srs
 {
 
-/** One experiment point of a sweep. */
+/**
+ * One experiment point of a sweep.
+ *
+ * Two flavours share the struct: a *rate-mode* cell (mixProfiles
+ * empty) runs `workload` on every core, while a *MIX* cell carries
+ * one profile name per core and `workload` is a label ("mix0") that
+ * keys the cell's trace seed and baseline.  Cells with the same
+ * label must carry the same profile list.
+ */
 struct SweepCell
 {
     std::string workload;
+    /** Per-core profile names; empty selects rate mode.  Must have
+     *  exactly ExperimentConfig::numCores entries when set. */
+    std::vector<std::string> mixProfiles;
     MitigationKind mitigation = MitigationKind::ScaleSrs;
     std::uint32_t trh = 1200;
     std::uint32_t swapRate = 3;
@@ -43,9 +61,18 @@ struct SweepCell
 };
 
 /**
+ * Build an unconfigured MIX cell for MIX point @p index: label
+ * "mix<index>" plus the deterministic per-core profile draw of
+ * mixWorkload(index, cores).  Caller fills mitigation/trh/rate.
+ */
+SweepCell mixSweepCell(std::uint32_t index, std::uint32_t cores);
+
+/**
  * Cross-product sweep description.  expand() enumerates cells in
  * row-major order: workloads outermost, then mitigations, then
- * trhs, then swapRates innermost.
+ * trhs, then swapRates innermost.  When mixCount > 0, MIX points
+ * mix0..mix<mixCount-1> follow the named workloads as additional
+ * outermost entries, crossed with the same inner axes.
  */
 struct SweepGrid
 {
@@ -54,6 +81,10 @@ struct SweepGrid
     std::vector<std::uint32_t> trhs;
     std::vector<std::uint32_t> swapRates;
     TrackerKind tracker = TrackerKind::MisraGries;
+    /** Number of MIX points appended after the named workloads. */
+    std::uint32_t mixCount = 0;
+    /** Cores per MIX point; must match ExperimentConfig::numCores. */
+    std::uint32_t mixCores = 8;
 
     std::vector<SweepCell> expand() const;
 };
@@ -69,6 +100,13 @@ struct SweepResult
     double baselineIpc = 0.0;
     /** run.aggregateIpc / baselineIpc (1.0 when baseline is zero). */
     double normalized = 1.0;
+    /**
+     * Verbatim CSV row recovered from a resume file; when non-empty
+     * the cell was not re-simulated and writeCsv() re-emits this
+     * exact line (guaranteeing byte-identity).  The numeric fields
+     * above are parsed back from it best-effort.
+     */
+    std::string resumedRow;
 };
 
 /** Thread-pool-backed sweep executor. */
@@ -84,9 +122,29 @@ class SweepRunner
     SweepRunner(const ExperimentConfig &exp, std::size_t threads);
 
     /**
-     * Run every cell (plus one baseline per distinct workload) and
-     * return results in cell order.  fatal()s on unknown workload
-     * names before any simulation starts.
+     * Append each completed cell's CSV row to @p path, one flushed
+     * line per cell in completion order.  The file is truncated at
+     * the start of run() (resumed cells are re-recorded first, so
+     * the journal is always a self-contained checkpoint).  An empty
+     * path disables journaling.
+     */
+    void setJournal(const std::string &path);
+
+    /**
+     * Before running, load completed rows from @p path — a sweep
+     * CSV (possibly truncated mid-file) or a journal — and skip
+     * re-simulating those cells.  Rows are validated against the
+     * grid (workload, mitigation, tracker, trh, rate, seed);
+     * a mismatch is fatal().  Incomplete trailing lines are
+     * ignored and recomputed.  An empty path disables resuming.
+     */
+    void setResume(const std::string &path);
+
+    /**
+     * Run every cell (plus one baseline per distinct workload that
+     * still has pending cells) and return results in cell order.
+     * fatal()s on unknown workload names, inconsistent MIX labels,
+     * or a mismatched resume file before any simulation starts.
      */
     std::vector<SweepResult> run(const std::vector<SweepCell> &cells);
 
@@ -97,9 +155,10 @@ class SweepRunner
 
     /**
      * Trace seed for one cell: splitmix64 over the base seed and an
-     * FNV-1a hash of the workload name.  Workload-only on purpose —
-     * every mitigation replays the identical trace, keeping
-     * normalization an apples-to-apples comparison.
+     * FNV-1a hash of the workload name (or MIX label).  Keyed by
+     * workload only on purpose — every mitigation replays the
+     * identical trace, keeping normalization an apples-to-apples
+     * comparison.
      */
     static std::uint64_t cellSeed(std::uint64_t base,
                                   const std::string &workload);
@@ -108,9 +167,23 @@ class SweepRunner
     static void writeCsv(std::ostream &os,
                          const std::vector<SweepResult> &results);
 
+    /**
+     * One CSV data row (no trailing newline) for result @p r at cell
+     * index @p index — the exact bytes writeCsv() and the journal
+     * emit.
+     */
+    static std::string formatRow(std::size_t index,
+                                 const SweepResult &r);
+
   private:
+    void loadResume(const std::vector<SweepCell> &cells,
+                    std::vector<SweepResult> &results,
+                    std::vector<char> &done) const;
+
     ExperimentConfig exp_;
     std::size_t threads_;
+    std::string journalPath_;
+    std::string resumePath_;
 };
 
 /** Parse a mitigation name (same spellings the CLI accepts). */

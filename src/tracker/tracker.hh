@@ -18,7 +18,16 @@
 namespace srs
 {
 
-/** Observes per-bank physical-row activations; flags T_S crossings. */
+/**
+ * Observes per-bank physical-row activations; flags T_S crossings.
+ *
+ * Implementations (tracker/misra_gries.hh, tracker/hydra.hh,
+ * tracker/cbt.hh, tracker/twice.hh) are selected by TrackerKind and
+ * constructed by the System; the mitigation consumes only this
+ * interface.  Trackers are single-threaded like the rest of a
+ * simulated System — parallel experiments each own their System and
+ * tracker (see sim/sweep.hh).
+ */
 class AggressorTracker
 {
   public:
@@ -29,6 +38,8 @@ class AggressorTracker
      *
      * @param channel  channel index
      * @param bank     bank index flattened within the channel
+     * @param physRow  physical (post-indirection) row activated
+     * @param now      current simulation cycle
      * @return true when the row just crossed T_S; the tracker resets
      *         its estimate for the row (the caller must mitigate)
      */
@@ -39,10 +50,18 @@ class AggressorTracker
     /** Clear all tracking state (refresh-epoch boundary). */
     virtual void resetEpoch() = 0;
 
-    /** SRAM cost of the tracker, in bits per bank. */
+    /**
+     * SRAM cost of the tracker.
+     *
+     * @return storage in bits per bank (feeds the Table IV model)
+     */
     virtual std::uint64_t storageBitsPerBank() const = 0;
 
-    /** Identification for stats and experiment logs. */
+    /**
+     * Identification for stats and experiment logs.
+     *
+     * @return a static, human-readable tracker name
+     */
     virtual const char *name() const = 0;
 };
 

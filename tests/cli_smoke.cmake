@@ -36,11 +36,48 @@ run_expect_ok(perf --workload=gups --mitigation=rrs --trh=1200
 run_expect_ok(sweep --workloads=gups --mitigations=rrs --trh=1200
               --rates=6 --cycles=60000 --epoch=25000 --threads=2)
 
-# Unknown flags must be fatal on every subcommand.
+# MIX points and batched Monte-Carlo validation.
+run_expect_ok(sweep --workloads= --mix=1 --mitigations=rrs --trh=1200
+              --rates=6 --cycles=60000 --epoch=25000 --threads=2)
+run_expect_ok(attack --defense=rrs --trh=2400 --rate=6 --rounds=900
+              --montecarlo=2000 --shards=4 --threads=2)
+
+# Resume roundtrip: a full CSV resumes to byte-identical output
+# without recomputing anything.
+set(smoke_dir ${CMAKE_CURRENT_BINARY_DIR})
+set(smoke_args sweep --workloads=gups --mitigations=rrs,scale-srs
+    --trh=1200 --rates=6 --cycles=60000 --epoch=25000 --threads=2)
+run_expect_ok(${smoke_args} --out=${smoke_dir}/smoke_full.csv)
+run_expect_ok(${smoke_args} --resume=${smoke_dir}/smoke_full.csv
+              --out=${smoke_dir}/smoke_resumed.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/smoke_full.csv
+                ${smoke_dir}/smoke_resumed.csv
+                RESULT_VARIABLE smoke_diff)
+if(NOT smoke_diff EQUAL 0)
+  message(FATAL_ERROR "resumed sweep CSV differs from the fresh run")
+endif()
+# The journal of the full run is itself a resumable checkpoint.
+run_expect_ok(${smoke_args} --resume=${smoke_dir}/smoke_full.csv.journal
+              --out=${smoke_dir}/smoke_journal.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/smoke_full.csv
+                ${smoke_dir}/smoke_journal.csv
+                RESULT_VARIABLE smoke_jdiff)
+if(NOT smoke_jdiff EQUAL 0)
+  message(FATAL_ERROR "journal-resumed sweep CSV differs")
+endif()
+
+# Unknown flags must be fatal on every subcommand; so are a resume
+# file that does not exist and a sweep with no workloads at all.
 run_expect_fail(list --bogus=1)
 run_expect_fail(storage --thr=1200)
 run_expect_fail(perf --workload=gups --cylces=1000)
 run_expect_fail(sweep --workloads=gups --thread=2)
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/no_such_file.csv)
+run_expect_fail(sweep --workloads= --mitigations=rrs --trh=1200
+                --rates=6)
 
 # No subcommand / unknown subcommand -> usage + nonzero exit.
 run_expect_fail()

@@ -218,6 +218,65 @@ TEST(MonteCarlo, ZeroKBreaksInOneEpoch)
     EXPECT_DOUBLE_EQ(r.meanEpochs, 1.0);
 }
 
+TEST(MonteCarloBatch, SingleShardMatchesSerialBitForBit)
+{
+    // shardSeed(base, 0) == base, so a one-shard batch replays the
+    // serial campaign exactly.
+    AttackParams p = paperParams(2400, 6);
+    MonteCarloAttack serial(p, 42);
+    const MonteCarloResult a = serial.runRrs(900, 4000);
+    MonteCarloBatch batch(p, 42, 4);
+    const MonteCarloResult b = batch.runRrs(900, 4000, 100000, 1);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.feasible, b.feasible);
+    EXPECT_DOUBLE_EQ(a.meanEpochs, b.meanEpochs);
+    EXPECT_DOUBLE_EQ(a.meanTimeSec, b.meanTimeSec);
+    EXPECT_DOUBLE_EQ(a.stddevTimeSec, b.stddevTimeSec);
+}
+
+TEST(MonteCarloBatch, ThreadCountNeverChangesResults)
+{
+    AttackParams p = paperParams(2400, 6);
+    MonteCarloBatch one(p, 7, 1);
+    MonteCarloBatch many(p, 7, 8);
+    const MonteCarloResult a = one.runRrs(900, 8000, 100000, 8);
+    const MonteCarloResult b = many.runRrs(900, 8000, 100000, 8);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_DOUBLE_EQ(a.meanEpochs, b.meanEpochs);
+    EXPECT_DOUBLE_EQ(a.meanTimeSec, b.meanTimeSec);
+    EXPECT_DOUBLE_EQ(a.stddevTimeSec, b.stddevTimeSec);
+
+    const MonteCarloResult c = one.runSrs(2000, 4);
+    const MonteCarloResult d = many.runSrs(2000, 4);
+    EXPECT_EQ(c.feasible, d.feasible);
+    EXPECT_DOUBLE_EQ(c.meanTimeSec, d.meanTimeSec);
+}
+
+TEST(MonteCarloBatch, MatchesAnalyticAtModerateProbability)
+{
+    AttackParams p = paperParams(2400, 6);
+    JuggernautModel m(p);
+    const AttackResult analytic = m.evaluateRrs(900);
+    ASSERT_TRUE(analytic.feasible);
+    MonteCarloBatch batch(p, 1234, 0);
+    const MonteCarloResult r = batch.runRrs(900, 20000);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.iterations, 20000u);
+    EXPECT_NEAR(r.meanTimeSec / analytic.timeToBreakSec, 1.0, 0.15);
+}
+
+TEST(MonteCarloBatch, ShardResolution)
+{
+    EXPECT_EQ(MonteCarloBatch::resolveShards(0, 20000), 16u);
+    EXPECT_EQ(MonteCarloBatch::resolveShards(0, 5), 5u);
+    EXPECT_EQ(MonteCarloBatch::resolveShards(7, 20000), 7u);
+    EXPECT_EQ(MonteCarloBatch::resolveShards(64, 10), 10u);
+    EXPECT_EQ(MonteCarloBatch::resolveShards(4, 0), 1u);
+    EXPECT_EQ(MonteCarloBatch::shardSeed(99, 0), 99u);
+    EXPECT_NE(MonteCarloBatch::shardSeed(99, 1),
+              MonteCarloBatch::shardSeed(99, 2));
+}
+
 TEST(MonteCarlo, GeometricFallbackForTinyProbabilities)
 {
     AttackParams p = paperParams(4800, 6);

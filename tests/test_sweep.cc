@@ -8,7 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <vector>
 
 #include "common/logging.hh"
@@ -187,6 +190,211 @@ TEST(SweepRunner, ConfigErrorInWorkerSurfacesAsFatalError)
     cells[0].swapRate = 2000; // swap rate exceeds T_RH
     SweepRunner runner(tinyExperiment(), 2);
     EXPECT_THROW(runner.run(cells), FatalError);
+}
+
+/** CSV text of one full run of @p cells at @p threads workers. */
+std::string
+sweepCsv(const std::vector<SweepCell> &cells, std::size_t threads)
+{
+    SweepRunner runner(tinyExperiment(), threads);
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, runner.run(cells));
+    return os.str();
+}
+
+/** Write @p text to a fresh file under the test temp dir. */
+std::string
+writeTempFile(const char *name, const std::string &text)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+    return path;
+}
+
+std::vector<SweepCell>
+resumeTestCells()
+{
+    SweepGrid grid;
+    grid.workloads = {"gups", "gcc"};
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    return grid.expand();
+}
+
+TEST(SweepResume, TruncatedCsvResumesByteIdentical)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string full = sweepCsv(cells, 1);
+
+    // Simulate a sweep killed mid-grid: keep the header, the first
+    // two data rows, and half of the third (a torn final line).
+    std::istringstream in(full);
+    std::string line, partial;
+    for (int i = 0; i < 3 && std::getline(in, line); ++i)
+        partial += line + "\n";
+    std::getline(in, line);
+    partial += line.substr(0, line.size() / 2);
+    const std::string path =
+        writeTempFile("sweep_truncated.csv", partial);
+
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        SweepRunner runner(tinyExperiment(), threads);
+        runner.setResume(path);
+        const std::vector<SweepResult> results = runner.run(cells);
+        // The two intact rows were reused, the torn one recomputed.
+        EXPECT_FALSE(results[0].resumedRow.empty());
+        EXPECT_FALSE(results[1].resumedRow.empty());
+        EXPECT_TRUE(results[2].resumedRow.empty());
+        EXPECT_GT(results[0].normalized, 0.0);
+        std::ostringstream os;
+        SweepRunner::writeCsv(os, results);
+        EXPECT_EQ(os.str(), full) << "threads=" << threads;
+    }
+}
+
+TEST(SweepResume, FinalLineTornMidDigitIsNotTrusted)
+{
+    // The nastiest truncation: the file is cut inside the digits of
+    // the last field, so the torn line still splits into 15
+    // plausible fields.  Only the missing trailing newline gives it
+    // away; the row must be recomputed, not trusted.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string full = sweepCsv(cells, 1);
+    ASSERT_EQ(full.back(), '\n');
+    const std::string path = writeTempFile(
+        "sweep_torn_digit.csv",
+        full.substr(0, full.size() - 2)); // drop "N\n" of the last row
+
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_TRUE(results.back().resumedRow.empty());
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, results);
+    EXPECT_EQ(os.str(), full);
+}
+
+TEST(SweepResume, JournalIsACompleteCheckpoint)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string full = sweepCsv(cells, 1);
+    const std::string journalPath =
+        testing::TempDir() + "sweep_test.journal";
+
+    SweepRunner first(tinyExperiment(), 8);
+    first.setJournal(journalPath);
+    first.run(cells);
+
+    // Resuming from the journal recomputes nothing and reproduces
+    // the uninterrupted CSV byte for byte.
+    SweepRunner second(tinyExperiment(), 8);
+    second.setResume(journalPath);
+    const std::vector<SweepResult> results = second.run(cells);
+    for (const SweepResult &r : results)
+        EXPECT_FALSE(r.resumedRow.empty());
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, results);
+    EXPECT_EQ(os.str(), full);
+    std::remove(journalPath.c_str());
+}
+
+TEST(SweepResume, MismatchedGridIsFatal)
+{
+    // Synthesize a plausible checkpoint without running simulations:
+    // formatRow() emits the exact bytes a real sweep would.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const ExperimentConfig exp = tinyExperiment();
+    std::string full;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SweepResult r;
+        r.cell = cells[i];
+        r.seed = SweepRunner::cellSeed(exp.seed, cells[i].workload);
+        r.run.aggregateIpc = 1.0;
+        r.baselineIpc = 2.0;
+        r.normalized = 0.5;
+        full += SweepRunner::formatRow(i, r) + "\n";
+    }
+    const std::string path =
+        writeTempFile("sweep_mismatch.csv", full);
+
+    // Same shape, different T_RH: every row's identity prefix
+    // disagrees with the file.
+    std::vector<SweepCell> other = cells;
+    for (SweepCell &cell : other)
+        cell.trh = 4800;
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    EXPECT_THROW(runner.run(other), FatalError);
+
+    // A row index past the end of the grid is rejected too.
+    SweepRunner shrunk(tinyExperiment(), 2);
+    shrunk.setResume(path);
+    EXPECT_THROW(shrunk.run(std::vector<SweepCell>(
+                     cells.begin(), cells.begin() + 2)),
+                 FatalError);
+}
+
+TEST(SweepMix, CellsRouteThroughRunWorkloadMixDeterministically)
+{
+    const ExperimentConfig exp = tinyExperiment();
+    std::vector<SweepCell> cells;
+    SweepCell mix = mixSweepCell(0, exp.numCores);
+    ASSERT_EQ(mix.workload, "mix0");
+    ASSERT_EQ(mix.mixProfiles.size(), exp.numCores);
+    mix.mitigation = MitigationKind::Rrs;
+    mix.trh = 1200;
+    mix.swapRate = 6;
+    cells.push_back(mix);
+    SweepCell single;
+    single.workload = "gups";
+    single.mitigation = MitigationKind::Rrs;
+    single.trh = 1200;
+    single.swapRate = 6;
+    cells.push_back(single);
+
+    EXPECT_EQ(sweepCsv(cells, 1), sweepCsv(cells, 8));
+    SweepRunner runner(exp, 4);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_GT(results[0].baselineIpc, 0.0);
+    EXPECT_GT(results[0].run.aggregateIpc, 0.0);
+}
+
+TEST(SweepMix, GridAppendsMixPointsAfterWorkloads)
+{
+    SweepGrid grid;
+    grid.workloads = {"gups"};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    grid.mixCount = 2;
+    grid.mixCores = 8;
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[0].workload, "gups");
+    EXPECT_TRUE(cells[0].mixProfiles.empty());
+    EXPECT_EQ(cells[1].workload, "mix0");
+    EXPECT_EQ(cells[1].mixProfiles.size(), 8u);
+    EXPECT_EQ(cells[2].workload, "mix1");
+    // Distinct MIX points draw distinct per-core profile lists.
+    EXPECT_NE(cells[1].mixProfiles, cells[2].mixProfiles);
+}
+
+TEST(SweepMix, InconsistentLabelOrCoreCountIsFatal)
+{
+    const ExperimentConfig exp = tinyExperiment();
+    SweepCell a = mixSweepCell(0, exp.numCores);
+    a.mitigation = MitigationKind::Rrs;
+    SweepCell b = mixSweepCell(1, exp.numCores);
+    b.workload = a.workload; // same label, different profiles
+    b.mitigation = MitigationKind::ScaleSrs;
+    SweepRunner runner(exp, 2);
+    EXPECT_THROW(runner.run({a, b}), FatalError);
+
+    SweepCell c = mixSweepCell(0, exp.numCores + 1);
+    SweepRunner runner2(exp, 2);
+    EXPECT_THROW(runner2.run({c}), FatalError);
 }
 
 TEST(SweepCsv, HeaderAndRowShape)

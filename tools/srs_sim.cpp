@@ -11,10 +11,12 @@
  *                      [--cycles=N] [--epoch=N] [--csv]
  *
  *   attack   evaluate the Juggernaut analytical model (and optional
- *            Monte-Carlo validation) for one configuration:
+ *            Monte-Carlo validation, batched across a thread pool)
+ *            for one configuration:
  *              srs_sim attack --defense=rrs --trh=4800 --rate=6
  *                      [--rounds=N|best] [--open-page] [--banks=B]
- *                      [--montecarlo=ITERS]
+ *                      [--montecarlo=ITERS] [--shards=S]
+ *                      [--threads=N]
  *
  *   storage  print the Table IV storage breakdown:
  *              srs_sim storage --trh=1200
@@ -28,12 +30,19 @@
  *              srs_sim sweep --workloads=gups,gcc
  *                      --mitigations=rrs,scale-srs --trh=1200,2400
  *                      --rates=3,6 [--tracker=misra-gries]
- *                      [--threads=N] [--cycles=N] [--epoch=N]
- *                      [--seed=S] [--out=FILE]
- *            --workloads=all sweeps every built-in profile; CSV goes
- *            to stdout unless --out is given.  Output is ordered by
- *            cell (workloads outermost, rates innermost) and is
- *            byte-identical for any --threads value.
+ *                      [--mix=N] [--threads=N] [--cycles=N]
+ *                      [--epoch=N] [--seed=S] [--out=FILE]
+ *                      [--resume=FILE] [--journal=FILE]
+ *            --workloads=all sweeps every built-in profile; --mix=N
+ *            appends N MIX points (per-core profile draws) to the
+ *            workload axis; CSV goes to stdout unless --out is
+ *            given.  Output is ordered by cell (workloads outermost,
+ *            rates innermost) and is byte-identical for any
+ *            --threads value.  Completed cells stream to a journal
+ *            (default <out>.journal; --journal=none disables), and
+ *            --resume=FILE skips cells already recorded in a
+ *            previous journal or (possibly truncated) sweep CSV —
+ *            the resumed output is byte-identical to a fresh run.
  *
  *   list     list the built-in workload profiles.
  *
@@ -179,18 +188,29 @@ cmdSweep(const Options &opts)
     exp.cycles = opts.getUint("cycles", 1'500'000);
     exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
     exp.seed = opts.getUint("seed", exp.seed);
+    grid.mixCount =
+        static_cast<std::uint32_t>(opts.getUint("mix", 0));
+    grid.mixCores = exp.numCores;
     const std::size_t threads =
         static_cast<std::size_t>(opts.getUint("threads", 0));
     const std::string out = opts.getString("out", "");
+    const std::string resume = opts.getString("resume", "");
+    std::string journal = opts.getString(
+        "journal", out.empty() ? "" : out + ".journal");
+    if (journal == "none")
+        journal.clear();
     opts.rejectUnknown();
 
-    if (grid.workloads.empty() || grid.mitigations.empty()
-        || grid.trhs.empty() || grid.swapRates.empty()) {
-        fatal("sweep grid is empty: need at least one workload, "
-              "mitigation, trh and rate");
+    if ((grid.workloads.empty() && grid.mixCount == 0)
+        || grid.mitigations.empty() || grid.trhs.empty()
+        || grid.swapRates.empty()) {
+        fatal("sweep grid is empty: need at least one workload or "
+              "MIX point, mitigation, trh and rate");
     }
 
     SweepRunner runner(exp, threads);
+    runner.setJournal(journal);
+    runner.setResume(resume);
     const std::vector<SweepResult> results = runner.run(grid);
     if (out.empty()) {
         SweepRunner::writeCsv(std::cout, results);
@@ -229,6 +249,10 @@ cmdAttack(const Options &opts)
         static_cast<std::uint32_t>(opts.getUint("banks", 1));
     const std::string rounds = opts.getString("rounds", "best");
     const std::uint64_t mcIters = opts.getUint("montecarlo", 0);
+    const std::size_t mcShards =
+        static_cast<std::size_t>(opts.getUint("shards", 0));
+    const std::size_t mcThreads =
+        static_cast<std::size_t>(opts.getUint("threads", 0));
     opts.rejectUnknown();
 
     JuggernautModel model(p);
@@ -265,13 +289,16 @@ cmdAttack(const Options &opts)
                 r.timeToBreakSec / 86400.0);
 
     if (mcIters > 0) {
-        MonteCarloAttack mc(p, /*seed=*/0x5eed);
+        MonteCarloBatch mc(p, /*seed=*/0x5eed, mcThreads);
         const MonteCarloResult sim =
-            defense == "rrs" ? mc.runRrs(r.rounds, mcIters)
-                             : mc.runSrs(mcIters);
-        std::printf("  monte-carlo     %.3g days (%llu iters)\n",
+            defense == "rrs"
+                ? mc.runRrs(r.rounds, mcIters, 100000, mcShards)
+                : mc.runSrs(mcIters, mcShards);
+        std::printf("  monte-carlo     %.3g days (%llu iters, "
+                    "%zu shards)\n",
                     sim.meanTimeSec / 86400.0,
-                    static_cast<unsigned long long>(mcIters));
+                    static_cast<unsigned long long>(mcIters),
+                    MonteCarloBatch::resolveShards(mcShards, mcIters));
     }
     return 0;
 }
