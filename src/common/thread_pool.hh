@@ -46,6 +46,7 @@ class ThreadPool
     /** Block until every job submitted so far has completed. */
     void wait();
 
+    /** @return the number of worker threads actually started. */
     std::size_t threadCount() const { return workers_.size(); }
 
     /** Resolve a requested thread count: 0 -> hardware concurrency. */

@@ -1,0 +1,634 @@
+#include "sim/orchestrator.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+#include "common/logging.hh"
+#include "common/options.hh"
+#include "common/thread_pool.hh"
+#include "sim/system.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+constexpr std::uint64_t kManifestVersion = 1;
+
+std::string
+shardKey(std::size_t index, const char *field)
+{
+    return "shard" + std::to_string(index) + "." + field;
+}
+
+/**
+ * Read one shard CSV, validate it against @p shard / @p exp, and
+ * append its data rows (shard-local numbering, no newlines) to
+ * @p rows when given.  Returns an empty string on success, else the
+ * reason the shard must be rejected.
+ */
+std::string
+loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
+              const std::string &path, std::vector<std::string> *rows)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "cannot open shard CSV '" + path + "'";
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+    if (text.empty())
+        return "shard CSV '" + path + "' is empty";
+    if (text.back() != '\n') {
+        return "shard CSV '" + path
+               + "' is torn: no final newline (writer died mid-row)";
+    }
+
+    std::vector<std::string> lines;
+    std::string::size_type start = 0;
+    while (start < text.size()) {
+        const auto nl = text.find('\n', start);
+        lines.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    if (lines.empty() || lines.front() != SweepRunner::csvHeader())
+        return "shard CSV '" + path + "' does not start with the "
+               "sweep CSV header";
+    if (lines.size() - 1 != shard.cells) {
+        return "shard CSV '" + path + "' has "
+               + std::to_string(lines.size() - 1) + " data rows, "
+               "manifest expects " + std::to_string(shard.cells);
+    }
+
+    const std::vector<SweepCell> cells = shard.grid.expand();
+    if (cells.size() != shard.cells) {
+        return "manifest is inconsistent: shard grid expands to "
+               + std::to_string(cells.size()) + " cells, not "
+               + std::to_string(shard.cells);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string &row = lines[i + 1];
+        const std::string expected = SweepRunner::identityPrefix(
+            i, cells[i],
+            SweepRunner::cellSeed(exp.seed, cells[i].workload));
+        if (row.compare(0, expected.size(), expected) != 0) {
+            return "shard CSV '" + path + "' row " + std::to_string(i)
+                   + " does not match the manifest's cell identity"
+                     "\n  row:      " + row
+                   + "\n  expected: " + expected + "...";
+        }
+        if (std::count(row.begin(), row.end(), ',') != 14
+            || row.back() == ',') {
+            return "shard CSV '" + path + "' row " + std::to_string(i)
+                   + " does not have 15 fields";
+        }
+        if (rows)
+            rows->push_back(row);
+    }
+    return "";
+}
+
+/**
+ * Stitch pre-validated shard rows (loadShardRows output, one vector
+ * per shard) into one global CSV on @p out, rewriting each
+ * shard-local index to the global cell index; every byte after the
+ * first comma passes through untouched.
+ */
+void
+stitchRows(const ShardManifest &manifest,
+           const std::vector<std::vector<std::string>> &rowsPerShard,
+           std::ostream &out)
+{
+    out << SweepRunner::csvHeader() << '\n';
+    std::size_t global = 0;
+    for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+        if (global != manifest.shards[k].offset) {
+            fatal("merge: shard ", k, " offset ",
+                  manifest.shards[k].offset, " does not follow the "
+                  "previous shard (", global, " cells merged so "
+                  "far)");
+        }
+        for (const std::string &row : rowsPerShard[k]) {
+            const auto comma = row.find(',');
+            out << global << row.substr(comma) << '\n';
+            ++global;
+        }
+    }
+    if (!out.flush())
+        fatal("merge: error writing merged CSV");
+}
+
+} // namespace
+
+std::size_t
+ShardManifest::totalCells() const
+{
+    std::size_t total = 0;
+    for (const ShardSpec &shard : shards)
+        total += shard.cells;
+    return total;
+}
+
+ShardManifest
+planShards(const SweepGrid &grid, const ExperimentConfig &exp,
+           std::size_t shardCount)
+{
+    const std::size_t outer = grid.outerCount();
+    const std::size_t inner = grid.innerCells();
+    if (outer == 0 || inner == 0) {
+        fatal("cannot shard an empty sweep grid: need at least one "
+              "workload or MIX point, mitigation, trh and rate");
+    }
+    if (shardCount == 0)
+        fatal("--shards must be at least 1");
+    const std::size_t count = std::min(shardCount, outer);
+
+    ShardManifest manifest;
+    manifest.grid = grid;
+    manifest.exp = exp;
+    for (std::size_t k = 0; k < count; ++k) {
+        // Balanced contiguous partition of the outer axis: shard k
+        // covers outer entries [k*outer/count, (k+1)*outer/count).
+        const std::size_t begin = k * outer / count;
+        const std::size_t end = (k + 1) * outer / count;
+        ShardSpec shard;
+        shard.grid = grid;
+        shard.grid.workloads.clear();
+        shard.grid.mixCount = 0;
+        shard.grid.mixBase = 0;
+        for (std::size_t o = begin; o < end; ++o) {
+            if (o < grid.workloads.size()) {
+                shard.grid.workloads.push_back(grid.workloads[o]);
+            } else {
+                const std::uint32_t mix = static_cast<std::uint32_t>(
+                    o - grid.workloads.size());
+                if (shard.grid.mixCount == 0)
+                    shard.grid.mixBase = grid.mixBase + mix;
+                ++shard.grid.mixCount;
+            }
+        }
+        shard.offset = begin * inner;
+        shard.cells = (end - begin) * inner;
+        shard.csv = "shard" + std::to_string(k) + ".csv";
+        manifest.shards.push_back(std::move(shard));
+    }
+    return manifest;
+}
+
+void
+writeManifest(const ShardManifest &manifest, const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    if (!out)
+        fatal("cannot open manifest '", path, "' for writing");
+    out << serializeManifest(manifest);
+    if (!out.flush())
+        fatal("error writing manifest '", path, "'");
+}
+
+std::string
+serializeManifest(const ShardManifest &manifest)
+{
+    const SweepGrid &grid = manifest.grid;
+    std::ostringstream out;
+    out << "# srs_sim shard manifest (docs/sweep-format.md)\n"
+        << "version=" << kManifestVersion << '\n'
+        << "workloads=" << joinList(grid.workloads) << '\n';
+    std::vector<std::string> mitigations;
+    for (const MitigationKind kind : grid.mitigations)
+        mitigations.push_back(mitigationKindName(kind));
+    out << "mitigations=" << joinList(mitigations) << '\n'
+        << "trh=" << joinUint32List(grid.trhs) << '\n'
+        << "rates=" << joinUint32List(grid.swapRates) << '\n'
+        << "tracker=" << trackerKindName(grid.tracker) << '\n'
+        << "mix=" << grid.mixCount << '\n'
+        << "mix_base=" << grid.mixBase << '\n'
+        << "seed=" << manifest.exp.seed << '\n'
+        << "cycles=" << manifest.exp.cycles << '\n'
+        << "epoch=" << manifest.exp.epochLen << '\n'
+        << "cores=" << manifest.exp.numCores << '\n'
+        << "shards=" << manifest.shards.size() << '\n';
+    for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+        const ShardSpec &shard = manifest.shards[k];
+        out << shardKey(k, "workloads") << '='
+            << joinList(shard.grid.workloads) << '\n'
+            << shardKey(k, "mix") << '=' << shard.grid.mixCount << '\n'
+            << shardKey(k, "mix_base") << '=' << shard.grid.mixBase
+            << '\n'
+            << shardKey(k, "offset") << '=' << shard.offset << '\n'
+            << shardKey(k, "cells") << '=' << shard.cells << '\n'
+            << shardKey(k, "csv") << '=' << shard.csv << '\n';
+    }
+    return out.str();
+}
+
+ShardManifest
+loadManifest(const std::string &path)
+{
+    const Options opts = Options::fromFile(path);
+    const std::uint64_t version = opts.getUint("version", 0);
+    if (version != kManifestVersion) {
+        fatal("manifest '", path, "': unsupported version ", version,
+              " (this build reads version ", kManifestVersion, ")");
+    }
+
+    ShardManifest manifest;
+    SweepGrid &grid = manifest.grid;
+    grid.workloads = splitList(opts.getString("workloads", ""));
+    for (const std::string &name :
+         splitList(opts.getString("mitigations", "")))
+        grid.mitigations.push_back(mitigationKindFromName(name));
+    grid.trhs = splitUint32List(opts.getString("trh", ""), "manifest: trh");
+    grid.swapRates = splitUint32List(opts.getString("rates", ""), "manifest: rates");
+    grid.tracker =
+        trackerKindFromName(opts.getString("tracker", "misra-gries"));
+    grid.mixCount =
+        static_cast<std::uint32_t>(opts.getUint("mix", 0));
+    grid.mixBase =
+        static_cast<std::uint32_t>(opts.getUint("mix_base", 0));
+    manifest.exp.seed = opts.getUint("seed", manifest.exp.seed);
+    manifest.exp.cycles = opts.getUint("cycles", manifest.exp.cycles);
+    manifest.exp.epochLen =
+        opts.getUint("epoch", manifest.exp.epochLen);
+    manifest.exp.numCores = static_cast<std::uint32_t>(
+        opts.getUint("cores", manifest.exp.numCores));
+    grid.mixCores = manifest.exp.numCores;
+
+    const std::uint64_t shardCount = opts.getUint("shards", 0);
+    if (shardCount == 0)
+        fatal("manifest '", path, "': no shards");
+
+    // Rebuild each shard slice and check that, in order, the slices
+    // tile the full grid: workload lists concatenate to the global
+    // list, MIX ranges cover mixBase..mixBase+mixCount contiguously,
+    // and offsets/cell counts line up with the expansion order.
+    const std::size_t inner = grid.innerCells();
+    std::vector<std::string> seenWorkloads;
+    std::uint32_t nextMix = grid.mixBase;
+    std::size_t nextOffset = 0;
+    for (std::size_t k = 0; k < shardCount; ++k) {
+        ShardSpec shard;
+        shard.grid = grid;
+        shard.grid.workloads =
+            splitList(opts.getString(shardKey(k, "workloads"), ""));
+        shard.grid.mixCount = static_cast<std::uint32_t>(
+            opts.getUint(shardKey(k, "mix"), 0));
+        shard.grid.mixBase = static_cast<std::uint32_t>(
+            opts.getUint(shardKey(k, "mix_base"), 0));
+        shard.offset = opts.getUint(shardKey(k, "offset"), 0);
+        shard.cells = opts.getUint(shardKey(k, "cells"), 0);
+        shard.csv = opts.getString(shardKey(k, "csv"),
+                                   "shard" + std::to_string(k)
+                                       + ".csv");
+
+        if (shard.grid.workloads.empty() && shard.grid.mixCount == 0)
+            fatal("manifest '", path, "': shard ", k, " is empty");
+        if (!shard.grid.workloads.empty() && nextMix != grid.mixBase) {
+            fatal("manifest '", path, "': shard ", k, " names "
+                  "workloads after an earlier shard started the MIX "
+                  "range");
+        }
+        for (const std::string &w : shard.grid.workloads)
+            seenWorkloads.push_back(w);
+        if (shard.grid.mixCount > 0
+            && shard.grid.mixBase != nextMix) {
+            fatal("manifest '", path, "': shard ", k, " MIX range "
+                  "starts at ", shard.grid.mixBase, ", expected ",
+                  nextMix);
+        }
+        nextMix += shard.grid.mixCount;
+        if (shard.offset != nextOffset) {
+            fatal("manifest '", path, "': shard ", k, " offset ",
+                  shard.offset, " does not follow the previous "
+                  "shard (expected ", nextOffset, ")");
+        }
+        const std::size_t expanded =
+            shard.grid.outerCount() * inner;
+        if (shard.cells != expanded) {
+            fatal("manifest '", path, "': shard ", k, " claims ",
+                  shard.cells, " cells but its grid slice expands "
+                  "to ", expanded);
+        }
+        nextOffset += shard.cells;
+        manifest.shards.push_back(std::move(shard));
+    }
+    if (seenWorkloads != grid.workloads
+        || nextMix != grid.mixBase + grid.mixCount) {
+        fatal("manifest '", path, "': shard slices do not tile the "
+              "full grid's workload/MIX axes");
+    }
+    if (nextOffset != grid.outerCount() * inner) {
+        fatal("manifest '", path, "': shard cells sum to ",
+              nextOffset, ", full grid has ",
+              grid.outerCount() * inner);
+    }
+    opts.rejectUnknown();
+    return manifest;
+}
+
+std::string
+validateShardCsv(const ShardSpec &shard, const ExperimentConfig &exp,
+                 const std::string &path)
+{
+    return loadShardRows(shard, exp, path, nullptr);
+}
+
+void
+mergeShards(const ShardManifest &manifest, const std::string &dir,
+            std::ostream &out)
+{
+    std::vector<std::vector<std::string>> rowsPerShard(
+        manifest.shards.size());
+    for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+        const ShardSpec &shard = manifest.shards[k];
+        const std::string path =
+            dir.empty() ? shard.csv : dir + "/" + shard.csv;
+        const std::string err = loadShardRows(
+            shard, manifest.exp, path, &rowsPerShard[k]);
+        if (!err.empty())
+            fatal("merge: shard ", k, ": ", err);
+    }
+    stitchRows(manifest, rowsPerShard, out);
+}
+
+Orchestrator::Orchestrator(ShardManifest manifest, Config config)
+    : manifest_(std::move(manifest)), config_(std::move(config))
+{
+    if (config_.simPath.empty())
+        fatal("orchestrator: no srs_sim binary path configured");
+    if (config_.dir.empty())
+        fatal("orchestrator: no shard directory configured");
+}
+
+std::vector<std::string>
+Orchestrator::shardCommand(std::size_t index) const
+{
+    const ShardSpec &shard = manifest_.shards[index];
+    const SweepGrid &grid = shard.grid;
+    const std::string csv = config_.dir + "/" + shard.csv;
+    const std::string journal = csv + ".journal";
+
+    std::vector<std::string> cmd;
+    cmd.push_back(config_.simPath);
+    cmd.push_back("sweep");
+    cmd.push_back("--workloads=" + joinList(grid.workloads));
+    std::vector<std::string> mitigations;
+    for (const MitigationKind kind : grid.mitigations)
+        mitigations.push_back(mitigationKindName(kind));
+    cmd.push_back("--mitigations=" + joinList(mitigations));
+    cmd.push_back("--trh=" + joinUint32List(grid.trhs));
+    cmd.push_back("--rates=" + joinUint32List(grid.swapRates));
+    cmd.push_back("--tracker="
+                  + std::string(trackerKindName(grid.tracker)));
+    if (grid.mixCount > 0) {
+        cmd.push_back("--mix=" + std::to_string(grid.mixCount));
+        cmd.push_back("--mix-base=" + std::to_string(grid.mixBase));
+    }
+    cmd.push_back("--cycles=" + std::to_string(manifest_.exp.cycles));
+    cmd.push_back("--epoch=" + std::to_string(manifest_.exp.epochLen));
+    cmd.push_back("--seed=" + std::to_string(manifest_.exp.seed));
+    cmd.push_back("--threads="
+                  + std::to_string(config_.shardThreads));
+    cmd.push_back("--out=" + csv);
+    cmd.push_back("--journal=" + journal);
+    // A previous attempt's checkpoint (or torn CSV) seeds a resume,
+    // so a killed shard never recomputes its finished cells.
+    if (std::filesystem::exists(journal))
+        cmd.push_back("--resume=" + journal);
+    else if (std::filesystem::exists(csv))
+        cmd.push_back("--resume=" + csv);
+    return cmd;
+}
+
+void
+Orchestrator::prepareDir()
+{
+    std::error_code ec;
+    std::filesystem::create_directories(config_.dir, ec);
+    if (ec) {
+        fatal("orchestrator: cannot create shard directory '",
+              config_.dir, "': ", ec.message());
+    }
+
+    // The manifest is the shard directory's identity: reusing a
+    // directory that belongs to a *different* orchestration must be
+    // an error, not a silent mix of incompatible checkpoints.
+    const std::string manifestPath = config_.dir + "/manifest";
+    const std::string serialized = serializeManifest(manifest_);
+    if (std::filesystem::exists(manifestPath)) {
+        std::ifstream in(manifestPath, std::ios::binary);
+        std::ostringstream existing;
+        existing << in.rdbuf();
+        if (existing.str() != serialized) {
+            fatal("orchestrator: '", manifestPath, "' describes a "
+                  "different orchestration (grid, seed or shard "
+                  "count changed); use a fresh --dir");
+        }
+    } else {
+        writeManifest(manifest_, manifestPath);
+    }
+}
+
+void
+Orchestrator::writePlan(std::ostream &out)
+{
+    prepareDir();
+    out << "# manifest: " << config_.dir << "/manifest\n"
+        << "# run each shard (any machine, same binary), collect "
+           "the CSVs next to the manifest,\n"
+        << "# then: " << config_.simPath << " merge --manifest="
+        << config_.dir << "/manifest\n";
+    for (std::size_t k = 0; k < manifest_.shards.size(); ++k) {
+        const std::vector<std::string> cmd = shardCommand(k);
+        for (std::size_t a = 0; a < cmd.size(); ++a)
+            out << (a > 0 ? " " : "") << cmd[a];
+        out << '\n';
+    }
+    if (!out.flush())
+        fatal("orchestrator: error writing the shard plan");
+}
+
+#if !defined(_WIN32)
+
+long
+Orchestrator::launchShard(std::size_t index)
+{
+    const std::vector<std::string> cmd = shardCommand(index);
+    const std::string log =
+        config_.dir + "/shard" + std::to_string(index) + ".log";
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("orchestrator: fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+#if defined(__linux__)
+        // Die with the orchestrator: a SIGKILLed supervisor must not
+        // leave orphan shards racing a later re-orchestration for
+        // the same CSV and journal files.
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+        const int fd = ::open(log.c_str(),
+                              O_WRONLY | O_CREAT | O_APPEND, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, 1);
+            ::dup2(fd, 2);
+            ::close(fd);
+        }
+        std::vector<char *> argv;
+        for (const std::string &arg : cmd)
+            argv.push_back(const_cast<char *>(arg.c_str()));
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        std::fprintf(stderr, "exec %s failed: %s\n", argv[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+void
+Orchestrator::run(std::ostream &mergedOut)
+{
+    prepareDir();
+
+    const std::size_t jobs = ThreadPool::resolveThreads(config_.jobs);
+    std::deque<std::size_t> pending;
+    for (std::size_t k = 0; k < manifest_.shards.size(); ++k)
+        pending.push_back(k);
+    std::vector<std::size_t> attempts(manifest_.shards.size(), 0);
+    std::map<long, std::size_t> running;
+
+    // Each shard CSV is read and validated exactly once, at the
+    // moment it is found complete; the surviving rows feed the
+    // final stitch directly.
+    std::vector<std::vector<std::string>> rowsPerShard(
+        manifest_.shards.size());
+    const auto validateCollect = [&](std::size_t k) {
+        rowsPerShard[k].clear();
+        return loadShardRows(manifest_.shards[k], manifest_.exp,
+                             config_.dir + "/"
+                                 + manifest_.shards[k].csv,
+                             &rowsPerShard[k]);
+    };
+
+    while (!pending.empty() || !running.empty()) {
+        while (!pending.empty() && running.size() < jobs) {
+            const std::size_t k = pending.front();
+            pending.pop_front();
+            const ShardSpec &shard = manifest_.shards[k];
+            if (validateCollect(k).empty()) {
+                std::fprintf(stderr,
+                             "orchestrate: shard %zu already "
+                             "complete (%zu cells)\n",
+                             k, shard.cells);
+                ++skipped_;
+                continue;
+            }
+            const long pid = launchShard(k);
+            ++launches_;
+            std::fprintf(stderr,
+                         "orchestrate: shard %zu of %zu launched "
+                         "(pid %ld, %zu cells%s)\n",
+                         k, manifest_.shards.size(), pid,
+                         shard.cells,
+                         attempts[k] > 0 ? ", resumed" : "");
+            running.emplace(pid, k);
+        }
+        if (running.empty())
+            break; // every remaining shard was already complete
+
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0)
+            fatal("orchestrator: waitpid failed: ",
+                  std::strerror(errno));
+        const auto it = running.find(pid);
+        if (it == running.end())
+            continue; // not one of our shards
+        const std::size_t k = it->second;
+        running.erase(it);
+
+        std::string err;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            err = validateCollect(k);
+        } else if (WIFSIGNALED(status)) {
+            err = "killed by signal "
+                  + std::to_string(WTERMSIG(status));
+        } else {
+            err = "exited with status "
+                  + std::to_string(WIFEXITED(status)
+                                       ? WEXITSTATUS(status)
+                                       : status);
+        }
+        if (err.empty()) {
+            std::fprintf(stderr, "orchestrate: shard %zu done\n", k);
+            continue;
+        }
+        if (attempts[k] >= config_.retries) {
+            // Reap the other in-flight shards before bailing out —
+            // orphans would keep writing into the shard directory
+            // and race a re-orchestration.  Their journals survive,
+            // so no completed cell is lost.
+            for (const auto &[otherPid, otherShard] : running) {
+                (void)otherShard;
+                ::kill(static_cast<pid_t>(otherPid), SIGKILL);
+            }
+            for (const auto &[otherPid, otherShard] : running) {
+                (void)otherShard;
+                int ignored = 0;
+                ::waitpid(static_cast<pid_t>(otherPid), &ignored, 0);
+            }
+            fatal("orchestrator: shard ", k, " failed after ",
+                  attempts[k] + 1, " attempt(s): ", err, " (see ",
+                  config_.dir, "/shard", k, ".log)");
+        }
+        ++attempts[k];
+        std::fprintf(stderr,
+                     "orchestrate: shard %zu failed (%s), "
+                     "relaunching from its journal (attempt "
+                     "%zu/%zu)\n",
+                     k, err.c_str(), attempts[k] + 1,
+                     config_.retries + 1);
+        pending.push_back(k);
+    }
+
+    stitchRows(manifest_, rowsPerShard, mergedOut);
+}
+
+#else // _WIN32
+
+long
+Orchestrator::launchShard(std::size_t)
+{
+    fatal("srs_sim orchestrate requires a POSIX platform (fork/"
+          "waitpid); run the shards from the manifest by hand and "
+          "stitch with 'srs_sim merge'");
+}
+
+void
+Orchestrator::run(std::ostream &)
+{
+    launchShard(0);
+}
+
+#endif
+
+} // namespace srs

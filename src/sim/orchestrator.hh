@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Multi-process sweep orchestration: shard planning, the shard
+ * manifest, byte-exact CSV stitching, and child-process supervision.
+ *
+ * SweepRunner (sim/sweep.hh) scales a grid across the threads of one
+ * process; this layer scales it across *processes* — on one machine
+ * (`srs_sim orchestrate`) or many (`srs_sim sweep` per shard plus
+ * `srs_sim merge`) — without giving up the engine's byte-identity
+ * guarantee.  The pieces:
+ *
+ *  - planShards() splits a SweepGrid along the outer (workload) axis
+ *    into balanced, contiguous shard grids.  MIX points are split
+ *    like named workloads (a shard can cover mix3..mix5 via
+ *    SweepGrid::mixBase), so paper-scale MIX campaigns shard too.
+ *  - ShardManifest is the on-disk contract between the splitter, the
+ *    shard runs, and the merge: the full grid, the experiment knobs
+ *    (seed/cycles/epoch/cores), and each shard's grid slice, global
+ *    index offset, expected cell count, and CSV path.  Every shard
+ *    row's identity prefix is recomputable from it, which is what
+ *    lets the merge reject foreign or torn shards byte-exactly
+ *    (docs/sweep-format.md specs the file format).
+ *  - mergeShards() validates every shard CSV against the manifest
+ *    (header, row count, newline termination, per-row identity
+ *    prefix) and stitches them into one global CSV, renumbering the
+ *    per-shard indices — the output is byte-identical to a
+ *    single-process `srs_sim sweep` of the full grid.
+ *  - Orchestrator forks `srs_sim sweep` children (POSIX), at most
+ *    `jobs` at a time, restarts crashed or killed shards from their
+ *    checkpoint journals (the engine's --resume machinery), and
+ *    merges on completion.  Re-running a killed orchestration
+ *    resumes every partial shard instead of starting over.
+ */
+
+#ifndef SRS_SIM_ORCHESTRATOR_HH
+#define SRS_SIM_ORCHESTRATOR_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace srs
+{
+
+/** One shard of an orchestrated sweep: a contiguous grid slice. */
+struct ShardSpec
+{
+    /**
+     * The shard's own sweep grid: a contiguous run of the full
+     * grid's outer entries (named workloads and/or a MIX sub-range
+     * via mixBase/mixCount) crossed with the same inner axes.
+     * Running it with `srs_sim sweep` reproduces the full grid's
+     * rows for those entries exactly — per-cell seeds depend only on
+     * the workload label, never on the surrounding grid.
+     */
+    SweepGrid grid;
+    /** Global cell index of this shard's first cell. */
+    std::size_t offset = 0;
+    /** Expanded cell count of this shard (grid slice size). */
+    std::size_t cells = 0;
+    /**
+     * Shard CSV file name, relative to the manifest's directory (so
+     * a manifest plus collected shard files relocate together).
+     * The shard's checkpoint journal is always `<csv>.journal`.
+     */
+    std::string csv;
+};
+
+/**
+ * Everything the merge (or a remote shard runner) needs to know
+ * about one orchestrated sweep.  Serialized as `key=value` lines —
+ * see docs/sweep-format.md for the schema.
+ */
+struct ShardManifest
+{
+    /** The full grid, exactly as a single-process sweep would run it. */
+    SweepGrid grid;
+    /** Shared experiment knobs; exp.seed keys every cell seed. */
+    ExperimentConfig exp;
+    /** Shard slices, in global cell order (offsets ascending). */
+    std::vector<ShardSpec> shards;
+
+    /** Total cells across all shards (== grid.expand().size()). */
+    std::size_t totalCells() const;
+};
+
+/**
+ * Split @p grid into at most @p shardCount balanced contiguous
+ * shards along the outer axis (named workloads first, then MIX
+ * points).  The effective shard count is clamped to the number of
+ * outer entries; requesting 0 shards is fatal().  Shard CSV names
+ * default to "shard<K>.csv".
+ *
+ * @param grid       full sweep grid (must expand to >= 1 cell)
+ * @param exp        experiment knobs recorded in the manifest
+ * @param shardCount requested number of shards
+ */
+ShardManifest planShards(const SweepGrid &grid,
+                         const ExperimentConfig &exp,
+                         std::size_t shardCount);
+
+/**
+ * The manifest's on-disk text: `key=value` lines (with a comment
+ * header) parseable by Options::fromFile — see docs/sweep-format.md
+ * for the schema.  Deterministic: equal manifests serialize to
+ * equal bytes, which is how an orchestrator detects that a shard
+ * directory belongs to a different orchestration.
+ */
+std::string serializeManifest(const ShardManifest &manifest);
+
+/** Serialize @p manifest to @p path (fatal() on I/O error). */
+void writeManifest(const ShardManifest &manifest,
+                   const std::string &path);
+
+/**
+ * Parse a manifest written by writeManifest().  Unknown keys,
+ * missing shards, a version mismatch, or shard slices that do not
+ * tile the full grid contiguously are fatal().
+ */
+ShardManifest loadManifest(const std::string &path);
+
+/**
+ * Validate one shard's CSV against the manifest expectations.
+ *
+ * Checks, in order: the file exists and ends with a newline (a
+ * torn final line means the writer died mid-row), the first line is
+ * the sweep CSV header, exactly @p shard.cells data rows follow,
+ * and every row has 15 fields and byte-matches the identity prefix
+ * of its cell *within the shard's own numbering* (index local to
+ * the shard, seed derived from @p exp).
+ *
+ * @return empty string when valid, else a human-readable reason.
+ */
+std::string validateShardCsv(const ShardSpec &shard,
+                             const ExperimentConfig &exp,
+                             const std::string &path);
+
+/**
+ * Stitch the manifest's shard CSVs into one global CSV on @p out.
+ *
+ * Every shard is validated with validateShardCsv() first — any
+ * mismatched identity prefix, wrong row count, or torn file is
+ * fatal(); results are never silently mixed.  Rows are re-emitted
+ * with their shard-local index rewritten to the global cell index;
+ * all other bytes pass through untouched, so the merged CSV is
+ * byte-identical to a single-process sweep of the full grid.
+ *
+ * @param manifest the orchestration description
+ * @param dir      directory shard CSV names are resolved against
+ *                 (normally the manifest file's directory)
+ * @param out      destination stream for the merged CSV
+ */
+void mergeShards(const ShardManifest &manifest, const std::string &dir,
+                 std::ostream &out);
+
+/**
+ * Launches and supervises the shard child processes of one
+ * orchestrated sweep, then merges their CSVs.  POSIX-only (fork and
+ * waitpid); construction is fatal() elsewhere.
+ */
+class Orchestrator
+{
+  public:
+    /** Process-level knobs (the grid lives in the manifest). */
+    struct Config
+    {
+        /** Path of the srs_sim binary to exec for each shard. */
+        std::string simPath;
+        /** Directory for shard CSVs, journals, and logs. */
+        std::string dir;
+        /** Max concurrent shard processes; 0 = hardware threads. */
+        std::size_t jobs = 0;
+        /** --threads passed to each shard process. */
+        std::size_t shardThreads = 1;
+        /** Relaunch attempts per shard after a crash or kill. */
+        std::size_t retries = 2;
+    };
+
+    Orchestrator(ShardManifest manifest, Config config);
+
+    /**
+     * Run the orchestration to completion: write the manifest into
+     * the shard directory, launch every incomplete shard (resuming
+     * from its journal when one exists) with at most `jobs` children
+     * in flight, relaunch failed shards up to `retries` times, and
+     * finally merge all shard CSVs onto @p mergedOut.  A shard that
+     * still fails after its retries, or a shard directory holding a
+     * *different* orchestration's manifest, is fatal().
+     */
+    void run(std::ostream &mergedOut);
+
+    /**
+     * Plan-only mode: create the shard directory, write the
+     * manifest, and print each shard's `srs_sim sweep` command line
+     * to @p out — launch nothing.  The commands are exactly what
+     * run() would exec, ready to be dispatched to other machines
+     * and stitched back with `srs_sim merge`.
+     */
+    void writePlan(std::ostream &out);
+
+    /** Shards whose CSVs already validated and were not relaunched. */
+    std::size_t skippedShards() const { return skipped_; }
+    /** Child launches performed (first runs plus retries). */
+    std::size_t launches() const { return launches_; }
+
+  private:
+    /** Create the shard dir and write/verify its manifest. */
+    void prepareDir();
+    /** Fork one child for shard @p index; returns its pid. */
+    long launchShard(std::size_t index);
+    /** Command line for shard @p index (argv, argv[0] = simPath). */
+    std::vector<std::string> shardCommand(std::size_t index) const;
+
+    ShardManifest manifest_;
+    Config config_;
+    std::size_t skipped_ = 0;
+    std::size_t launches_ = 0;
+};
+
+} // namespace srs
+
+#endif // SRS_SIM_ORCHESTRATOR_HH

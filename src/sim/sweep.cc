@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
@@ -25,12 +26,23 @@ mixSweepCell(std::uint32_t index, std::uint32_t cores)
     return cell;
 }
 
+std::size_t
+SweepGrid::innerCells() const
+{
+    return mitigations.size() * trhs.size() * swapRates.size();
+}
+
+std::size_t
+SweepGrid::outerCount() const
+{
+    return workloads.size() + mixCount;
+}
+
 std::vector<SweepCell>
 SweepGrid::expand() const
 {
     std::vector<SweepCell> cells;
-    cells.reserve((workloads.size() + mixCount) * mitigations.size()
-                  * trhs.size() * swapRates.size());
+    cells.reserve(outerCount() * innerCells());
     const auto appendInner = [&](const SweepCell &proto) {
         for (const MitigationKind m : mitigations) {
             for (const std::uint32_t trh : trhs) {
@@ -51,7 +63,7 @@ SweepGrid::expand() const
         appendInner(proto);
     }
     for (std::uint32_t mix = 0; mix < mixCount; ++mix)
-        appendInner(mixSweepCell(mix, mixCores));
+        appendInner(mixSweepCell(mixBase + mix, mixCores));
     return cells;
 }
 
@@ -82,23 +94,6 @@ fnv1a(const std::string &s)
  *  8-column measurement payload). */
 constexpr std::size_t kRowColumns = 15;
 
-/**
- * The first seven columns ("index,workload,mitigation,tracker,trh,
- * rate,seed,") — the cell identity a resume row must reproduce.
- */
-std::string
-keyPrefix(std::size_t index, const SweepCell &cell, std::uint64_t seed)
-{
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%u,%u,0x%016llx,",
-                  index, cell.workload.c_str(),
-                  mitigationKindName(cell.mitigation),
-                  trackerKindName(cell.tracker), cell.trh,
-                  cell.swapRate,
-                  static_cast<unsigned long long>(seed));
-    return buf;
-}
-
 /** Split one CSV line into its comma-separated fields. */
 std::vector<std::string>
 splitFields(const std::string &line)
@@ -122,6 +117,28 @@ std::uint64_t
 SweepRunner::cellSeed(std::uint64_t base, const std::string &workload)
 {
     return splitmix64(base ^ splitmix64(fnv1a(workload)));
+}
+
+std::string
+SweepRunner::identityPrefix(std::size_t index, const SweepCell &cell,
+                            std::uint64_t seed)
+{
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%u,%u,0x%016llx,",
+                  index, cell.workload.c_str(),
+                  mitigationKindName(cell.mitigation),
+                  trackerKindName(cell.tracker), cell.trh,
+                  cell.swapRate,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+const char *
+SweepRunner::csvHeader()
+{
+    return "index,workload,mitigation,tracker,trh,rate,seed,ipc,"
+           "baseline_ipc,normalized,swaps,unswap_swaps,place_backs,"
+           "rows_pinned,max_row_acts";
 }
 
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
@@ -186,8 +203,8 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
                   cells.size(), "-cell grid");
         }
         const std::size_t i = static_cast<std::size_t>(index);
-        const std::string expected =
-            keyPrefix(i, cells[i], cellSeed(exp_.seed, cells[i].workload));
+        const std::string expected = identityPrefix(
+            i, cells[i], cellSeed(exp_.seed, cells[i].workload));
         if (line.compare(0, expected.size(), expected) != 0) {
             fatal("resume file '", resumePath_, "': row ", fields[0],
                   " does not match this sweep's cell (different grid "
@@ -426,9 +443,7 @@ void
 SweepRunner::writeCsv(std::ostream &os,
                       const std::vector<SweepResult> &results)
 {
-    os << "index,workload,mitigation,tracker,trh,rate,seed,ipc,"
-          "baseline_ipc,normalized,swaps,unswap_swaps,place_backs,"
-          "rows_pinned,max_row_acts\n";
+    os << csvHeader() << '\n';
     for (std::size_t i = 0; i < results.size(); ++i) {
         const SweepResult &r = results[i];
         if (r.resumedRow.empty())
@@ -436,6 +451,63 @@ SweepRunner::writeCsv(std::ostream &os,
         else
             os << r.resumedRow << '\n';
     }
+}
+
+std::vector<std::string>
+splitList(const std::string &value)
+{
+    std::vector<std::string> items;
+    std::string::size_type start = 0;
+    while (start <= value.size()) {
+        const auto comma = value.find(',', start);
+        const auto end =
+            comma == std::string::npos ? value.size() : comma;
+        if (end > start)
+            items.push_back(value.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return items;
+}
+
+std::vector<std::uint32_t>
+splitUint32List(const std::string &value, const std::string &what)
+{
+    std::vector<std::uint32_t> items;
+    for (const std::string &item : splitList(value)) {
+        char *end = nullptr;
+        const unsigned long long v =
+            std::strtoull(item.c_str(), &end, 10);
+        if (end == item.c_str() || *end != '\0' || item[0] == '-'
+            || v > std::numeric_limits<std::uint32_t>::max()) {
+            fatal(what, ": '", item,
+                  "' is not a 32-bit unsigned integer");
+        }
+        items.push_back(static_cast<std::uint32_t>(v));
+    }
+    return items;
+}
+
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string joined;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0)
+            joined += ',';
+        joined += items[i];
+    }
+    return joined;
+}
+
+std::string
+joinUint32List(const std::vector<std::uint32_t> &items)
+{
+    std::vector<std::string> strings;
+    for (const std::uint32_t v : items)
+        strings.push_back(std::to_string(v));
+    return joinList(strings);
 }
 
 MitigationKind

@@ -71,8 +71,8 @@ SweepCell mixSweepCell(std::uint32_t index, std::uint32_t cores);
  * Cross-product sweep description.  expand() enumerates cells in
  * row-major order: workloads outermost, then mitigations, then
  * trhs, then swapRates innermost.  When mixCount > 0, MIX points
- * mix0..mix<mixCount-1> follow the named workloads as additional
- * outermost entries, crossed with the same inner axes.
+ * mix<mixBase>..mix<mixBase+mixCount-1> follow the named workloads
+ * as additional outermost entries, crossed with the same inner axes.
  */
 struct SweepGrid
 {
@@ -83,8 +83,21 @@ struct SweepGrid
     TrackerKind tracker = TrackerKind::MisraGries;
     /** Number of MIX points appended after the named workloads. */
     std::uint32_t mixCount = 0;
+    /**
+     * First MIX point index.  A shard covering the middle of a larger
+     * grid's MIX range names its exact points (e.g. mix3..mix5 via
+     * mixBase=3, mixCount=3); a MIX label's profile draw and trace
+     * seed depend only on its index, so mix3 means the same cell in
+     * every shard and in the full grid.
+     */
+    std::uint32_t mixBase = 0;
     /** Cores per MIX point; must match ExperimentConfig::numCores. */
     std::uint32_t mixCores = 8;
+
+    /** Cells per outer entry: mitigations x trhs x swapRates. */
+    std::size_t innerCells() const;
+    /** Outer-axis length: named workloads plus MIX points. */
+    std::size_t outerCount() const;
 
     std::vector<SweepCell> expand() const;
 };
@@ -175,6 +188,20 @@ class SweepRunner
     static std::string formatRow(std::size_t index,
                                  const SweepResult &r);
 
+    /**
+     * The first seven columns of a row ("index,workload,mitigation,
+     * tracker,trh,rate,seed," — comma-terminated): the cell identity
+     * a resume row or a shard row must reproduce byte for byte.
+     * Resume validation and the shard-merge tool
+     * (sim/orchestrator.hh) both compare against these exact bytes.
+     */
+    static std::string identityPrefix(std::size_t index,
+                                      const SweepCell &cell,
+                                      std::uint64_t seed);
+
+    /** The CSV header line writeCsv() emits (no trailing newline). */
+    static const char *csvHeader();
+
   private:
     void loadResume(const std::vector<SweepCell> &cells,
                     std::vector<SweepResult> &results,
@@ -185,6 +212,27 @@ class SweepRunner
     std::string journalPath_;
     std::string resumePath_;
 };
+
+/**
+ * Split a comma-separated list ("a,b,c") into its non-empty items;
+ * an empty string yields no items.  The list syntax shared by the
+ * CLI flags and the shard manifest.
+ */
+std::vector<std::string> splitList(const std::string &value);
+
+/**
+ * Parse a comma-separated list of 32-bit unsigned integers;
+ * fatal() on malformed, negative, or out-of-range items, naming
+ * @p what (e.g. "--trh" or "manifest: trh") in the message.
+ */
+std::vector<std::uint32_t> splitUint32List(const std::string &value,
+                                           const std::string &what);
+
+/** Join items with commas (inverse of splitList). */
+std::string joinList(const std::vector<std::string> &items);
+
+/** Join integers with commas (inverse of splitUint32List). */
+std::string joinUint32List(const std::vector<std::uint32_t> &items);
 
 /** Parse a mitigation name (same spellings the CLI accepts). */
 MitigationKind mitigationKindFromName(const std::string &name);

@@ -68,8 +68,62 @@ if(NOT smoke_jdiff EQUAL 0)
   message(FATAL_ERROR "journal-resumed sweep CSV differs")
 endif()
 
+# Orchestrate: split the same grid into 3 shards (one per workload),
+# run them as supervised child processes two at a time, and require
+# the merged CSV to be byte-identical to a single-process sweep.
+set(orch_grid --workloads=gups,gcc,hmmer --mitigations=rrs --trh=1200
+    --rates=3,6 --cycles=60000 --epoch=25000)
+run_expect_ok(sweep ${orch_grid} --threads=2
+              --out=${smoke_dir}/orch_single.csv --journal=none)
+run_expect_ok(orchestrate ${orch_grid} --shards=3 --jobs=2 --threads=1
+              --out=${smoke_dir}/orch_merged.csv
+              --dir=${smoke_dir}/orch_shards)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/orch_single.csv
+                ${smoke_dir}/orch_merged.csv
+                RESULT_VARIABLE orch_diff)
+if(NOT orch_diff EQUAL 0)
+  message(FATAL_ERROR "orchestrated CSV differs from single-process sweep")
+endif()
+# Re-orchestrating a finished run launches nothing and still merges
+# identically; stitch-only `merge` reads the same manifest.
+run_expect_ok(orchestrate ${orch_grid} --shards=3 --jobs=2 --threads=1
+              --out=${smoke_dir}/orch_again.csv
+              --dir=${smoke_dir}/orch_shards)
+run_expect_ok(merge --manifest=${smoke_dir}/orch_shards/manifest
+              --out=${smoke_dir}/orch_stitched.csv)
+foreach(redone orch_again orch_stitched)
+  execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                  ${smoke_dir}/orch_single.csv
+                  ${smoke_dir}/${redone}.csv
+                  RESULT_VARIABLE orch_rediff)
+  if(NOT orch_rediff EQUAL 0)
+    message(FATAL_ERROR "${redone}.csv differs from single-process sweep")
+  endif()
+endforeach()
+# --plan writes the manifest and the per-shard commands without
+# running anything; merging the unrun plan must fail (no shard CSVs).
+run_expect_ok(orchestrate ${orch_grid} --shards=3 --plan
+              --dir=${smoke_dir}/orch_plan)
+if(NOT EXISTS ${smoke_dir}/orch_plan/manifest)
+  message(FATAL_ERROR "orchestrate --plan did not write a manifest")
+endif()
+if(EXISTS ${smoke_dir}/orch_plan/shard0.csv)
+  message(FATAL_ERROR "orchestrate --plan ran a shard")
+endif()
+run_expect_fail(merge --manifest=${smoke_dir}/orch_plan/manifest)
+
+# A tampered shard must be rejected by merge, never mixed in.
+file(READ ${smoke_dir}/orch_shards/shard1.csv shard1_text)
+string(REPLACE ",1200,3," ",4800,3," shard1_bad "${shard1_text}")
+file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_bad}")
+run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/manifest
+                --out=${smoke_dir}/orch_rejected.csv)
+file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
+
 # Unknown flags must be fatal on every subcommand; so are a resume
-# file that does not exist and a sweep with no workloads at all.
+# file that does not exist, a sweep with no workloads at all, a
+# merge without a manifest, and an orchestration with zero shards.
 run_expect_fail(list --bogus=1)
 run_expect_fail(storage --thr=1200)
 run_expect_fail(perf --workload=gups --cylces=1000)
@@ -78,9 +132,24 @@ run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --resume=${smoke_dir}/no_such_file.csv)
 run_expect_fail(sweep --workloads= --mitigations=rrs --trh=1200
                 --rates=6)
+run_expect_fail(orchestrate ${orch_grid} --shard=3)
+run_expect_fail(orchestrate ${orch_grid} --shards=0)
+run_expect_fail(orchestrate --workloads= --mitigations=rrs --trh=1200
+                --rates=6)
+run_expect_fail(merge)
+run_expect_fail(merge --manifest=${smoke_dir}/no_such_manifest)
 
-# No subcommand / unknown subcommand -> usage + nonzero exit.
+# No subcommand / unknown subcommand -> usage + nonzero exit, and the
+# usage text actually summarizes every subcommand's flags.
 run_expect_fail()
 run_expect_fail(frobnicate)
+execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
+                RESULT_VARIABLE usage_rc ERROR_QUIET)
+foreach(subcommand perf sweep orchestrate merge attack storage trace list
+        --workloads --shards --manifest --montecarlo)
+  if(NOT usage_text MATCHES "${subcommand}")
+    message(FATAL_ERROR "usage() does not mention '${subcommand}'")
+  endif()
+endforeach()
 
 message(STATUS "cli_smoke passed")

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Orchestrator coverage: shard planning (balance, MIX-awareness),
+ * manifest round-tripping, and the merge path — shard CSVs stitched
+ * byte-identically to a single-process sweep, index renumbering,
+ * rejection of mismatched or torn shards, and a killed-shard →
+ * resume → re-merge roundtrip.  Child-process supervision itself is
+ * exercised end-to-end by tests/cli_smoke.cmake and the CI
+ * orchestrator smoke job.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/orchestrator.hh"
+#include "sim/sweep.hh"
+
+namespace srs
+{
+namespace
+{
+
+/** Small budget so a full sweep stays fast in Debug CI. */
+ExperimentConfig
+tinyExperiment()
+{
+    ExperimentConfig exp;
+    exp.cycles = 60'000;
+    exp.epochLen = 25'000;
+    return exp;
+}
+
+/** 2 named workloads + 1 MIX point, 2 mitigations x 1 trh x 2 rates. */
+SweepGrid
+testGrid()
+{
+    SweepGrid grid;
+    grid.workloads = {"gups", "gcc"};
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3, 6};
+    grid.mixCount = 1;
+    grid.mixCores = tinyExperiment().numCores;
+    return grid;
+}
+
+/** CSV text of one full run of @p grid at @p threads workers. */
+std::string
+sweepCsv(const SweepGrid &grid, std::size_t threads)
+{
+    SweepRunner runner(tinyExperiment(), threads);
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, runner.run(grid));
+    return os.str();
+}
+
+/** Write @p text to @p name under the test temp dir; returns path. */
+std::string
+writeTempFile(const std::string &name, const std::string &text)
+{
+    const std::string path = testing::TempDir() + name;
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out << text;
+    return path;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/**
+ * Run every shard of @p manifest in-process (as `srs_sim sweep` on
+ * another machine would) and write its CSV next to the manifest
+ * under the test temp dir, with file names prefixed by @p tag.
+ * Returns the manifest with the prefixed CSV names patched in.
+ */
+ShardManifest
+runShardsInProcess(ShardManifest manifest, const std::string &tag,
+                   std::size_t threads)
+{
+    for (ShardSpec &shard : manifest.shards) {
+        shard.csv = tag + shard.csv;
+        SweepRunner runner(manifest.exp, threads);
+        std::ofstream out(testing::TempDir() + shard.csv,
+                          std::ios::trunc | std::ios::binary);
+        SweepRunner::writeCsv(out, runner.run(shard.grid));
+    }
+    return manifest;
+}
+
+/** Temp-dir path merge output of @p manifest as a string. */
+std::string
+mergedCsv(const ShardManifest &manifest)
+{
+    std::ostringstream os;
+    // TempDir() ends with a separator; strip it for the dir join.
+    std::string dir = testing::TempDir();
+    if (!dir.empty() && dir.back() == '/')
+        dir.pop_back();
+    mergeShards(manifest, dir, os);
+    return os.str();
+}
+
+TEST(ShardPlan, BalancedContiguousAndMixAware)
+{
+    SweepGrid grid = testGrid();
+    grid.mixCount = 2; // outer axis: gups, gcc, mix0, mix1
+    const ExperimentConfig exp = tinyExperiment();
+    const ShardManifest manifest = planShards(grid, exp, 3);
+    ASSERT_EQ(manifest.shards.size(), 3u);
+    const std::size_t inner = grid.innerCells();
+    ASSERT_EQ(inner, 4u);
+
+    // 4 outer entries over 3 shards: 1 + 1 + 2 (contiguous).
+    EXPECT_EQ(manifest.shards[0].grid.workloads,
+              std::vector<std::string>{"gups"});
+    EXPECT_EQ(manifest.shards[0].grid.mixCount, 0u);
+    EXPECT_EQ(manifest.shards[0].offset, 0u);
+    EXPECT_EQ(manifest.shards[0].cells, inner);
+
+    EXPECT_EQ(manifest.shards[1].grid.workloads,
+              std::vector<std::string>{"gcc"});
+    EXPECT_EQ(manifest.shards[1].grid.mixCount, 0u);
+    EXPECT_EQ(manifest.shards[1].offset, inner);
+
+    // The last shard is MIX-only: mix0..mix1 via mixBase/mixCount.
+    EXPECT_TRUE(manifest.shards[2].grid.workloads.empty());
+    EXPECT_EQ(manifest.shards[2].grid.mixBase, 0u);
+    EXPECT_EQ(manifest.shards[2].grid.mixCount, 2u);
+    EXPECT_EQ(manifest.shards[2].offset, 2 * inner);
+    EXPECT_EQ(manifest.shards[2].cells, 2 * inner);
+    EXPECT_EQ(manifest.totalCells(), grid.expand().size());
+
+    // A MIX sub-range expands to the same labels as the full grid.
+    const std::vector<SweepCell> slice =
+        manifest.shards[2].grid.expand();
+    EXPECT_EQ(slice.front().workload, "mix0");
+    EXPECT_EQ(slice.back().workload, "mix1");
+}
+
+TEST(ShardPlan, ShardCountClampsToOuterEntries)
+{
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 64);
+    EXPECT_EQ(manifest.shards.size(), 3u); // gups, gcc, mix0
+    for (const ShardSpec &shard : manifest.shards)
+        EXPECT_EQ(shard.cells, testGrid().innerCells());
+}
+
+TEST(ShardPlan, EmptyGridOrZeroShardsIsFatal)
+{
+    SweepGrid empty;
+    EXPECT_THROW(planShards(empty, tinyExperiment(), 2), FatalError);
+    EXPECT_THROW(planShards(testGrid(), tinyExperiment(), 0),
+                 FatalError);
+}
+
+TEST(ShardManifestFile, RoundTripsThroughDisk)
+{
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 2);
+    const std::string path = testing::TempDir() + "manifest_rt";
+    writeManifest(manifest, path);
+    const ShardManifest loaded = loadManifest(path);
+    EXPECT_EQ(serializeManifest(loaded),
+              serializeManifest(manifest));
+    EXPECT_EQ(loaded.shards.size(), manifest.shards.size());
+    EXPECT_EQ(loaded.exp.seed, manifest.exp.seed);
+    EXPECT_EQ(loaded.grid.expand().size(),
+              manifest.grid.expand().size());
+    std::remove(path.c_str());
+}
+
+TEST(ShardManifestFile, CorruptedTilingIsFatal)
+{
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 2);
+    std::string text = serializeManifest(manifest);
+
+    // An offset that no longer follows the previous shard.
+    std::string broken = text;
+    const auto at = broken.find("shard1.offset=");
+    ASSERT_NE(at, std::string::npos);
+    broken.replace(at, std::string("shard1.offset=4").size(),
+                   "shard1.offset=5");
+    EXPECT_THROW(
+        loadManifest(writeTempFile("manifest_bad_offset", broken)),
+        FatalError);
+
+    // A shard claiming more cells than its grid slice expands to.
+    broken = text;
+    const auto cells = broken.find("shard0.cells=");
+    ASSERT_NE(cells, std::string::npos);
+    broken.replace(cells, std::string("shard0.cells=4").size(),
+                   "shard0.cells=9");
+    EXPECT_THROW(
+        loadManifest(writeTempFile("manifest_bad_cells", broken)),
+        FatalError);
+
+    // Future manifest versions are rejected, not misread.
+    broken = text;
+    const auto version = broken.find("version=1");
+    broken.replace(version, 9, "version=7");
+    EXPECT_THROW(
+        loadManifest(writeTempFile("manifest_bad_version", broken)),
+        FatalError);
+
+    // Out-of-range axis values must not wrap: trh=2^32+1200 is a
+    // fatal parse error, never a silent trh=1200.
+    broken = text;
+    const auto trh = broken.find("trh=1200");
+    ASSERT_NE(trh, std::string::npos);
+    broken.replace(trh, std::string("trh=1200").size(),
+                   "trh=4294968496");
+    EXPECT_THROW(
+        loadManifest(writeTempFile("manifest_overflow", broken)),
+        FatalError);
+    broken = text;
+    broken.replace(trh, std::string("trh=1200").size(), "trh=-1");
+    EXPECT_THROW(
+        loadManifest(writeTempFile("manifest_negative", broken)),
+        FatalError);
+}
+
+TEST(ShardMerge, ByteIdenticalToSingleProcessSweep)
+{
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+
+    // Shard runs and single-process runs must agree for any thread
+    // count on either side.
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const ShardManifest manifest = runShardsInProcess(
+            planShards(grid, exp, 3),
+            "merge_t" + std::to_string(threads) + "_", threads);
+        EXPECT_EQ(mergedCsv(manifest), full)
+            << "threads=" << threads;
+    }
+    EXPECT_EQ(sweepCsv(grid, 8), full);
+}
+
+TEST(ShardMerge, RenumbersShardLocalIndices)
+{
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "renum_", 8);
+
+    // Every shard CSV numbers its rows from 0...
+    const std::string shard1 =
+        readFile(testing::TempDir() + manifest.shards[1].csv);
+    const auto headerEnd = shard1.find('\n');
+    EXPECT_EQ(shard1.compare(headerEnd + 1, 2, "0,"), 0);
+
+    // ...and the merge rewrites them to the global cell index: row
+    // text of shard 1's first cell appears at its global offset.
+    const std::string merged = mergedCsv(manifest);
+    const std::string localRow = shard1.substr(
+        headerEnd + 1,
+        shard1.find('\n', headerEnd + 1) - headerEnd - 1);
+    const std::string globalRow =
+        std::to_string(manifest.shards[1].offset)
+        + localRow.substr(1);
+    EXPECT_NE(merged.find("\n" + globalRow + "\n"),
+              std::string::npos);
+    // The shard-local numbering ("0,gcc,...") must not leak into
+    // the merged CSV — global index 0 belongs to another workload.
+    EXPECT_EQ(merged.find("\n" + localRow + "\n"),
+              std::string::npos);
+}
+
+TEST(ShardMerge, MismatchedIdentityPrefixIsFatal)
+{
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "mismatch_", 8);
+
+    // Flip the trh field of shard 1's first data row: the row no
+    // longer byte-matches the manifest's cell identity.
+    const std::string path = testing::TempDir() + manifest.shards[1].csv;
+    std::string text = readFile(path);
+    const auto at = text.find(",1200,3,");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 8, ",4800,3,");
+    writeTempFile(manifest.shards[1].csv, text);
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+    const std::string reason = validateShardCsv(
+        manifest.shards[1], exp, path);
+    EXPECT_NE(reason.find("identity"), std::string::npos);
+
+    // A manifest with a different seed rejects *every* shard row
+    // (the derived seed is part of the identity prefix).
+    ShardManifest reseeded = runShardsInProcess(
+        planShards(grid, exp, 3), "reseed_", 8);
+    reseeded.exp.seed ^= 1;
+    EXPECT_THROW(mergedCsv(reseeded), FatalError);
+}
+
+TEST(ShardMerge, TornOrShortShardIsFatal)
+{
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "torn_", 8);
+
+    const std::string path =
+        testing::TempDir() + manifest.shards[2].csv;
+    const std::string intact = readFile(path);
+    ASSERT_EQ(intact.back(), '\n');
+
+    // Torn: the writer died mid-row (no final newline).
+    writeTempFile(manifest.shards[2].csv,
+                  intact.substr(0, intact.size() - 3));
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+    EXPECT_NE(validateShardCsv(manifest.shards[2], exp, path)
+                  .find("torn"),
+              std::string::npos);
+
+    // Short: a complete file with a whole row missing.
+    const auto lastRow = intact.rfind('\n', intact.size() - 2);
+    writeTempFile(manifest.shards[2].csv,
+                  intact.substr(0, lastRow + 1));
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+
+    // A missing shard file never merges as empty.
+    writeTempFile(manifest.shards[2].csv, intact); // restore
+    ShardManifest missing = manifest;
+    missing.shards[1].csv = "no_such_shard.csv";
+    EXPECT_THROW(mergedCsv(missing), FatalError);
+}
+
+TEST(ShardMerge, KilledShardResumesAndRemergesByteIdentical)
+{
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+    ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "resume_", 8);
+
+    // Simulate shard 1 killed mid-run: all that survives is a
+    // checkpoint with one complete row and one torn final line.
+    const std::string csvPath =
+        testing::TempDir() + manifest.shards[1].csv;
+    const std::string intact = readFile(csvPath);
+    const auto headerEnd = intact.find('\n');
+    const auto row0End = intact.find('\n', headerEnd + 1);
+    const std::string journalPath = writeTempFile(
+        manifest.shards[1].csv + ".journal",
+        intact.substr(headerEnd + 1,
+                      row0End + 1 - (headerEnd + 1))
+            + intact.substr(row0End + 1,
+                            (intact.find('\n', row0End + 1)
+                             - row0End - 1) / 2));
+    std::remove(csvPath.c_str());
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+
+    // Resume the shard from its journal (what a relaunched
+    // `srs_sim sweep --resume` does), re-write its CSV, re-merge.
+    SweepRunner runner(exp, 8);
+    runner.setResume(journalPath);
+    const std::vector<SweepResult> results =
+        runner.run(manifest.shards[1].grid.expand());
+    EXPECT_FALSE(results[0].resumedRow.empty());
+    EXPECT_TRUE(results[1].resumedRow.empty());
+    std::ofstream out(csvPath, std::ios::trunc | std::ios::binary);
+    SweepRunner::writeCsv(out, results);
+    out.close();
+    EXPECT_EQ(mergedCsv(manifest), full);
+}
+
+TEST(OrchestratorConfig, MissingBinaryOrDirIsFatal)
+{
+    // Launching real children is cli_smoke's job; here only the
+    // configuration contract is checked.
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 2);
+    EXPECT_THROW(Orchestrator(manifest, Orchestrator::Config{}),
+                 FatalError);
+    Orchestrator::Config noDir;
+    noDir.simPath = "/bin/false";
+    EXPECT_THROW(Orchestrator(manifest, noDir), FatalError);
+}
+
+} // namespace
+} // namespace srs

@@ -381,6 +381,26 @@ TEST(SweepMix, GridAppendsMixPointsAfterWorkloads)
     EXPECT_NE(cells[1].mixProfiles, cells[2].mixProfiles);
 }
 
+TEST(SweepMix, MixBaseShiftsThePointRange)
+{
+    // A shard covering the middle of a MIX campaign names its exact
+    // points: mixBase=3, mixCount=2 expands to mix3 and mix4 with
+    // the same per-core draws the full grid would give them.
+    SweepGrid grid;
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    grid.mixCount = 2;
+    grid.mixBase = 3;
+    grid.mixCores = 8;
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].workload, "mix3");
+    EXPECT_EQ(cells[1].workload, "mix4");
+    EXPECT_EQ(cells[0].mixProfiles, mixSweepCell(3, 8).mixProfiles);
+    EXPECT_EQ(cells[1].mixProfiles, mixSweepCell(4, 8).mixProfiles);
+}
+
 TEST(SweepMix, InconsistentLabelOrCoreCountIsFatal)
 {
     const ExperimentConfig exp = tinyExperiment();

@@ -30,27 +30,50 @@
  *              srs_sim sweep --workloads=gups,gcc
  *                      --mitigations=rrs,scale-srs --trh=1200,2400
  *                      --rates=3,6 [--tracker=misra-gries]
- *                      [--mix=N] [--threads=N] [--cycles=N]
- *                      [--epoch=N] [--seed=S] [--out=FILE]
- *                      [--resume=FILE] [--journal=FILE]
+ *                      [--mix=N] [--mix-base=K] [--threads=N]
+ *                      [--cycles=N] [--epoch=N] [--seed=S]
+ *                      [--out=FILE] [--resume=FILE]
+ *                      [--journal=FILE]
  *            --workloads=all sweeps every built-in profile; --mix=N
- *            appends N MIX points (per-core profile draws) to the
- *            workload axis; CSV goes to stdout unless --out is
- *            given.  Output is ordered by cell (workloads outermost,
- *            rates innermost) and is byte-identical for any
- *            --threads value.  Completed cells stream to a journal
- *            (default <out>.journal; --journal=none disables), and
- *            --resume=FILE skips cells already recorded in a
- *            previous journal or (possibly truncated) sweep CSV —
- *            the resumed output is byte-identical to a fresh run.
+ *            appends N MIX points (per-core profile draws, starting
+ *            at mix<K>) to the workload axis; CSV goes to stdout
+ *            unless --out is given.  Output is ordered by cell
+ *            (workloads outermost, rates innermost) and is
+ *            byte-identical for any --threads value.  Completed
+ *            cells stream to a journal (default <out>.journal;
+ *            --journal=none disables), and --resume=FILE skips
+ *            cells already recorded in a previous journal or
+ *            (possibly truncated) sweep CSV — the resumed output is
+ *            byte-identical to a fresh run.
+ *
+ *   orchestrate
+ *            split a sweep grid into balanced shards, run each as a
+ *            supervised `srs_sim sweep` child process (restarting
+ *            killed shards from their journals), and stitch the
+ *            shard CSVs into one merged CSV that is byte-identical
+ *            to a single-process sweep of the same grid.  Takes the
+ *            sweep grid flags plus [--shards=S] [--jobs=J]
+ *            [--threads=N per shard] [--retries=R] [--dir=DIR]
+ *            [--sim=PATH] [--out=FILE]; --plan writes the manifest
+ *            and prints the per-shard commands (for dispatch to
+ *            other machines) without launching anything.
+ *
+ *   merge    stitch-only: validate the shard CSVs named by an
+ *            orchestration manifest (written by `orchestrate`, or
+ *            by hand for shards run on other machines) and emit the
+ *            merged CSV:
+ *              srs_sim merge --manifest=DIR/manifest [--out=FILE]
  *
  *   list     list the built-in workload profiles.
  *
  * All subcommands validate unknown flags (a typo is a fatal error,
- * not a silently ignored knob).
+ * not a silently ignored knob).  docs/sweep-format.md specs the CSV,
+ * journal and manifest formats; docs/ARCHITECTURE.md maps the
+ * library layers underneath.
  */
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <iostream>
@@ -59,10 +82,12 @@
 
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "common/thread_pool.hh"
 #include "security/attack_model.hh"
 #include "security/monte_carlo.hh"
 #include "security/storage_model.hh"
 #include "sim/experiment.hh"
+#include "sim/orchestrator.hh"
 #include "sim/sweep.hh"
 #include "trace/profiles.hh"
 #include "trace/synthetic.hh"
@@ -72,43 +97,6 @@ namespace
 {
 
 using namespace srs;
-
-/** Split a comma-separated flag value ("a,b,c") into its items. */
-std::vector<std::string>
-splitList(const std::string &value)
-{
-    std::vector<std::string> items;
-    std::string::size_type start = 0;
-    while (start <= value.size()) {
-        const auto comma = value.find(',', start);
-        const auto end = comma == std::string::npos ? value.size()
-                                                    : comma;
-        if (end > start)
-            items.push_back(value.substr(start, end - start));
-        if (comma == std::string::npos)
-            break;
-        start = comma + 1;
-    }
-    return items;
-}
-
-std::vector<std::uint32_t>
-splitUintList(const std::string &value, const char *flag)
-{
-    std::vector<std::uint32_t> items;
-    for (const std::string &item : splitList(value)) {
-        char *end = nullptr;
-        const unsigned long long v =
-            std::strtoull(item.c_str(), &end, 10);
-        if (end == item.c_str() || *end != '\0' || item[0] == '-'
-            || v > std::numeric_limits<std::uint32_t>::max()) {
-            fatal("--", flag, ": '", item,
-                  "' is not a 32-bit unsigned integer");
-        }
-        items.push_back(static_cast<std::uint32_t>(v));
-    }
-    return items;
-}
 
 int
 cmdPerf(const Options &opts)
@@ -164,10 +152,16 @@ cmdPerf(const Options &opts)
     return 0;
 }
 
-int
-cmdSweep(const Options &opts)
+/**
+ * Parse the sweep grid + experiment flags shared by `sweep` and
+ * `orchestrate` (--workloads/--mitigations/--trh/--rates/--tracker/
+ * --mix/--mix-base/--cycles/--epoch/--seed); fatal() on an empty
+ * grid.
+ */
+void
+parseGridFlags(const Options &opts, SweepGrid &grid,
+               ExperimentConfig &exp)
 {
-    SweepGrid grid;
     const std::string workloads = opts.getString("workloads", "gcc");
     if (workloads == "all") {
         for (const WorkloadProfile &p : allProfiles())
@@ -178,19 +172,36 @@ cmdSweep(const Options &opts)
     for (const std::string &m :
          splitList(opts.getString("mitigations", "scale-srs")))
         grid.mitigations.push_back(mitigationKindFromName(m));
-    grid.trhs = splitUintList(opts.getString("trh", "1200"), "trh");
-    grid.swapRates = splitUintList(opts.getString("rates", "3"),
-                                   "rates");
+    grid.trhs =
+        splitUint32List(opts.getString("trh", "1200"), "--trh");
+    grid.swapRates =
+        splitUint32List(opts.getString("rates", "3"), "--rates");
     grid.tracker =
         trackerKindFromName(opts.getString("tracker", "misra-gries"));
 
-    ExperimentConfig exp;
     exp.cycles = opts.getUint("cycles", 1'500'000);
     exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
     exp.seed = opts.getUint("seed", exp.seed);
     grid.mixCount =
         static_cast<std::uint32_t>(opts.getUint("mix", 0));
+    grid.mixBase =
+        static_cast<std::uint32_t>(opts.getUint("mix-base", 0));
     grid.mixCores = exp.numCores;
+
+    if ((grid.workloads.empty() && grid.mixCount == 0)
+        || grid.mitigations.empty() || grid.trhs.empty()
+        || grid.swapRates.empty()) {
+        fatal("sweep grid is empty: need at least one workload or "
+              "MIX point, mitigation, trh and rate");
+    }
+}
+
+int
+cmdSweep(const Options &opts)
+{
+    SweepGrid grid;
+    ExperimentConfig exp;
+    parseGridFlags(opts, grid, exp);
     const std::size_t threads =
         static_cast<std::size_t>(opts.getUint("threads", 0));
     const std::string out = opts.getString("out", "");
@@ -200,13 +211,6 @@ cmdSweep(const Options &opts)
     if (journal == "none")
         journal.clear();
     opts.rejectUnknown();
-
-    if ((grid.workloads.empty() && grid.mixCount == 0)
-        || grid.mitigations.empty() || grid.trhs.empty()
-        || grid.swapRates.empty()) {
-        fatal("sweep grid is empty: need at least one workload or "
-              "MIX point, mitigation, trh and rate");
-    }
 
     SweepRunner runner(exp, threads);
     runner.setJournal(journal);
@@ -227,6 +231,104 @@ cmdSweep(const Options &opts)
                      results.size(), out.c_str(),
                      runner.threadCount());
     }
+    return 0;
+}
+
+/** argv[0] as seen by main(), the --sim fallback for orchestrate. */
+std::string gArgv0;
+
+/**
+ * Best-effort path of the running binary: /proc/self/exe when the
+ * kernel exposes it (Linux), else argv[0].
+ */
+std::string
+selfExePath()
+{
+    std::error_code ec;
+    const std::filesystem::path self =
+        std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec && !self.empty())
+        return self.string();
+    return gArgv0;
+}
+
+int
+cmdOrchestrate(const Options &opts)
+{
+    SweepGrid grid;
+    ExperimentConfig exp;
+    parseGridFlags(opts, grid, exp);
+
+    Orchestrator::Config cfg;
+    cfg.jobs = static_cast<std::size_t>(opts.getUint("jobs", 0));
+    cfg.shardThreads =
+        static_cast<std::size_t>(opts.getUint("threads", 1));
+    cfg.retries =
+        static_cast<std::size_t>(opts.getUint("retries", 2));
+    // Default shard count: one shard per concurrent job slot.
+    const std::size_t shards = static_cast<std::size_t>(opts.getUint(
+        "shards", ThreadPool::resolveThreads(cfg.jobs)));
+    const std::string out = opts.getString("out", "");
+    cfg.dir = opts.getString(
+        "dir", out.empty() ? "srs_shards" : out + ".shards");
+    cfg.simPath = opts.getString("sim", selfExePath());
+    const bool planOnly = opts.getBool("plan", false);
+    opts.rejectUnknown();
+
+    const ShardManifest manifest = planShards(grid, exp, shards);
+    Orchestrator orchestrator(manifest, cfg);
+    if (planOnly) {
+        // Write the manifest and print the shard commands for
+        // dispatch to other machines; launch nothing.
+        orchestrator.writePlan(std::cout);
+        return 0;
+    }
+    if (out.empty()) {
+        orchestrator.run(std::cout);
+        if (!std::cout.flush())
+            fatal("error writing merged CSV to stdout");
+    } else {
+        std::ofstream file(out, std::ios::trunc | std::ios::binary);
+        if (!file)
+            fatal("cannot open '", out, "' for writing");
+        orchestrator.run(file);
+    }
+    std::fprintf(stderr,
+                 "orchestrate: merged %zu cells from %zu shard(s) "
+                 "into %s (%zu launched, %zu already complete)\n",
+                 manifest.totalCells(), manifest.shards.size(),
+                 out.empty() ? "stdout" : out.c_str(),
+                 orchestrator.launches(),
+                 orchestrator.skippedShards());
+    return 0;
+}
+
+int
+cmdMerge(const Options &opts)
+{
+    const std::string manifestPath = opts.getString("manifest", "");
+    const std::string out = opts.getString("out", "");
+    opts.rejectUnknown();
+    if (manifestPath.empty())
+        fatal("merge needs --manifest=FILE (written by 'srs_sim "
+              "orchestrate', or by hand for remote shards)");
+
+    const ShardManifest manifest = loadManifest(manifestPath);
+    const std::string dir =
+        std::filesystem::path(manifestPath).parent_path().string();
+    if (out.empty()) {
+        mergeShards(manifest, dir, std::cout);
+        if (!std::cout.flush())
+            fatal("error writing merged CSV to stdout");
+    } else {
+        std::ofstream file(out, std::ios::trunc | std::ios::binary);
+        if (!file)
+            fatal("cannot open '", out, "' for writing");
+        mergeShards(manifest, dir, file);
+    }
+    std::fprintf(stderr,
+                 "merge: stitched %zu cells from %zu shard(s)\n",
+                 manifest.totalCells(), manifest.shards.size());
     return 0;
 }
 
@@ -369,10 +471,53 @@ void
 usage()
 {
     std::printf(
-        "usage: srs_sim <perf|sweep|attack|storage|trace|list> "
-        "[--key=value]\n"
-        "run 'srs_sim' with a subcommand; see the file header or\n"
-        "README.md for the full flag list per subcommand.\n");
+        "usage: srs_sim <subcommand> [--key=value ...]\n"
+        "\n"
+        "subcommands and their flags (defaults in parentheses):\n"
+        "\n"
+        "  perf         one workload under one defense\n"
+        "    --workload=NAME (gcc)  --mitigation=KIND (scale-srs)\n"
+        "    --trh=N (1200)  --rate=N (3)  --tracker=KIND\n"
+        "    --cycles=N (1500000)  --epoch=N (cycles/2)  --csv\n"
+        "\n"
+        "  sweep        workload x mitigation x TRH x rate grid,\n"
+        "               one CSV row per cell, thread-pool parallel\n"
+        "    --workloads=A,B|all (gcc)  --mitigations=A,B (scale-srs)\n"
+        "    --trh=N,M (1200)  --rates=N,M (3)  --tracker=KIND\n"
+        "    --mix=N (0)  --mix-base=K (0)  --threads=N (all)\n"
+        "    --cycles=N  --epoch=N  --seed=S  --out=FILE (stdout)\n"
+        "    --journal=FILE|none (<out>.journal)  --resume=FILE\n"
+        "\n"
+        "  orchestrate  split a sweep grid into shard processes,\n"
+        "               supervise them, stitch one merged CSV\n"
+        "    (all sweep grid flags above, plus:)\n"
+        "    --shards=S (jobs)  --jobs=J (hardware threads)\n"
+        "    --threads=N per shard (1)  --retries=R (2)\n"
+        "    --dir=DIR (<out>.shards)  --sim=PATH (this binary)\n"
+        "    --out=FILE (stdout)  --plan (write manifest + print\n"
+        "    shard commands for other machines, launch nothing)\n"
+        "\n"
+        "  merge        validate + stitch shard CSVs from a manifest\n"
+        "    --manifest=FILE (required)  --out=FILE (stdout)\n"
+        "\n"
+        "  attack       Juggernaut analytical model / Monte-Carlo\n"
+        "    --defense=rrs|srs|scale-srs (rrs)  --trh=N (4800)\n"
+        "    --rate=N (6)  --rounds=N|best (best)  --banks=B (1)\n"
+        "    --open-page  --ddr5  --montecarlo=ITERS (0)\n"
+        "    --shards=S (auto)  --threads=N (all)\n"
+        "\n"
+        "  storage      Table IV storage breakdown\n"
+        "    --trh=N (1200)\n"
+        "\n"
+        "  trace        export a synthetic workload as a USIMM trace\n"
+        "    --workload=NAME (gups)  --records=N (100000)\n"
+        "    --seed=S  --core=N (0)  --out=FILE (<workload>.usimm)\n"
+        "\n"
+        "  list         list the built-in workload profiles\n"
+        "\n"
+        "Unknown flags are fatal errors.  File formats (sweep CSV,\n"
+        "journal, shard manifest): docs/sweep-format.md; library\n"
+        "layering: docs/ARCHITECTURE.md.\n");
 }
 
 } // namespace
@@ -381,6 +526,7 @@ int
 main(int argc, char **argv)
 {
     setQuietLogging(true);
+    gArgv0 = argc > 0 ? argv[0] : "srs_sim";
     const Options opts = Options::fromArgs(argc, argv);
     if (opts.positional().empty()) {
         usage();
@@ -392,6 +538,10 @@ main(int argc, char **argv)
             return cmdPerf(opts);
         if (cmd == "sweep")
             return cmdSweep(opts);
+        if (cmd == "orchestrate")
+            return cmdOrchestrate(opts);
+        if (cmd == "merge")
+            return cmdMerge(opts);
         if (cmd == "attack")
             return cmdAttack(opts);
         if (cmd == "storage")
