@@ -36,7 +36,7 @@ main()
     header("performance vs swap rate (T_RH = 1200, geomean)");
     ExperimentConfig exp = benchExperiment();
     SweepGrid grid;
-    grid.workloads = benchWorkloadNames();
+    grid.workloads = benchWorkloadSpecs();
     grid.mitigations = {MitigationKind::ScaleSrs, MitigationKind::Srs};
     grid.trhs = {1200};
     grid.swapRates = {3, 6, 8};

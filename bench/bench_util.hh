@@ -67,14 +67,14 @@ benchWorkloads()
     return out;
 }
 
-/** Names of the default workload subset (sweep-grid workload axis). */
-inline std::vector<std::string>
-benchWorkloadNames()
+/** The default workload subset as sweep-grid WorkloadSpecs. */
+inline std::vector<WorkloadSpec>
+benchWorkloadSpecs()
 {
-    std::vector<std::string> names;
+    std::vector<WorkloadSpec> specs;
     for (const WorkloadProfile &w : benchWorkloads())
-        names.push_back(w.name);
-    return names;
+        specs.push_back(WorkloadSpec::synthetic(w.name));
+    return specs;
 }
 
 /** Pretty header for a bench section. */

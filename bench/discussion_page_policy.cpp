@@ -11,12 +11,17 @@
  *    per-activation time);
  *  - T_RH <= 3300: broken in < 1 day even at swap rate 10, open
  *    page — the advantage disappears as T_RH drops.
+ *
+ * The cycle-level ablation rides SweepRunner with the page policy
+ * as a SystemAxes axis: one cell per (workload, policy, design
+ * point), each normalized against the unprotected baseline of the
+ * *same* policy, all pool-parallel (SRS_BENCH_THREADS overrides).
  */
 
 #include "bench_util.hh"
-#include <map>
 #include "common/logging.hh"
 #include "security/attack_model.hh"
+#include "sim/sweep.hh"
 
 int
 main()
@@ -56,7 +61,6 @@ main()
     header("cycle-level: normalized perf, closed vs open page");
     ExperimentConfig exp = benchExperiment();
     const auto workloads = benchWorkloads();
-    std::printf("%-14s %10s %10s\n", "config", "closed", "open");
     struct Point
     {
         const char *label;
@@ -67,36 +71,42 @@ main()
         {"scale-srs", MitigationKind::ScaleSrs, 3},
         {"rrs", MitigationKind::Rrs, 6},
     };
-    // Per-policy baseline IPCs, computed once and shared by both
-    // defenses (the unprotected system is defense-agnostic).
-    std::map<int, std::vector<double>> baseIpc;
-    for (const PagePolicy policy :
-         {PagePolicy::Closed, PagePolicy::Open}) {
-        for (const WorkloadProfile &w : workloads) {
-            SystemConfig base =
-                makeSystemConfig(exp, MitigationKind::None, 1200, 6);
-            base.memCtrl.pagePolicy = policy;
-            baseIpc[static_cast<int>(policy)].push_back(
-                runWorkload(base, w, exp).aggregateIpc);
+    const PagePolicy policies[] = {PagePolicy::Closed,
+                                   PagePolicy::Open};
+
+    // One sweep cell per (workload, design point, policy); the
+    // runner computes and shares one unprotected baseline per
+    // (workload, policy) pair, so each cell normalizes against the
+    // baseline of its own page policy.
+    std::vector<SweepCell> cells;
+    for (const WorkloadProfile &w : workloads) {
+        for (const Point &pt : points) {
+            for (const PagePolicy policy : policies) {
+                SweepCell cell;
+                cell.workload = WorkloadSpec::synthetic(w.name);
+                cell.axes.pagePolicy = policy;
+                cell.mitigation = pt.kind;
+                cell.trh = 1200;
+                cell.swapRate = pt.rate;
+                cells.push_back(std::move(cell));
+            }
         }
     }
-    for (const Point &pt : points) {
-        std::printf("%-14s", pt.label);
-        for (const PagePolicy policy :
-             {PagePolicy::Closed, PagePolicy::Open}) {
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(cells);
+
+    std::printf("%-14s %10s %10s\n", "config", "closed", "open");
+    const std::size_t nPt = std::size(points);
+    const std::size_t nPol = std::size(policies);
+    for (std::size_t pi = 0; pi < nPt; ++pi) {
+        std::printf("%-14s", points[pi].label);
+        for (std::size_t qi = 0; qi < nPol; ++qi) {
             std::vector<double> norms;
-            for (std::size_t i = 0; i < workloads.size(); ++i) {
-                SystemConfig cfg = makeSystemConfig(
-                    exp, pt.kind, 1200, pt.rate);
-                cfg.memCtrl.pagePolicy = policy;
-                const double ipc =
-                    runWorkload(cfg, workloads[i], exp).aggregateIpc;
-                const double b =
-                    baseIpc[static_cast<int>(policy)][i];
-                norms.push_back(b > 0 ? ipc / b : 1.0);
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                norms.push_back(
+                    results[(wi * nPt + pi) * nPol + qi].normalized);
             }
             std::printf(" %10.4f", geoMean(norms));
-            std::fflush(stdout);
         }
         std::printf("\n");
     }

@@ -47,7 +47,7 @@ main()
     header("Figure 1(b): normalized performance of RRS vs T_RH");
     const ExperimentConfig exp = benchExperiment();
     SweepGrid grid;
-    grid.workloads = benchWorkloadNames();
+    grid.workloads = benchWorkloadSpecs();
     grid.mitigations = {MitigationKind::Rrs};
     grid.trhs = {4800, 2400, 1200};
     grid.swapRates = {6};

@@ -25,7 +25,7 @@ main()
     const ExperimentConfig exp = benchExperiment();
 
     SweepGrid grid;
-    grid.workloads = benchWorkloadNames();
+    grid.workloads = benchWorkloadSpecs();
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::Srs};
     grid.trhs = {1200, 2400, 4800};
     grid.swapRates = {6};

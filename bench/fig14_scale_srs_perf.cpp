@@ -46,7 +46,7 @@ main()
     };
     for (const WorkloadProfile &w : workloads) {
         SweepCell proto;
-        proto.workload = w.name;
+        proto.workload = WorkloadSpec::synthetic(w.name);
         appendPair(proto);
     }
     for (std::uint32_t mix = 0; mix < kMixes; ++mix)

@@ -35,7 +35,7 @@ main()
         for (const Point pt : points) {
             for (const std::uint32_t trh : trhs) {
                 SweepCell cell;
-                cell.workload = w.name;
+                cell.workload = WorkloadSpec::synthetic(w.name);
                 cell.mitigation = pt.kind;
                 cell.trh = trh;
                 cell.swapRate = pt.rate;

@@ -86,7 +86,7 @@ main()
     for (const WorkloadProfile &w : workloads) {
         for (const Point &pt : points) {
             SweepCell cell;
-            cell.workload = w.name;
+            cell.workload = WorkloadSpec::synthetic(w.name);
             cell.mitigation = pt.kind;
             cell.trh = 1200;
             cell.swapRate = pt.rate;

@@ -11,7 +11,7 @@ namespace srs
 SystemConfig
 makeSystemConfig(const ExperimentConfig &exp, MitigationKind kind,
                  std::uint32_t trh, std::uint32_t swapRate,
-                 TrackerKind tracker)
+                 TrackerKind tracker, const SystemAxes &axes)
 {
     SystemConfig cfg;
     cfg.numCores = exp.numCores;
@@ -22,6 +22,7 @@ makeSystemConfig(const ExperimentConfig &exp, MitigationKind kind,
     cfg.mit.seed = exp.seed ^ 0x517e5ULL;
     cfg.epochLen = exp.epochLen;
     cfg.seed = exp.seed;
+    axes.apply(cfg);
     return cfg;
 }
 
@@ -61,6 +62,25 @@ runWorkloadMix(const SystemConfig &sysCfg,
         sys.setTrace(c, std::make_unique<SyntheticTrace>(
                             perCore[c], sys.controller().addressMap(),
                             c, exp.seed));
+    }
+    sys.run(exp.warmup + exp.cycles);
+    return collect(sys);
+}
+
+RunResult
+runWorkloadTrace(const SystemConfig &sysCfg,
+                 const std::vector<SharedTraceRecords> &perCore,
+                 const ExperimentConfig &exp)
+{
+    SRS_ASSERT(perCore.size() == 1
+                   || perCore.size() == sysCfg.numCores,
+               "need one trace per core, or a single shared trace");
+    System sys(sysCfg);
+    for (CoreId c = 0; c < sysCfg.numCores; ++c) {
+        const SharedTraceRecords &records =
+            perCore.size() == 1 ? perCore[0] : perCore[c];
+        sys.setTrace(c, std::make_unique<FileTrace>(records,
+                                                    /*loop=*/true));
     }
     sys.run(exp.warmup + exp.cycles);
     return collect(sys);

@@ -19,7 +19,9 @@
 #include <vector>
 
 #include "sim/system.hh"
+#include "sim/workload_spec.hh"
 #include "trace/profiles.hh"
+#include "trace/trace_file.hh"
 
 namespace srs
 {
@@ -71,13 +73,18 @@ struct ExperimentConfig
  * @param trh      Row Hammer threshold T_RH
  * @param swapRate swaps per T_SWAP window (the paper's rate knob)
  * @param tracker  aggressor tracker implementation
+ * @param axes     system-variant overlay (page policy, DRAM timing
+ *                 overrides); applied identically to protected and
+ *                 baseline configurations so normalization compares
+ *                 like with like
  * @return a SystemConfig ready for System construction
  */
 SystemConfig makeSystemConfig(const ExperimentConfig &exp,
                               MitigationKind kind, std::uint32_t trh,
                               std::uint32_t swapRate,
                               TrackerKind tracker
-                              = TrackerKind::MisraGries);
+                              = TrackerKind::MisraGries,
+                              const SystemAxes &axes = {});
 
 /**
  * Run one workload (same profile on every core, rate mode) on a
@@ -104,6 +111,23 @@ RunResult runWorkload(const SystemConfig &sysCfg,
 RunResult runWorkloadMix(const SystemConfig &sysCfg,
                          const std::vector<WorkloadProfile> &perCore,
                          const ExperimentConfig &exp);
+
+/**
+ * Replay recorded USIMM trace(s) (the paper's Pin-trace workflow).
+ * Each core loops its trace like USIMM rate mode; the parsed records
+ * are shared, not copied, so N cores replaying one file reference a
+ * single image (loadTraceRecords()).
+ *
+ * @param sysCfg  system under test
+ * @param perCore one parsed trace per core, or a single entry
+ *                replayed by every core
+ * @param exp     cycle budget and warmup (the trace itself is the
+ *                access stream, so exp.seed does not reshape it)
+ * @return aggregate statistics of the run
+ */
+RunResult runWorkloadTrace(const SystemConfig &sysCfg,
+                           const std::vector<SharedTraceRecords> &perCore,
+                           const ExperimentConfig &exp);
 
 /**
  * Normalized performance of @p kind vs. the unprotected baseline for

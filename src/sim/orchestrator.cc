@@ -32,7 +32,7 @@ namespace srs
 namespace
 {
 
-constexpr std::uint64_t kManifestVersion = 1;
+constexpr std::uint64_t kManifestVersion = 2;
 
 std::string
 shardKey(std::size_t index, const char *field)
@@ -70,9 +70,17 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
         lines.push_back(text.substr(start, nl - start));
         start = nl + 1;
     }
-    if (lines.empty() || lines.front() != SweepRunner::csvHeader())
+    if (lines.empty() || lines.front() != SweepRunner::csvHeader()) {
+        if (!lines.empty()
+            && lines.front().rfind("index,workload,", 0) == 0) {
+            return "shard CSV '" + path + "' carries the sweep CSV "
+                   "schema v1 header (no workload_spec/policy "
+                   "columns); this build merges schema v2 only — "
+                   "re-run the shard (docs/sweep-format.md)";
+        }
         return "shard CSV '" + path + "' does not start with the "
                "sweep CSV header";
+    }
     if (lines.size() - 1 != shard.cells) {
         return "shard CSV '" + path + "' has "
                + std::to_string(lines.size() - 1) + " data rows, "
@@ -89,17 +97,22 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
         const std::string &row = lines[i + 1];
         const std::string expected = SweepRunner::identityPrefix(
             i, cells[i],
-            SweepRunner::cellSeed(exp.seed, cells[i].workload));
+            SweepRunner::cellSeed(exp.seed,
+                                  cells[i].workload.label()));
         if (row.compare(0, expected.size(), expected) != 0) {
             return "shard CSV '" + path + "' row " + std::to_string(i)
                    + " does not match the manifest's cell identity"
                      "\n  row:      " + row
                    + "\n  expected: " + expected + "...";
         }
-        if (std::count(row.begin(), row.end(), ',') != 14
+        const auto columns = static_cast<std::size_t>(
+            std::count(row.begin(), row.end(), ',') + 1);
+        if (columns != SweepRunner::kRowColumns
             || row.back() == ',') {
             return "shard CSV '" + path + "' row " + std::to_string(i)
-                   + " does not have 15 fields";
+                   + " does not have "
+                   + std::to_string(SweepRunner::kRowColumns)
+                   + " fields";
         }
         if (rows)
             rows->push_back(row);
@@ -156,7 +169,8 @@ planShards(const SweepGrid &grid, const ExperimentConfig &exp,
     const std::size_t inner = grid.innerCells();
     if (outer == 0 || inner == 0) {
         fatal("cannot shard an empty sweep grid: need at least one "
-              "workload or MIX point, mitigation, trh and rate");
+              "workload or MIX point, page policy, mitigation, trh "
+              "and rate");
     }
     if (shardCount == 0)
         fatal("--shards must be at least 1");
@@ -212,11 +226,16 @@ serializeManifest(const ShardManifest &manifest)
     std::ostringstream out;
     out << "# srs_sim shard manifest (docs/sweep-format.md)\n"
         << "version=" << kManifestVersion << '\n'
-        << "workloads=" << joinList(grid.workloads) << '\n';
+        << "workloads=" << joinSpecList(grid.workloads) << '\n';
     std::vector<std::string> mitigations;
     for (const MitigationKind kind : grid.mitigations)
         mitigations.push_back(mitigationKindName(kind));
+    std::vector<std::string> policies;
+    for (const PagePolicy policy : grid.pagePolicies)
+        policies.push_back(pagePolicyName(policy));
     out << "mitigations=" << joinList(mitigations) << '\n'
+        << "policies=" << joinList(policies) << '\n'
+        << "trc=" << joinUint32List(grid.tRcOverrides) << '\n'
         << "trh=" << joinUint32List(grid.trhs) << '\n'
         << "rates=" << joinUint32List(grid.swapRates) << '\n'
         << "tracker=" << trackerKindName(grid.tracker) << '\n'
@@ -230,7 +249,7 @@ serializeManifest(const ShardManifest &manifest)
     for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
         const ShardSpec &shard = manifest.shards[k];
         out << shardKey(k, "workloads") << '='
-            << joinList(shard.grid.workloads) << '\n'
+            << joinSpecList(shard.grid.workloads) << '\n'
             << shardKey(k, "mix") << '=' << shard.grid.mixCount << '\n'
             << shardKey(k, "mix_base") << '=' << shard.grid.mixBase
             << '\n'
@@ -246,17 +265,38 @@ loadManifest(const std::string &path)
 {
     const Options opts = Options::fromFile(path);
     const std::uint64_t version = opts.getUint("version", 0);
+    if (version == 1) {
+        fatal("manifest '", path, "': schema version 1 (pre-"
+              "WorkloadSpec, no policies/trc axes); this build reads "
+              "manifest version ", kManifestVersion, " only — "
+              "re-plan the orchestration with 'srs_sim orchestrate' "
+              "(docs/sweep-format.md)");
+    }
     if (version != kManifestVersion) {
         fatal("manifest '", path, "': unsupported version ", version,
               " (this build reads version ", kManifestVersion, ")");
     }
 
     ShardManifest manifest;
+    manifest.exp.seed = opts.getUint("seed", manifest.exp.seed);
+    manifest.exp.cycles = opts.getUint("cycles", manifest.exp.cycles);
+    manifest.exp.epochLen =
+        opts.getUint("epoch", manifest.exp.epochLen);
+    manifest.exp.numCores = static_cast<std::uint32_t>(
+        opts.getUint("cores", manifest.exp.numCores));
+
     SweepGrid &grid = manifest.grid;
-    grid.workloads = splitList(opts.getString("workloads", ""));
+    grid.workloads = splitSpecList(opts.getString("workloads", ""),
+                                   manifest.exp.numCores);
     for (const std::string &name :
          splitList(opts.getString("mitigations", "")))
         grid.mitigations.push_back(mitigationKindFromName(name));
+    grid.pagePolicies.clear();
+    for (const std::string &name :
+         splitList(opts.getString("policies", "closed")))
+        grid.pagePolicies.push_back(pagePolicyFromName(name));
+    grid.tRcOverrides =
+        splitUint32List(opts.getString("trc", "0"), "manifest: trc");
     grid.trhs = splitUint32List(opts.getString("trh", ""), "manifest: trh");
     grid.swapRates = splitUint32List(opts.getString("rates", ""), "manifest: rates");
     grid.tracker =
@@ -265,12 +305,6 @@ loadManifest(const std::string &path)
         static_cast<std::uint32_t>(opts.getUint("mix", 0));
     grid.mixBase =
         static_cast<std::uint32_t>(opts.getUint("mix_base", 0));
-    manifest.exp.seed = opts.getUint("seed", manifest.exp.seed);
-    manifest.exp.cycles = opts.getUint("cycles", manifest.exp.cycles);
-    manifest.exp.epochLen =
-        opts.getUint("epoch", manifest.exp.epochLen);
-    manifest.exp.numCores = static_cast<std::uint32_t>(
-        opts.getUint("cores", manifest.exp.numCores));
     grid.mixCores = manifest.exp.numCores;
 
     const std::uint64_t shardCount = opts.getUint("shards", 0);
@@ -282,14 +316,15 @@ loadManifest(const std::string &path)
     // list, MIX ranges cover mixBase..mixBase+mixCount contiguously,
     // and offsets/cell counts line up with the expansion order.
     const std::size_t inner = grid.innerCells();
-    std::vector<std::string> seenWorkloads;
+    std::vector<WorkloadSpec> seenWorkloads;
     std::uint32_t nextMix = grid.mixBase;
     std::size_t nextOffset = 0;
     for (std::size_t k = 0; k < shardCount; ++k) {
         ShardSpec shard;
         shard.grid = grid;
-        shard.grid.workloads =
-            splitList(opts.getString(shardKey(k, "workloads"), ""));
+        shard.grid.workloads = splitSpecList(
+            opts.getString(shardKey(k, "workloads"), ""),
+            manifest.exp.numCores);
         shard.grid.mixCount = static_cast<std::uint32_t>(
             opts.getUint(shardKey(k, "mix"), 0));
         shard.grid.mixBase = static_cast<std::uint32_t>(
@@ -307,7 +342,7 @@ loadManifest(const std::string &path)
                   "workloads after an earlier shard started the MIX "
                   "range");
         }
-        for (const std::string &w : shard.grid.workloads)
+        for (const WorkloadSpec &w : shard.grid.workloads)
             seenWorkloads.push_back(w);
         if (shard.grid.mixCount > 0
             && shard.grid.mixBase != nextMix) {
@@ -390,11 +425,16 @@ Orchestrator::shardCommand(std::size_t index) const
     std::vector<std::string> cmd;
     cmd.push_back(config_.simPath);
     cmd.push_back("sweep");
-    cmd.push_back("--workloads=" + joinList(grid.workloads));
+    cmd.push_back("--workloads=" + joinSpecList(grid.workloads));
     std::vector<std::string> mitigations;
     for (const MitigationKind kind : grid.mitigations)
         mitigations.push_back(mitigationKindName(kind));
     cmd.push_back("--mitigations=" + joinList(mitigations));
+    std::vector<std::string> policies;
+    for (const PagePolicy policy : grid.pagePolicies)
+        policies.push_back(pagePolicyName(policy));
+    cmd.push_back("--page-policy=" + joinList(policies));
+    cmd.push_back("--trc=" + joinUint32List(grid.tRcOverrides));
     cmd.push_back("--trh=" + joinUint32List(grid.trhs));
     cmd.push_back("--rates=" + joinUint32List(grid.swapRates));
     cmd.push_back("--tracker="

@@ -5,13 +5,16 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
+#include <map>
 #include <mutex>
 #include <ostream>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "trace/profiles.hh"
+#include "trace/trace_file.hh"
 
 namespace srs
 {
@@ -20,16 +23,31 @@ SweepCell
 mixSweepCell(std::uint32_t index, std::uint32_t cores)
 {
     SweepCell cell;
-    cell.workload = "mix" + std::to_string(index);
-    for (const WorkloadProfile &p : mixWorkload(index, cores))
-        cell.mixProfiles.push_back(p.name);
+    cell.workload = WorkloadSpec::mix(index, cores);
     return cell;
+}
+
+std::vector<SystemAxes>
+SweepGrid::axes() const
+{
+    std::vector<SystemAxes> out;
+    out.reserve(pagePolicies.size() * tRcOverrides.size());
+    for (const PagePolicy policy : pagePolicies) {
+        for (const std::uint32_t trc : tRcOverrides) {
+            SystemAxes a;
+            a.pagePolicy = policy;
+            a.tRcNs = trc;
+            out.push_back(a);
+        }
+    }
+    return out;
 }
 
 std::size_t
 SweepGrid::innerCells() const
 {
-    return mitigations.size() * trhs.size() * swapRates.size();
+    return pagePolicies.size() * tRcOverrides.size()
+           * mitigations.size() * trhs.size() * swapRates.size();
 }
 
 std::size_t
@@ -41,29 +59,31 @@ SweepGrid::outerCount() const
 std::vector<SweepCell>
 SweepGrid::expand() const
 {
+    const std::vector<SystemAxes> axisList = axes();
     std::vector<SweepCell> cells;
     cells.reserve(outerCount() * innerCells());
-    const auto appendInner = [&](const SweepCell &proto) {
-        for (const MitigationKind m : mitigations) {
-            for (const std::uint32_t trh : trhs) {
-                for (const std::uint32_t rate : swapRates) {
-                    SweepCell cell = proto;
-                    cell.mitigation = m;
-                    cell.trh = trh;
-                    cell.swapRate = rate;
-                    cell.tracker = tracker;
-                    cells.push_back(std::move(cell));
+    const auto appendInner = [&](const WorkloadSpec &spec) {
+        for (const SystemAxes &a : axisList) {
+            for (const MitigationKind m : mitigations) {
+                for (const std::uint32_t trh : trhs) {
+                    for (const std::uint32_t rate : swapRates) {
+                        SweepCell cell;
+                        cell.workload = spec;
+                        cell.axes = a;
+                        cell.mitigation = m;
+                        cell.trh = trh;
+                        cell.swapRate = rate;
+                        cell.tracker = tracker;
+                        cells.push_back(std::move(cell));
+                    }
                 }
             }
         }
     };
-    for (const std::string &w : workloads) {
-        SweepCell proto;
-        proto.workload = w;
-        appendInner(proto);
-    }
+    for (const WorkloadSpec &spec : workloads)
+        appendInner(spec);
     for (std::uint32_t mix = 0; mix < mixCount; ++mix)
-        appendInner(mixSweepCell(mixBase + mix, mixCores));
+        appendInner(WorkloadSpec::mix(mixBase + mix, mixCores));
     return cells;
 }
 
@@ -90,10 +110,6 @@ fnv1a(const std::string &s)
     return h;
 }
 
-/** Total fields of one CSV data row (7-column identity prefix +
- *  8-column measurement payload). */
-constexpr std::size_t kRowColumns = 15;
-
 /** Split one CSV line into its comma-separated fields. */
 std::vector<std::string>
 splitFields(const std::string &line)
@@ -114,31 +130,43 @@ splitFields(const std::string &line)
 } // namespace
 
 std::uint64_t
-SweepRunner::cellSeed(std::uint64_t base, const std::string &workload)
+SweepRunner::cellSeed(std::uint64_t base, const std::string &workloadLabel)
 {
-    return splitmix64(base ^ splitmix64(fnv1a(workload)));
+    return splitmix64(base ^ splitmix64(fnv1a(workloadLabel)));
 }
 
 std::string
 SweepRunner::identityPrefix(std::size_t index, const SweepCell &cell,
                             std::uint64_t seed)
 {
-    char buf[256];
-    std::snprintf(buf, sizeof(buf), "%zu,%s,%s,%s,%u,%u,0x%016llx,",
-                  index, cell.workload.c_str(),
-                  mitigationKindName(cell.mitigation),
-                  trackerKindName(cell.tracker), cell.trh,
-                  cell.swapRate,
+    // Assembled from strings (not one bounded snprintf) because a
+    // per-core trace spec's label can be arbitrarily long.
+    char numbers[64];
+    std::snprintf(numbers, sizeof(numbers), ",%u,%u,", cell.trh,
+                  cell.swapRate);
+    char seedField[32];
+    std::snprintf(seedField, sizeof(seedField), "0x%016llx,",
                   static_cast<unsigned long long>(seed));
-    return buf;
+    std::string prefix = std::to_string(index);
+    prefix += ',';
+    prefix += cell.workload.label();
+    prefix += ',';
+    prefix += mitigationKindName(cell.mitigation);
+    prefix += ',';
+    prefix += trackerKindName(cell.tracker);
+    prefix += numbers;
+    prefix += cell.axes.field();
+    prefix += ',';
+    prefix += seedField;
+    return prefix;
 }
 
 const char *
 SweepRunner::csvHeader()
 {
-    return "index,workload,mitigation,tracker,trh,rate,seed,ipc,"
-           "baseline_ipc,normalized,swaps,unswap_swaps,place_backs,"
-           "rows_pinned,max_row_acts";
+    return "index,workload_spec,mitigation,tracker,trh,rate,policy,"
+           "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+           "place_backs,rows_pinned,max_row_acts";
 }
 
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
@@ -183,13 +211,31 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         // An interrupted writer can leave a torn final line — every
         // complete row ends with '\n', so a line that ran into EOF
         // instead may be cut anywhere (even mid-digit of the last
-        // field, where it still splits into 15 plausible fields).
+        // field, where it still splits into 16 plausible fields).
         // Never trust it; the cell is simply recomputed.
         if (in.eof())
             continue;
-        if (line.empty() || line.rfind("index,workload", 0) == 0)
+        if (line.empty()
+            || line.rfind("index,workload_spec", 0) == 0)
             continue;
+        if (line.rfind("index,workload", 0) == 0) {
+            fatal("resume file '", resumePath_, "' carries the sweep "
+                  "CSV schema v1 header (no workload_spec/policy "
+                  "columns); this build reads schema v2 only — "
+                  "re-run the sweep (docs/sweep-format.md)");
+        }
         const std::vector<std::string> fields = splitFields(line);
+        // A complete v1 row has 15 fields with the 0x-seed in column
+        // 7 (v2 keeps a policy name there); recognize it so stale
+        // checkpoints fail with a versioned message, not a silent
+        // recompute or a cryptic prefix mismatch.
+        if (fields.size() == kRowColumns - 1
+            && fields.size() > 6 && fields[6].rfind("0x", 0) == 0) {
+            fatal("resume file '", resumePath_, "': row '", fields[0],
+                  "' is a sweep CSV schema v1 row (15 columns, seed "
+                  "in column 7); this build reads schema v2 only — "
+                  "re-run the sweep (docs/sweep-format.md)");
+        }
         if (fields.size() != kRowColumns || fields.back().empty())
             continue;
         char *end = nullptr;
@@ -204,7 +250,8 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         }
         const std::size_t i = static_cast<std::size_t>(index);
         const std::string expected = identityPrefix(
-            i, cells[i], cellSeed(exp_.seed, cells[i].workload));
+            i, cells[i],
+            cellSeed(exp_.seed, cells[i].workload.label()));
         if (line.compare(0, expected.size(), expected) != 0) {
             fatal("resume file '", resumePath_, "': row ", fields[0],
                   " does not match this sweep's cell (different grid "
@@ -213,19 +260,19 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         }
         SweepResult &r = results[i];
         r.cell = cells[i];
-        r.seed = cellSeed(exp_.seed, cells[i].workload);
-        r.run.aggregateIpc = std::strtod(fields[7].c_str(), nullptr);
-        r.baselineIpc = std::strtod(fields[8].c_str(), nullptr);
-        r.normalized = std::strtod(fields[9].c_str(), nullptr);
-        r.run.swaps = std::strtoull(fields[10].c_str(), nullptr, 10);
+        r.seed = cellSeed(exp_.seed, cells[i].workload.label());
+        r.run.aggregateIpc = std::strtod(fields[8].c_str(), nullptr);
+        r.baselineIpc = std::strtod(fields[9].c_str(), nullptr);
+        r.normalized = std::strtod(fields[10].c_str(), nullptr);
+        r.run.swaps = std::strtoull(fields[11].c_str(), nullptr, 10);
         r.run.unswapSwaps =
-            std::strtoull(fields[11].c_str(), nullptr, 10);
-        r.run.placeBacks =
             std::strtoull(fields[12].c_str(), nullptr, 10);
-        r.run.rowsPinned =
+        r.run.placeBacks =
             std::strtoull(fields[13].c_str(), nullptr, 10);
-        r.run.maxRowActivations =
+        r.run.rowsPinned =
             std::strtoull(fields[14].c_str(), nullptr, 10);
+        r.run.maxRowActivations =
+            std::strtoull(fields[15].c_str(), nullptr, 10);
         r.resumedRow = line;
         done[i] = 1;
     }
@@ -234,52 +281,74 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
 std::vector<SweepResult>
 SweepRunner::run(const std::vector<SweepCell> &cells)
 {
-    // Validate every workload before any simulation starts, so a typo
-    // is a clean fatal() in the calling thread, not a worker abort.
-    // MIX cells pre-resolve their per-core profiles here too, and a
-    // label reused with a different profile list is rejected (the
-    // label keys both the trace seed and the shared baseline).
+    // Resolve every workload spec before any simulation starts, so a
+    // typo'd profile name or an unreadable trace file is a clean
+    // fatal() in the calling thread, not a worker abort.  A label
+    // reused with a different spec is rejected (the label keys both
+    // the trace seed and the shared baseline), and each distinct
+    // trace file is parsed exactly once, shared by every cell and
+    // core that replays it.
     struct Workload
     {
-        std::string name;
+        WorkloadSpec spec;
         const WorkloadProfile *single = nullptr;
         std::vector<WorkloadProfile> perCore;
+        std::vector<SharedTraceRecords> traces;
     };
     std::vector<Workload> workloads;
     std::unordered_map<std::string, std::size_t> workloadIndex;
+    std::unordered_map<std::string, SharedTraceRecords> traceCache;
     std::vector<std::size_t> keyOf(cells.size());
     for (std::size_t ci = 0; ci < cells.size(); ++ci) {
         const SweepCell &cell = cells[ci];
-        const auto it = workloadIndex.find(cell.workload);
+        const std::string label = cell.workload.label();
+        const auto it = workloadIndex.find(label);
         if (it != workloadIndex.end()) {
-            const Workload &known = workloads[it->second];
-            std::vector<std::string> knownNames;
-            for (const WorkloadProfile &p : known.perCore)
-                knownNames.push_back(p.name);
-            if (knownNames != cell.mixProfiles) {
-                fatal("sweep cell ", ci, ": label '", cell.workload,
-                      "' reused with a different per-core profile "
-                      "list");
+            if (workloads[it->second].spec != cell.workload) {
+                fatal("sweep cell ", ci, ": label '", label,
+                      "' reused with a different workload spec");
             }
             keyOf[ci] = it->second;
             continue;
         }
         Workload w;
-        w.name = cell.workload;
-        if (cell.mixProfiles.empty()) {
-            w.single = &profileByName(cell.workload); // fatal if unknown
-        } else {
-            if (cell.mixProfiles.size() != exp_.numCores) {
-                fatal("sweep cell ", ci, " ('", cell.workload,
-                      "'): ", cell.mixProfiles.size(),
+        w.spec = cell.workload;
+        switch (cell.workload.kind) {
+          case WorkloadKind::Synthetic:
+            w.single = &profileByName(cell.workload.name);
+            break;
+          case WorkloadKind::Mix:
+            if (cell.workload.mixProfiles.size() != exp_.numCores) {
+                fatal("sweep cell ", ci, " ('", label, "'): ",
+                      cell.workload.mixProfiles.size(),
                       " per-core profiles but the experiment has ",
                       exp_.numCores, " cores");
             }
-            for (const std::string &name : cell.mixProfiles)
+            for (const std::string &name : cell.workload.mixProfiles)
                 w.perCore.push_back(profileByName(name));
+            break;
+          case WorkloadKind::TraceFile:
+            if (cell.workload.tracePaths.size() != 1
+                && cell.workload.tracePaths.size() != exp_.numCores) {
+                fatal("sweep cell ", ci, " ('", label, "'): ",
+                      cell.workload.tracePaths.size(),
+                      " trace paths but the experiment has ",
+                      exp_.numCores, " cores (want 1 shared path or "
+                      "one per core)");
+            }
+            for (const std::string &path : cell.workload.tracePaths) {
+                auto cached = traceCache.find(path);
+                if (cached == traceCache.end()) {
+                    cached = traceCache
+                                 .emplace(path, loadTraceRecords(path))
+                                 .first;
+                }
+                w.traces.push_back(cached->second);
+            }
+            break;
         }
         keyOf[ci] = workloads.size();
-        workloadIndex.emplace(cell.workload, workloads.size());
+        workloadIndex.emplace(label, workloads.size());
         workloads.push_back(std::move(w));
     }
 
@@ -315,6 +384,21 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             fatal("error appending to journal '", journalPath_, "'");
     };
 
+    // One simulation of workload @p w (baseline or protected).
+    const auto simulate = [this](const Workload &w,
+                                 const SystemConfig &cfg,
+                                 const ExperimentConfig &exp) {
+        switch (w.spec.kind) {
+          case WorkloadKind::Synthetic:
+            return runWorkload(cfg, *w.single, exp);
+          case WorkloadKind::Mix:
+            return runWorkloadMix(cfg, w.perCore, exp);
+          case WorkloadKind::TraceFile:
+            return runWorkloadTrace(cfg, w.traces, exp);
+        }
+        fatal("unreachable workload kind");
+    };
+
     ThreadPool pool(threads_);
 
     // A FatalError escaping a worker would std::terminate the whole
@@ -336,28 +420,53 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             throw FatalError(errorMsg);
     };
 
-    // Phase 1: one unprotected baseline per distinct workload that
-    // still has pending cells.  The baseline ignores trh/rate (no
-    // mitigation is wired), so any values work.
-    std::vector<char> keyNeeded(workloads.size(), 0);
+    // Baselines are shared per distinct (workload, system axes)
+    // pair: the axes overlay changes the unprotected machine too, so
+    // an open-page cell normalizes against an open-page baseline.
+    struct BaselineGroup
+    {
+        std::size_t workload;
+        SystemAxes axes;
+    };
+    std::vector<BaselineGroup> groups;
+    std::map<std::pair<std::size_t, std::string>, std::size_t>
+        groupIndex;
+    std::vector<std::size_t> groupOf(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto key =
+            std::make_pair(keyOf[i], cells[i].axes.field());
+        const auto it = groupIndex.find(key);
+        if (it != groupIndex.end()) {
+            groupOf[i] = it->second;
+            continue;
+        }
+        groupOf[i] = groups.size();
+        groupIndex.emplace(key, groups.size());
+        groups.push_back(BaselineGroup{keyOf[i], cells[i].axes});
+    }
+
+    // Phase 1: one unprotected baseline per (workload, axes) group
+    // that still has pending cells.  The baseline ignores trh/rate
+    // (no mitigation is wired), so any values work.
+    std::vector<char> groupNeeded(groups.size(), 0);
     for (std::size_t i = 0; i < cells.size(); ++i) {
         if (!done[i])
-            keyNeeded[keyOf[i]] = 1;
+            groupNeeded[groupOf[i]] = 1;
     }
-    std::vector<RunResult> baseline(workloads.size());
-    for (std::size_t i = 0; i < workloads.size(); ++i) {
-        if (!keyNeeded[i])
+    std::vector<RunResult> baseline(groups.size());
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+        if (!groupNeeded[i])
             continue;
-        pool.submit([this, &workloads, &baseline, &record, i] {
+        pool.submit([this, &workloads, &groups, &baseline, &simulate,
+                     &record, i] {
             try {
-                const Workload &w = workloads[i];
+                const Workload &w = workloads[groups[i].workload];
                 ExperimentConfig exp = exp_;
-                exp.seed = cellSeed(exp_.seed, w.name);
+                exp.seed = cellSeed(exp_.seed, w.spec.label());
                 const SystemConfig cfg = makeSystemConfig(
-                    exp, MitigationKind::None, 4800, 6);
-                baseline[i] = w.single
-                                  ? runWorkload(cfg, *w.single, exp)
-                                  : runWorkloadMix(cfg, w.perCore, exp);
+                    exp, MitigationKind::None, 4800, 6,
+                    TrackerKind::MisraGries, groups[i].axes);
+                baseline[i] = simulate(w, cfg, exp);
             } catch (const FatalError &err) {
                 record(i, err.what());
             }
@@ -372,8 +481,8 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
     const auto finishCell = [&](std::size_t i) {
         SweepResult &r = results[i];
         r.cell = cells[i];
-        r.seed = cellSeed(exp_.seed, cells[i].workload);
-        const RunResult &base = baseline[keyOf[i]];
+        r.seed = cellSeed(exp_.seed, cells[i].workload.label());
+        const RunResult &base = baseline[groupOf[i]];
         if (cells[i].mitigation == MitigationKind::None)
             r.run = base;
         r.baselineIpc = base.aggregateIpc;
@@ -395,18 +504,16 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         if (done[i] || cells[i].mitigation == MitigationKind::None)
             continue;
         pool.submit([this, &cells, &workloads, &keyOf, &results,
-                     &finishCell, &record, i] {
+                     &simulate, &finishCell, &record, i] {
             try {
                 const SweepCell &cell = cells[i];
                 const Workload &w = workloads[keyOf[i]];
                 ExperimentConfig exp = exp_;
-                exp.seed = cellSeed(exp_.seed, cell.workload);
-                const SystemConfig cfg =
-                    makeSystemConfig(exp, cell.mitigation, cell.trh,
-                                     cell.swapRate, cell.tracker);
-                results[i].run =
-                    w.single ? runWorkload(cfg, *w.single, exp)
-                             : runWorkloadMix(cfg, w.perCore, exp);
+                exp.seed = cellSeed(exp_.seed, cell.workload.label());
+                const SystemConfig cfg = makeSystemConfig(
+                    exp, cell.mitigation, cell.trh, cell.swapRate,
+                    cell.tracker, cell.axes);
+                results[i].run = simulate(w, cfg, exp);
                 finishCell(i);
             } catch (const FatalError &err) {
                 record(i, err.what());
@@ -421,22 +528,17 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
 std::string
 SweepRunner::formatRow(std::size_t index, const SweepResult &r)
 {
-    char buf[512];
+    char payload[256];
     std::snprintf(
-        buf, sizeof(buf),
-        "%zu,%s,%s,%s,%u,%u,0x%016llx,%.6f,%.6f,%.6f,%llu,%llu,"
-        "%llu,%llu,%llu",
-        index, r.cell.workload.c_str(),
-        mitigationKindName(r.cell.mitigation),
-        trackerKindName(r.cell.tracker), r.cell.trh, r.cell.swapRate,
-        static_cast<unsigned long long>(r.seed), r.run.aggregateIpc,
-        r.baselineIpc, r.normalized,
+        payload, sizeof(payload),
+        "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu",
+        r.run.aggregateIpc, r.baselineIpc, r.normalized,
         static_cast<unsigned long long>(r.run.swaps),
         static_cast<unsigned long long>(r.run.unswapSwaps),
         static_cast<unsigned long long>(r.run.placeBacks),
         static_cast<unsigned long long>(r.run.rowsPinned),
         static_cast<unsigned long long>(r.run.maxRowActivations));
-    return buf;
+    return identityPrefix(index, r.cell, r.seed) + payload;
 }
 
 void
@@ -508,6 +610,24 @@ joinUint32List(const std::vector<std::uint32_t> &items)
     for (const std::uint32_t v : items)
         strings.push_back(std::to_string(v));
     return joinList(strings);
+}
+
+std::string
+joinSpecList(const std::vector<WorkloadSpec> &specs)
+{
+    std::vector<std::string> labels;
+    for (const WorkloadSpec &spec : specs)
+        labels.push_back(spec.label());
+    return joinList(labels);
+}
+
+std::vector<WorkloadSpec>
+splitSpecList(const std::string &value, std::uint32_t cores)
+{
+    std::vector<WorkloadSpec> specs;
+    for (const std::string &item : splitList(value))
+        specs.push_back(WorkloadSpec::parse(item, cores));
+    return specs;
 }
 
 MitigationKind

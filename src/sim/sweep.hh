@@ -4,26 +4,33 @@
  *
  * The multi-configuration experiments all share one shape: run a
  * grid of independent single-threaded simulation cells and normalize
- * each against the unprotected baseline of the same workload and
- * trace seed.  SweepRunner fans that grid across a ThreadPool:
+ * each against the unprotected baseline of the same workload, system
+ * axes and trace seed.  SweepRunner fans that grid across a
+ * ThreadPool:
  *
- *  - one baseline run per distinct workload (phase 1), then one run
- *    per cell (phase 2), all pool-parallel;
+ *  - one baseline run per distinct (workload, system-axes) pair
+ *    (phase 1), then one run per cell (phase 2), all pool-parallel;
  *  - deterministic per-cell RNG seeding: the trace seed is a pure
- *    function of (base seed, workload name), so a cell's result does
- *    not depend on thread count or completion order, and protected
- *    runs replay the exact trace of their baseline;
+ *    function of (base seed, workload label), so a cell's result
+ *    does not depend on thread count or completion order, and
+ *    protected runs replay the exact trace of their baseline;
  *  - results land in pre-assigned slots and are reported in cell
  *    order, so CSV output is byte-identical for threads=1 and
  *    threads=N;
- *  - cells carrying a per-core profile list (MIX workloads) route
- *    through runWorkloadMix with the same seeding and ordering
- *    guarantees;
+ *  - a cell's WorkloadSpec selects what drives the cores: a
+ *    synthetic rate-mode profile, a per-core MIX profile list
+ *    (runWorkloadMix), or recorded USIMM trace file(s)
+ *    (runWorkloadTrace) — each distinct trace file is parsed once
+ *    and shared across every cell and core that replays it;
+ *  - a cell's SystemAxes select which machine variant it runs on
+ *    (page policy, DRAM timing overrides), applied to the protected
+ *    run and its baseline alike;
  *  - completed cells are appended (one flushed line each) to an
  *    optional sidecar journal, and a previous journal or truncated
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
- *    uninterrupted run (docs/sweep-format.md has the file formats).
+ *    uninterrupted run (docs/sweep-format.md has the file formats,
+ *    schema v2).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -35,25 +42,22 @@
 #include <vector>
 
 #include "sim/experiment.hh"
+#include "sim/workload_spec.hh"
 
 namespace srs
 {
 
 /**
- * One experiment point of a sweep.
- *
- * Two flavours share the struct: a *rate-mode* cell (mixProfiles
- * empty) runs `workload` on every core, while a *MIX* cell carries
- * one profile name per core and `workload` is a label ("mix0") that
- * keys the cell's trace seed and baseline.  Cells with the same
- * label must carry the same profile list.
+ * One experiment point of a sweep: which workload (WorkloadSpec),
+ * on which machine variant (SystemAxes), under which defense
+ * configuration.  Cells with the same workload label must carry the
+ * same spec — the label keys the cell's trace seed and its shared
+ * baseline.
  */
 struct SweepCell
 {
-    std::string workload;
-    /** Per-core profile names; empty selects rate mode.  Must have
-     *  exactly ExperimentConfig::numCores entries when set. */
-    std::vector<std::string> mixProfiles;
+    WorkloadSpec workload;
+    SystemAxes axes;
     MitigationKind mitigation = MitigationKind::ScaleSrs;
     std::uint32_t trh = 1200;
     std::uint32_t swapRate = 3;
@@ -69,14 +73,20 @@ SweepCell mixSweepCell(std::uint32_t index, std::uint32_t cores);
 
 /**
  * Cross-product sweep description.  expand() enumerates cells in
- * row-major order: workloads outermost, then mitigations, then
- * trhs, then swapRates innermost.  When mixCount > 0, MIX points
- * mix<mixBase>..mix<mixBase+mixCount-1> follow the named workloads
- * as additional outermost entries, crossed with the same inner axes.
+ * row-major order: workloads outermost, then system axes (page
+ * policies outermost of the pair, tRC overrides inner), then
+ * mitigations, then trhs, then swapRates innermost.  When
+ * mixCount > 0, MIX points mix<mixBase>..mix<mixBase+mixCount-1>
+ * follow the named workloads as additional outermost entries,
+ * crossed with the same inner axes.
  */
 struct SweepGrid
 {
-    std::vector<std::string> workloads;
+    std::vector<WorkloadSpec> workloads;
+    /** Page-policy axis (outer half of the system axes). */
+    std::vector<PagePolicy> pagePolicies = {PagePolicy::Closed};
+    /** tRC override axis in ns; 0 = Table III default (inner half). */
+    std::vector<std::uint32_t> tRcOverrides = {0};
     std::vector<MitigationKind> mitigations;
     std::vector<std::uint32_t> trhs;
     std::vector<std::uint32_t> swapRates;
@@ -94,7 +104,9 @@ struct SweepGrid
     /** Cores per MIX point; must match ExperimentConfig::numCores. */
     std::uint32_t mixCores = 8;
 
-    /** Cells per outer entry: mitigations x trhs x swapRates. */
+    /** The system-axes axis: pagePolicies x tRcOverrides, in order. */
+    std::vector<SystemAxes> axes() const;
+    /** Cells per outer entry: axes x mitigations x trhs x swapRates. */
     std::size_t innerCells() const;
     /** Outer-axis length: named workloads plus MIX points. */
     std::size_t outerCount() const;
@@ -109,7 +121,7 @@ struct SweepResult
     /** Trace seed actually used (derived, see SweepRunner::cellSeed). */
     std::uint64_t seed = 0;
     RunResult run;
-    /** Unprotected IPC of the same workload and seed. */
+    /** Unprotected IPC of the same workload, axes and seed. */
     double baselineIpc = 0.0;
     /** run.aggregateIpc / baselineIpc (1.0 when baseline is zero). */
     double normalized = 1.0;
@@ -147,17 +159,20 @@ class SweepRunner
      * Before running, load completed rows from @p path — a sweep
      * CSV (possibly truncated mid-file) or a journal — and skip
      * re-simulating those cells.  Rows are validated against the
-     * grid (workload, mitigation, tracker, trh, rate, seed);
-     * a mismatch is fatal().  Incomplete trailing lines are
-     * ignored and recomputed.  An empty path disables resuming.
+     * grid (workload spec, mitigation, tracker, trh, rate, policy,
+     * seed); a mismatch is fatal(), and a schema-v1 file (15-column
+     * rows, no workload_spec/policy columns) is rejected with a
+     * versioned error.  Incomplete trailing lines are ignored and
+     * recomputed.  An empty path disables resuming.
      */
     void setResume(const std::string &path);
 
     /**
-     * Run every cell (plus one baseline per distinct workload that
-     * still has pending cells) and return results in cell order.
-     * fatal()s on unknown workload names, inconsistent MIX labels,
-     * or a mismatched resume file before any simulation starts.
+     * Run every cell (plus one baseline per distinct
+     * (workload, axes) pair that still has pending cells) and
+     * return results in cell order.  fatal()s on unknown workload
+     * names, unreadable trace files, inconsistent labels, or a
+     * mismatched resume file before any simulation starts.
      */
     std::vector<SweepResult> run(const std::vector<SweepCell> &cells);
 
@@ -168,13 +183,13 @@ class SweepRunner
 
     /**
      * Trace seed for one cell: splitmix64 over the base seed and an
-     * FNV-1a hash of the workload name (or MIX label).  Keyed by
-     * workload only on purpose — every mitigation replays the
-     * identical trace, keeping normalization an apples-to-apples
-     * comparison.
+     * FNV-1a hash of the workload label.  Keyed by workload only on
+     * purpose — every mitigation and every system-axes variant
+     * replays the identical trace, keeping normalization an
+     * apples-to-apples comparison.
      */
     static std::uint64_t cellSeed(std::uint64_t base,
-                                  const std::string &workload);
+                                  const std::string &workloadLabel);
 
     /** Write header + one line per result (stable formatting). */
     static void writeCsv(std::ostream &os,
@@ -189,10 +204,10 @@ class SweepRunner
                                  const SweepResult &r);
 
     /**
-     * The first seven columns of a row ("index,workload,mitigation,
-     * tracker,trh,rate,seed," — comma-terminated): the cell identity
-     * a resume row or a shard row must reproduce byte for byte.
-     * Resume validation and the shard-merge tool
+     * The first eight columns of a row ("index,workload_spec,
+     * mitigation,tracker,trh,rate,policy,seed," — comma-terminated):
+     * the cell identity a resume row or a shard row must reproduce
+     * byte for byte.  Resume validation and the shard-merge tool
      * (sim/orchestrator.hh) both compare against these exact bytes.
      */
     static std::string identityPrefix(std::size_t index,
@@ -201,6 +216,9 @@ class SweepRunner
 
     /** The CSV header line writeCsv() emits (no trailing newline). */
     static const char *csvHeader();
+
+    /** Total fields of one schema-v2 CSV data row. */
+    static constexpr std::size_t kRowColumns = 16;
 
   private:
     void loadResume(const std::vector<SweepCell> &cells,
@@ -233,6 +251,16 @@ std::string joinList(const std::vector<std::string> &items);
 
 /** Join integers with commas (inverse of splitUint32List). */
 std::string joinUint32List(const std::vector<std::uint32_t> &items);
+
+/** Canonical spellings of @p specs (joinList of labels). */
+std::string joinSpecList(const std::vector<WorkloadSpec> &specs);
+
+/**
+ * Parse a comma-separated list of workload-spec spellings (see
+ * WorkloadSpec::parse); an empty string yields no specs.
+ */
+std::vector<WorkloadSpec> splitSpecList(const std::string &value,
+                                        std::uint32_t cores);
 
 /** Parse a mitigation name (same spellings the CLI accepts). */
 MitigationKind mitigationKindFromName(const std::string &name);

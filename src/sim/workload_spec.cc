@@ -1,0 +1,200 @@
+#include "sim/workload_spec.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "sim/system.hh"
+#include "trace/profiles.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+constexpr const char *kTracePrefix = "trace:";
+
+/** Split @p value on ';' into its non-empty items. */
+std::vector<std::string>
+splitSemis(const std::string &value)
+{
+    std::vector<std::string> items;
+    std::string::size_type start = 0;
+    while (start <= value.size()) {
+        const auto semi = value.find(';', start);
+        const auto end =
+            semi == std::string::npos ? value.size() : semi;
+        if (end > start)
+            items.push_back(value.substr(start, end - start));
+        if (semi == std::string::npos)
+            break;
+        start = semi + 1;
+    }
+    return items;
+}
+
+/**
+ * A trace path appears verbatim inside one CSV field and one
+ * manifest value, so it must not contain the characters those
+ * formats give meaning to — nor ';', the per-core path separator,
+ * or the label would re-parse as a different spec.
+ */
+void
+validateTracePath(const std::string &path)
+{
+    for (const char c : path) {
+        if (c == ',' || c == ';' || c == '#'
+            || std::isspace(static_cast<unsigned char>(c))) {
+            fatal("trace path '", path, "' contains '", std::string(1, c),
+                  "', which cannot be spelled in a sweep CSV or shard "
+                  "manifest (no commas, semicolons, whitespace or "
+                  "'#'; want trace:<path> or trace:<p0>;<p1>;...)");
+        }
+    }
+}
+
+} // namespace
+
+std::string
+WorkloadSpec::label() const
+{
+    if (kind != WorkloadKind::TraceFile)
+        return name;
+    std::string joined = kTracePrefix;
+    for (std::size_t i = 0; i < tracePaths.size(); ++i) {
+        if (i > 0)
+            joined += ';';
+        joined += tracePaths[i];
+    }
+    return joined;
+}
+
+WorkloadSpec
+WorkloadSpec::synthetic(const std::string &profileName)
+{
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::Synthetic;
+    spec.name = profileName;
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::mix(std::uint32_t index, std::uint32_t cores)
+{
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::Mix;
+    spec.name = "mix" + std::to_string(index);
+    for (const WorkloadProfile &p : mixWorkload(index, cores))
+        spec.mixProfiles.push_back(p.name);
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::traceFiles(std::vector<std::string> paths)
+{
+    if (paths.empty()) {
+        fatal("trace workload spec needs at least one path (want "
+              "trace:<path> or trace:<p0>;<p1>;... with one path per "
+              "core)");
+    }
+    for (const std::string &path : paths)
+        validateTracePath(path);
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::TraceFile;
+    spec.tracePaths = std::move(paths);
+    spec.name = spec.label();
+    return spec;
+}
+
+WorkloadSpec
+WorkloadSpec::parse(const std::string &spelling, std::uint32_t cores)
+{
+    if (spelling.rfind(kTracePrefix, 0) != 0)
+        return synthetic(spelling);
+    std::vector<std::string> paths =
+        splitSemis(spelling.substr(std::string(kTracePrefix).size()));
+    if (paths.empty()) {
+        fatal("workload spec '", spelling, "': trace spec needs at "
+              "least one path (want trace:<path> or "
+              "trace:<p0>;<p1>;... with one path per core)");
+    }
+    if (paths.size() != 1 && paths.size() != cores) {
+        fatal("workload spec '", spelling, "': ", paths.size(),
+              " trace paths, but a per-core list needs exactly ",
+              cores, " (or a single path shared by every core)");
+    }
+    return traceFiles(std::move(paths));
+}
+
+std::string
+SystemAxes::field() const
+{
+    std::string text = pagePolicyName(pagePolicy);
+    if (tRcNs != 0)
+        text += "@trc=" + std::to_string(tRcNs);
+    return text;
+}
+
+SystemAxes
+SystemAxes::parse(const std::string &text)
+{
+    SystemAxes axes;
+    const auto at = text.find('@');
+    axes.pagePolicy = pagePolicyFromName(text.substr(0, at));
+    if (at == std::string::npos)
+        return axes;
+    const std::string suffix = text.substr(at + 1);
+    if (suffix.rfind("trc=", 0) != 0) {
+        fatal("system axes '", text, "': unknown timing override '",
+              suffix, "' (want <policy> or <policy>@trc=<ns>)");
+    }
+    const std::string value = suffix.substr(4);
+    char *end = nullptr;
+    const unsigned long long ns =
+        std::strtoull(value.c_str(), &end, 10);
+    if (value.empty() || end == value.c_str() || *end != '\0'
+        || ns == 0 || ns > 10'000) {
+        fatal("system axes '", text, "': '", value,
+              "' is not a tRC override in nanoseconds (1..10000)");
+    }
+    axes.tRcNs = static_cast<std::uint32_t>(ns);
+    return axes;
+}
+
+void
+SystemAxes::apply(SystemConfig &cfg) const
+{
+    cfg.memCtrl.pagePolicy = pagePolicy;
+    if (tRcNs != 0) {
+        cfg.timingNs.tRC = static_cast<double>(tRcNs);
+        cfg.timingNs.tRAS = cfg.timingNs.tRC - cfg.timingNs.tRP;
+        if (cfg.timingNs.tRAS <= 0.0) {
+            fatal("system axes '", field(), "': tRC override ", tRcNs,
+                  "ns is not larger than tRP (",
+                  cfg.timingNs.tRP, "ns)");
+        }
+    }
+}
+
+const char *
+pagePolicyName(PagePolicy policy)
+{
+    switch (policy) {
+      case PagePolicy::Closed: return "closed";
+      case PagePolicy::Open:   return "open";
+    }
+    return "?";
+}
+
+PagePolicy
+pagePolicyFromName(const std::string &name)
+{
+    if (name == "closed")
+        return PagePolicy::Closed;
+    if (name == "open")
+        return PagePolicy::Open;
+    fatal("unknown page policy '", name, "' (want closed|open)");
+}
+
+} // namespace srs

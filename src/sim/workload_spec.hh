@@ -1,0 +1,151 @@
+/**
+ * @file
+ * First-class experiment-identity types shared by the sweep engine,
+ * the orchestrator, and the CLI:
+ *
+ *  - WorkloadSpec names *what* a sweep cell runs — a synthetic
+ *    rate-mode profile, a per-core MIX profile list, or recorded
+ *    USIMM trace file(s) — behind one canonical label that keys the
+ *    cell's trace seed and baseline exactly as the plain workload
+ *    name used to;
+ *  - SystemAxes names *which machine variant* it runs on — the
+ *    page-management policy and (optionally) DRAM timing overrides
+ *    such as tRC — as a sweepable axis applied uniformly to the
+ *    protected run and its unprotected baseline.
+ *
+ * Both types have a canonical, comma-free text spelling that appears
+ * verbatim in the sweep CSV identity columns (`workload_spec`,
+ * `policy`) and in the shard manifest, so resume validation and the
+ * shard merge can compare identities byte for byte
+ * (docs/sweep-format.md specs the formats).
+ */
+
+#ifndef SRS_SIM_WORKLOAD_SPEC_HH
+#define SRS_SIM_WORKLOAD_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/command.hh"
+
+namespace srs
+{
+
+struct SystemConfig;
+
+/** Which flavour of input drives a sweep cell's cores. */
+enum class WorkloadKind
+{
+    /** One synthetic profile on every core (rate mode). */
+    Synthetic,
+    /** One synthetic profile per core (MIX workloads). */
+    Mix,
+    /** Recorded USIMM trace file(s), looped in rate mode. */
+    TraceFile,
+};
+
+/**
+ * Identity of one workload: what runs on the cores, plus the
+ * canonical label that keys per-cell seeding and baseline sharing.
+ *
+ * The label is also the spec's text spelling (CSV `workload_spec`
+ * column, manifest `workloads=` items, CLI `--workloads` items):
+ *
+ *  - Synthetic: the profile name (`gcc`);
+ *  - Mix:       the MIX label (`mix0`); the per-core profile list is
+ *               a pure function of the MIX index, so the label alone
+ *               reproduces the spec;
+ *  - TraceFile: `trace:<path>` (every core replays the file) or
+ *               `trace:<p0>;<p1>;…` (one path per core).
+ *
+ * Two cells with the same label must carry the same spec; the sweep
+ * runner rejects a label reused with different contents.
+ */
+struct WorkloadSpec
+{
+    WorkloadKind kind = WorkloadKind::Synthetic;
+    /** Profile name (Synthetic) or MIX label (Mix). */
+    std::string name;
+    /** Per-core profile names (Mix only). */
+    std::vector<std::string> mixProfiles;
+    /** Trace file path(s): one for all cores, or one per core. */
+    std::vector<std::string> tracePaths;
+
+    bool operator==(const WorkloadSpec &) const = default;
+
+    /**
+     * Canonical label: keys the cell's trace seed and its shared
+     * baseline, and is the spec's verbatim CSV/manifest spelling.
+     */
+    std::string label() const;
+
+    /** Rate-mode spec for one named synthetic profile. */
+    static WorkloadSpec synthetic(const std::string &profileName);
+
+    /**
+     * MIX point @p index: label "mix<index>" plus the deterministic
+     * per-core profile draw of mixWorkload(index, cores).
+     */
+    static WorkloadSpec mix(std::uint32_t index, std::uint32_t cores);
+
+    /**
+     * Trace-file spec; @p paths holds one path (all cores) or one
+     * per core.  fatal() on an empty list or a path that cannot be
+     * spelled in a CSV/manifest (embedded comma, whitespace or '#').
+     */
+    static WorkloadSpec traceFiles(std::vector<std::string> paths);
+
+    /**
+     * Parse one spelling (a `--workloads` item, a manifest
+     * `workloads=` item, or a CSV `workload_spec` field):
+     * `trace:<path>[;<path>…]` yields a TraceFile spec (fatal()
+     * unless the list has exactly one or @p cores entries); anything
+     * else is a Synthetic profile name, validated later against the
+     * profile table by the sweep runner.
+     */
+    static WorkloadSpec parse(const std::string &spelling,
+                              std::uint32_t cores);
+};
+
+/**
+ * System-configuration overlay swept as its own axis: page policy
+ * now, DRAM timing knobs behind the same mechanism.  Applied by
+ * makeSystemConfig() to protected and baseline runs alike, so
+ * normalization always compares like with like.
+ */
+struct SystemAxes
+{
+    PagePolicy pagePolicy = PagePolicy::Closed;
+    /**
+     * tRC override in nanoseconds; 0 keeps the Table III default.
+     * tRAS is re-derived as tRC - tRP so the bank state machine
+     * stays self-consistent.
+     */
+    std::uint32_t tRcNs = 0;
+
+    bool operator==(const SystemAxes &) const = default;
+
+    /**
+     * Canonical text field (CSV `policy` column, manifest spelling):
+     * the policy name, plus `@trc=<ns>` when tRC is overridden —
+     * `closed`, `open`, `open@trc=48`.
+     */
+    std::string field() const;
+
+    /** Inverse of field(); fatal() naming the accepted spellings. */
+    static SystemAxes parse(const std::string &text);
+
+    /** Overlay these axes onto a SystemConfig. */
+    void apply(SystemConfig &cfg) const;
+};
+
+/** @return printable page-policy name ("closed" / "open"). */
+const char *pagePolicyName(PagePolicy policy);
+
+/** Parse a page-policy name; fatal() listing accepted spellings. */
+PagePolicy pagePolicyFromName(const std::string &name);
+
+} // namespace srs
+
+#endif // SRS_SIM_WORKLOAD_SPEC_HH

@@ -77,12 +77,13 @@ parseTraceLine(const std::string &line, TraceRecord &out,
     return true;
 }
 
-FileTrace::FileTrace(const std::string &path, bool loop)
-    : loop_(loop)
+SharedTraceRecords
+loadTraceRecords(const std::string &path)
 {
     std::ifstream in(path);
     if (!in.is_open())
         fatal("file trace: cannot open '", path, "'");
+    auto records = std::make_shared<std::vector<TraceRecord>>();
     std::string line;
     std::uint64_t lineNo = 0;
     while (std::getline(in, line)) {
@@ -91,23 +92,38 @@ FileTrace::FileTrace(const std::string &path, bool loop)
         const std::string context =
             path + ":" + std::to_string(lineNo);
         if (parseTraceLine(line, rec, context))
-            records_.push_back(rec);
+            records->push_back(rec);
     }
-    if (records_.empty())
+    if (records->empty())
         fatal("file trace: '", path, "' contains no records");
+    return records;
+}
+
+FileTrace::FileTrace(const std::string &path, bool loop)
+    : records_(loadTraceRecords(path)), loop_(loop)
+{
 }
 
 FileTrace::FileTrace(std::vector<TraceRecord> records, bool loop)
+    : records_(std::make_shared<std::vector<TraceRecord>>(
+          std::move(records))),
+      loop_(loop)
+{
+    if (records_->empty())
+        fatal("file trace: no records");
+}
+
+FileTrace::FileTrace(SharedTraceRecords records, bool loop)
     : records_(std::move(records)), loop_(loop)
 {
-    if (records_.empty())
+    if (records_ == nullptr || records_->empty())
         fatal("file trace: no records");
 }
 
 TraceRecord
 FileTrace::next()
 {
-    if (cursor_ == records_.size()) {
+    if (cursor_ == records_->size()) {
         if (!loop_) {
             // Exhausted non-looping trace: emit pure compute so the
             // core idles without touching memory again.
@@ -119,7 +135,7 @@ FileTrace::next()
         cursor_ = 0;
         ++wraps_;
     }
-    return records_[cursor_++];
+    return (*records_)[cursor_++];
 }
 
 } // namespace srs

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,22 @@
 
 namespace srs
 {
+
+/**
+ * An immutable, shareable parsed trace.  The sweep engine parses
+ * each trace file once and hands the same record vector to every
+ * cell (and every core) that replays it; FileTrace instances built
+ * from it carry only a cursor.
+ */
+using SharedTraceRecords =
+    std::shared_ptr<const std::vector<TraceRecord>>;
+
+/**
+ * Parse the USIMM trace file at @p path once; fatal() on I/O
+ * errors, malformed lines (the line number is reported), or an
+ * empty trace.
+ */
+SharedTraceRecords loadTraceRecords(const std::string &path);
 
 /** Writes TraceRecords in USIMM text format. */
 class TraceWriter
@@ -73,14 +90,21 @@ class FileTrace : public TraceSource
     explicit FileTrace(std::vector<TraceRecord> records,
                        bool loop = true);
 
+    /**
+     * Replay an already-parsed shared trace (loadTraceRecords());
+     * the records are not copied, so N cores (or N sweep cells)
+     * replaying one file share a single parsed image.
+     */
+    explicit FileTrace(SharedTraceRecords records, bool loop = true);
+
     TraceRecord next() override;
 
-    std::size_t size() const { return records_.size(); }
+    std::size_t size() const { return records_->size(); }
     std::uint64_t wraps() const { return wraps_; }
-    const std::vector<TraceRecord> &records() const { return records_; }
+    const std::vector<TraceRecord> &records() const { return *records_; }
 
   private:
-    std::vector<TraceRecord> records_;
+    SharedTraceRecords records_;
     std::size_t cursor_ = 0;
     bool loop_;
     std::uint64_t wraps_ = 0;

@@ -68,11 +68,56 @@ if(NOT smoke_jdiff EQUAL 0)
   message(FATAL_ERROR "journal-resumed sweep CSV differs")
 endif()
 
+# Trace-file workloads and the system axes: record a synthetic
+# workload as a USIMM trace, then sweep the recorded file next to a
+# synthetic workload across both page policies — threads=1 and
+# threads=2 must produce byte-identical CSVs, and the identity
+# columns must carry the trace spelling and both policy names.
+run_expect_ok(trace --workload=gups --records=20000 --seed=7
+              --out=${smoke_dir}/smoke_trace.usimm)
+set(axes_grid --workloads=gcc --trace=${smoke_dir}/smoke_trace.usimm
+    --mitigations=rrs --trh=1200 --rates=6 --page-policy=closed,open
+    --cycles=60000 --epoch=25000)
+run_expect_ok(sweep ${axes_grid} --threads=1
+              --out=${smoke_dir}/axes_t1.csv --journal=none)
+run_expect_ok(sweep ${axes_grid} --threads=2
+              --out=${smoke_dir}/axes_t2.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/axes_t1.csv ${smoke_dir}/axes_t2.csv
+                RESULT_VARIABLE axes_diff)
+if(NOT axes_diff EQUAL 0)
+  message(FATAL_ERROR "trace/page-policy sweep is thread-count dependent")
+endif()
+file(READ ${smoke_dir}/axes_t1.csv axes_csv)
+foreach(needle "trace:${smoke_dir}/smoke_trace.usimm" ",closed," ",open,")
+  if(NOT axes_csv MATCHES "${needle}")
+    message(FATAL_ERROR "sweep CSV lacks identity field '${needle}'")
+  endif()
+endforeach()
+# A tRC-override axis sweeps through the same mechanism.
+run_expect_ok(sweep --workloads=gups --mitigations=rrs --trh=1200
+              --rates=6 --trc=48 --cycles=60000 --epoch=25000
+              --threads=2)
+
+# The recorded trace rides orchestrate/merge too: the merged CSV is
+# byte-identical to the single-process sweep of the same grid.
+file(REMOVE_RECURSE ${smoke_dir}/axes_shards)
+run_expect_ok(orchestrate ${axes_grid} --shards=2 --jobs=2 --threads=1
+              --out=${smoke_dir}/axes_merged.csv
+              --dir=${smoke_dir}/axes_shards)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/axes_t1.csv ${smoke_dir}/axes_merged.csv
+                RESULT_VARIABLE axes_orch_diff)
+if(NOT axes_orch_diff EQUAL 0)
+  message(FATAL_ERROR "orchestrated trace/page-policy CSV differs")
+endif()
+
 # Orchestrate: split the same grid into 3 shards (one per workload),
 # run them as supervised child processes two at a time, and require
 # the merged CSV to be byte-identical to a single-process sweep.
 set(orch_grid --workloads=gups,gcc,hmmer --mitigations=rrs --trh=1200
     --rates=3,6 --cycles=60000 --epoch=25000)
+file(REMOVE_RECURSE ${smoke_dir}/orch_shards ${smoke_dir}/orch_plan)
 run_expect_ok(sweep ${orch_grid} --threads=2
               --out=${smoke_dir}/orch_single.csv --journal=none)
 run_expect_ok(orchestrate ${orch_grid} --shards=3 --jobs=2 --threads=1
@@ -121,6 +166,24 @@ run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/manifest
                 --out=${smoke_dir}/orch_rejected.csv)
 file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
 
+# Unknown axis values must be fatal with the accepted spellings
+# listed, and schema-v1 checkpoints/manifests must be rejected with
+# a versioned error instead of a cryptic identity mismatch.
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --page-policy=half-open)
+run_expect_fail(sweep --workloads=trace: --mitigations=rrs --trh=1200
+                --rates=6)
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --trc=fast)
+file(WRITE ${smoke_dir}/v1_checkpoint.csv
+     "index,workload,mitigation,tracker,trh,rate,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/v1_checkpoint.csv)
+file(READ ${smoke_dir}/orch_shards/manifest manifest_v2)
+string(REPLACE "version=2" "version=1" manifest_v1 "${manifest_v2}")
+file(WRITE ${smoke_dir}/v1_manifest "${manifest_v1}")
+run_expect_fail(merge --manifest=${smoke_dir}/v1_manifest)
+
 # Unknown flags must be fatal on every subcommand; so are a resume
 # file that does not exist, a sweep with no workloads at all, a
 # merge without a manifest, and an orchestration with zero shards.
@@ -146,7 +209,8 @@ run_expect_fail(frobnicate)
 execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
                 RESULT_VARIABLE usage_rc ERROR_QUIET)
 foreach(subcommand perf sweep orchestrate merge attack storage trace list
-        --workloads --shards --manifest --montecarlo)
+        --workloads --shards --manifest --montecarlo
+        --trace --page-policy --trc "trace:")
   if(NOT usage_text MATCHES "${subcommand}")
     message(FATAL_ERROR "usage() does not mention '${subcommand}'")
   endif()

@@ -41,7 +41,8 @@ SweepGrid
 testGrid()
 {
     SweepGrid grid;
-    grid.workloads = {"gups", "gcc"};
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
     grid.trhs = {1200};
     grid.swapRates = {3, 6};
@@ -124,13 +125,15 @@ TEST(ShardPlan, BalancedContiguousAndMixAware)
 
     // 4 outer entries over 3 shards: 1 + 1 + 2 (contiguous).
     EXPECT_EQ(manifest.shards[0].grid.workloads,
-              std::vector<std::string>{"gups"});
+              std::vector<WorkloadSpec>{WorkloadSpec::synthetic(
+                  "gups")});
     EXPECT_EQ(manifest.shards[0].grid.mixCount, 0u);
     EXPECT_EQ(manifest.shards[0].offset, 0u);
     EXPECT_EQ(manifest.shards[0].cells, inner);
 
     EXPECT_EQ(manifest.shards[1].grid.workloads,
-              std::vector<std::string>{"gcc"});
+              std::vector<WorkloadSpec>{WorkloadSpec::synthetic(
+                  "gcc")});
     EXPECT_EQ(manifest.shards[1].grid.mixCount, 0u);
     EXPECT_EQ(manifest.shards[1].offset, inner);
 
@@ -145,8 +148,8 @@ TEST(ShardPlan, BalancedContiguousAndMixAware)
     // A MIX sub-range expands to the same labels as the full grid.
     const std::vector<SweepCell> slice =
         manifest.shards[2].grid.expand();
-    EXPECT_EQ(slice.front().workload, "mix0");
-    EXPECT_EQ(slice.back().workload, "mix1");
+    EXPECT_EQ(slice.front().workload.label(), "mix0");
+    EXPECT_EQ(slice.back().workload.label(), "mix1");
 }
 
 TEST(ShardPlan, ShardCountClampsToOuterEntries)
@@ -210,7 +213,8 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
     // Future manifest versions are rejected, not misread.
     broken = text;
-    const auto version = broken.find("version=1");
+    const auto version = broken.find("version=2");
+    ASSERT_NE(version, std::string::npos);
     broken.replace(version, 9, "version=7");
     EXPECT_THROW(
         loadManifest(writeTempFile("manifest_bad_version", broken)),
@@ -231,6 +235,67 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
     EXPECT_THROW(
         loadManifest(writeTempFile("manifest_negative", broken)),
         FatalError);
+}
+
+TEST(ShardManifestFile, V1ManifestIsRejectedWithAVersionedError)
+{
+    // A version-1 manifest (pre-WorkloadSpec schema) must fail with
+    // an error that names the version, not a key-parsing mess or a
+    // cryptic identity mismatch downstream.
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 2);
+    std::string text = serializeManifest(manifest);
+    const auto version = text.find("version=2");
+    ASSERT_NE(version, std::string::npos);
+    text.replace(version, 9, "version=1");
+    const std::string path = writeTempFile("manifest_v1", text);
+    try {
+        loadManifest(path);
+        FAIL() << "v1 manifest was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("version 1"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(ShardManifestFile, RoundTripsTraceSpecsAndSystemAxes)
+{
+    // Trace-file workloads and the page-policy/tRC axes survive the
+    // serialize -> parse -> serialize cycle byte-exactly; they are
+    // what version 2 of the schema exists to carry.
+    SweepGrid grid = testGrid();
+    grid.workloads.push_back(
+        WorkloadSpec::parse("trace:/tmp/srs_manifest_rt.usimm", 8));
+    grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    grid.tRcOverrides = {0, 48};
+    const ShardManifest manifest =
+        planShards(grid, tinyExperiment(), 2);
+    const std::string path =
+        writeTempFile("manifest_specs_rt", serializeManifest(manifest));
+    const ShardManifest loaded = loadManifest(path);
+    EXPECT_EQ(serializeManifest(loaded), serializeManifest(manifest));
+    EXPECT_EQ(loaded.grid.workloads, grid.workloads);
+    EXPECT_EQ(loaded.grid.pagePolicies, grid.pagePolicies);
+    EXPECT_EQ(loaded.grid.tRcOverrides, grid.tRcOverrides);
+    EXPECT_EQ(loaded.grid.innerCells(), grid.innerCells());
+}
+
+TEST(ShardMerge, PagePolicyAxisMergesByteIdentical)
+{
+    // The satellite case behind the ported page-policy ablation: a
+    // grid sweeping closed vs open page, sharded and merged, must
+    // reproduce the single-process CSV byte for byte.
+    SweepGrid grid = testGrid();
+    grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "policy_", 8);
+    EXPECT_EQ(mergedCsv(manifest), full);
+    // Both policy spellings actually appear in the identity columns.
+    EXPECT_NE(full.find(",closed,"), std::string::npos);
+    EXPECT_NE(full.find(",open,"), std::string::npos);
 }
 
 TEST(ShardMerge, ByteIdenticalToSingleProcessSweep)

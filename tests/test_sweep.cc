@@ -17,6 +17,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "sim/sweep.hh"
+#include "trace_fixture.hh"
 
 namespace srs
 {
@@ -65,14 +66,15 @@ TEST(ThreadPool, ResolveThreadsDefaultsToHardware)
 TEST(SweepGrid, ExpandsRowMajorRatesInnermost)
 {
     SweepGrid grid;
-    grid.workloads = {"gups", "gcc"};
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
     grid.trhs = {1200, 4800};
     grid.swapRates = {3, 6};
     const std::vector<SweepCell> cells = grid.expand();
     ASSERT_EQ(cells.size(), 16u);
     // First block: workload gups, mitigation rrs.
-    EXPECT_EQ(cells[0].workload, "gups");
+    EXPECT_EQ(cells[0].workload.label(), "gups");
     EXPECT_EQ(cells[0].mitigation, MitigationKind::Rrs);
     EXPECT_EQ(cells[0].trh, 1200u);
     EXPECT_EQ(cells[0].swapRate, 3u);
@@ -81,14 +83,14 @@ TEST(SweepGrid, ExpandsRowMajorRatesInnermost)
     // Mitigation increments after rates x trhs cells.
     EXPECT_EQ(cells[4].mitigation, MitigationKind::ScaleSrs);
     // Workload increments after mitigations x trhs x rates cells.
-    EXPECT_EQ(cells[8].workload, "gcc");
+    EXPECT_EQ(cells[8].workload.label(), "gcc");
     EXPECT_EQ(cells[8].mitigation, MitigationKind::Rrs);
 }
 
 TEST(SweepGrid, EmptyAxisYieldsNoCells)
 {
     SweepGrid grid;
-    grid.workloads = {"gups"};
+    grid.workloads = {WorkloadSpec::synthetic("gups")};
     grid.mitigations = {};
     grid.trhs = {1200};
     grid.swapRates = {3};
@@ -106,7 +108,8 @@ TEST(SweepRunner, CellSeedIsDeterministicAndWorkloadKeyed)
 TEST(SweepRunner, ResultsMatchCellOrder)
 {
     SweepGrid grid;
-    grid.workloads = {"gups", "gcc"};
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
     grid.mitigations = {MitigationKind::Rrs};
     grid.trhs = {1200, 4800};
     grid.swapRates = {6};
@@ -116,7 +119,8 @@ TEST(SweepRunner, ResultsMatchCellOrder)
     const std::vector<SweepResult> results = runner.run(cells);
     ASSERT_EQ(results.size(), cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
-        EXPECT_EQ(results[i].cell.workload, cells[i].workload);
+        EXPECT_EQ(results[i].cell.workload.label(),
+                  cells[i].workload.label());
         EXPECT_EQ(results[i].cell.mitigation, cells[i].mitigation);
         EXPECT_EQ(results[i].cell.trh, cells[i].trh);
         EXPECT_EQ(results[i].cell.swapRate, cells[i].swapRate);
@@ -128,7 +132,9 @@ TEST(SweepRunner, ResultsMatchCellOrder)
 TEST(SweepRunner, ThreadCountDoesNotChangeResults)
 {
     SweepGrid grid;
-    grid.workloads = {"gups", "gcc", "hmmer"};
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc"),
+                      WorkloadSpec::synthetic("hmmer")};
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
     grid.trhs = {1200};
     grid.swapRates = {3};
@@ -160,7 +166,7 @@ TEST(SweepRunner, BaselineSharesTraceSeedWithProtectedCells)
     // A baseline-mitigation cell replays the exact baseline run, so
     // its normalized performance is exactly 1.
     std::vector<SweepCell> cells(1);
-    cells[0].workload = "gups";
+    cells[0].workload = WorkloadSpec::synthetic("gups");
     cells[0].mitigation = MitigationKind::None;
     SweepRunner runner(tinyExperiment(), 2);
     const std::vector<SweepResult> results = runner.run(cells);
@@ -173,7 +179,7 @@ TEST(SweepRunner, BaselineSharesTraceSeedWithProtectedCells)
 TEST(SweepRunner, UnknownWorkloadIsFatalBeforeSimulation)
 {
     std::vector<SweepCell> cells(1);
-    cells[0].workload = "no-such-benchmark";
+    cells[0].workload = WorkloadSpec::synthetic("no-such-benchmark");
     SweepRunner runner(tinyExperiment(), 2);
     EXPECT_THROW(runner.run(cells), FatalError);
 }
@@ -184,7 +190,7 @@ TEST(SweepRunner, ConfigErrorInWorkerSurfacesAsFatalError)
     // construction); the error must come back as a FatalError on the
     // calling thread, not std::terminate the process.
     std::vector<SweepCell> cells(1);
-    cells[0].workload = "gups";
+    cells[0].workload = WorkloadSpec::synthetic("gups");
     cells[0].mitigation = MitigationKind::Rrs;
     cells[0].trh = 1200;
     cells[0].swapRate = 2000; // swap rate exceeds T_RH
@@ -216,7 +222,8 @@ std::vector<SweepCell>
 resumeTestCells()
 {
     SweepGrid grid;
-    grid.workloads = {"gups", "gcc"};
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
     grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
     grid.trhs = {1200};
     grid.swapRates = {3};
@@ -310,7 +317,8 @@ TEST(SweepResume, MismatchedGridIsFatal)
     for (std::size_t i = 0; i < cells.size(); ++i) {
         SweepResult r;
         r.cell = cells[i];
-        r.seed = SweepRunner::cellSeed(exp.seed, cells[i].workload);
+        r.seed = SweepRunner::cellSeed(exp.seed,
+                                       cells[i].workload.label());
         r.run.aggregateIpc = 1.0;
         r.baselineIpc = 2.0;
         r.normalized = 0.5;
@@ -341,14 +349,15 @@ TEST(SweepMix, CellsRouteThroughRunWorkloadMixDeterministically)
     const ExperimentConfig exp = tinyExperiment();
     std::vector<SweepCell> cells;
     SweepCell mix = mixSweepCell(0, exp.numCores);
-    ASSERT_EQ(mix.workload, "mix0");
-    ASSERT_EQ(mix.mixProfiles.size(), exp.numCores);
+    ASSERT_EQ(mix.workload.label(), "mix0");
+    ASSERT_EQ(mix.workload.kind, WorkloadKind::Mix);
+    ASSERT_EQ(mix.workload.mixProfiles.size(), exp.numCores);
     mix.mitigation = MitigationKind::Rrs;
     mix.trh = 1200;
     mix.swapRate = 6;
     cells.push_back(mix);
     SweepCell single;
-    single.workload = "gups";
+    single.workload = WorkloadSpec::synthetic("gups");
     single.mitigation = MitigationKind::Rrs;
     single.trh = 1200;
     single.swapRate = 6;
@@ -364,7 +373,7 @@ TEST(SweepMix, CellsRouteThroughRunWorkloadMixDeterministically)
 TEST(SweepMix, GridAppendsMixPointsAfterWorkloads)
 {
     SweepGrid grid;
-    grid.workloads = {"gups"};
+    grid.workloads = {WorkloadSpec::synthetic("gups")};
     grid.mitigations = {MitigationKind::Rrs};
     grid.trhs = {1200};
     grid.swapRates = {6};
@@ -372,13 +381,14 @@ TEST(SweepMix, GridAppendsMixPointsAfterWorkloads)
     grid.mixCores = 8;
     const std::vector<SweepCell> cells = grid.expand();
     ASSERT_EQ(cells.size(), 3u);
-    EXPECT_EQ(cells[0].workload, "gups");
-    EXPECT_TRUE(cells[0].mixProfiles.empty());
-    EXPECT_EQ(cells[1].workload, "mix0");
-    EXPECT_EQ(cells[1].mixProfiles.size(), 8u);
-    EXPECT_EQ(cells[2].workload, "mix1");
+    EXPECT_EQ(cells[0].workload.label(), "gups");
+    EXPECT_TRUE(cells[0].workload.mixProfiles.empty());
+    EXPECT_EQ(cells[1].workload.label(), "mix0");
+    EXPECT_EQ(cells[1].workload.mixProfiles.size(), 8u);
+    EXPECT_EQ(cells[2].workload.label(), "mix1");
     // Distinct MIX points draw distinct per-core profile lists.
-    EXPECT_NE(cells[1].mixProfiles, cells[2].mixProfiles);
+    EXPECT_NE(cells[1].workload.mixProfiles,
+              cells[2].workload.mixProfiles);
 }
 
 TEST(SweepMix, MixBaseShiftsThePointRange)
@@ -395,10 +405,10 @@ TEST(SweepMix, MixBaseShiftsThePointRange)
     grid.mixCores = 8;
     const std::vector<SweepCell> cells = grid.expand();
     ASSERT_EQ(cells.size(), 2u);
-    EXPECT_EQ(cells[0].workload, "mix3");
-    EXPECT_EQ(cells[1].workload, "mix4");
-    EXPECT_EQ(cells[0].mixProfiles, mixSweepCell(3, 8).mixProfiles);
-    EXPECT_EQ(cells[1].mixProfiles, mixSweepCell(4, 8).mixProfiles);
+    EXPECT_EQ(cells[0].workload.label(), "mix3");
+    EXPECT_EQ(cells[1].workload.label(), "mix4");
+    EXPECT_EQ(cells[0].workload, mixSweepCell(3, 8).workload);
+    EXPECT_EQ(cells[1].workload, mixSweepCell(4, 8).workload);
 }
 
 TEST(SweepMix, InconsistentLabelOrCoreCountIsFatal)
@@ -407,7 +417,7 @@ TEST(SweepMix, InconsistentLabelOrCoreCountIsFatal)
     SweepCell a = mixSweepCell(0, exp.numCores);
     a.mitigation = MitigationKind::Rrs;
     SweepCell b = mixSweepCell(1, exp.numCores);
-    b.workload = a.workload; // same label, different profiles
+    b.workload.name = a.workload.name; // same label, other profiles
     b.mitigation = MitigationKind::ScaleSrs;
     SweepRunner runner(exp, 2);
     EXPECT_THROW(runner.run({a, b}), FatalError);
@@ -420,7 +430,7 @@ TEST(SweepMix, InconsistentLabelOrCoreCountIsFatal)
 TEST(SweepCsv, HeaderAndRowShape)
 {
     SweepResult r;
-    r.cell.workload = "gups";
+    r.cell.workload = WorkloadSpec::synthetic("gups");
     r.cell.mitigation = MitigationKind::Rrs;
     r.cell.trh = 1200;
     r.cell.swapRate = 6;
@@ -431,11 +441,195 @@ TEST(SweepCsv, HeaderAndRowShape)
     std::ostringstream os;
     SweepRunner::writeCsv(os, {r});
     const std::string csv = os.str();
-    EXPECT_NE(csv.find("index,workload,mitigation,tracker,trh,rate,"),
+    EXPECT_NE(csv.find("index,workload_spec,mitigation,tracker,trh,"
+                       "rate,policy,seed,"),
               std::string::npos);
-    EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,"),
+    EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,closed,"),
               std::string::npos);
     EXPECT_NE(csv.find("0.750000"), std::string::npos);
+}
+
+TEST(WorkloadSpecApi, ParseRoundTripsSyntheticAndTraceSpellings)
+{
+    const WorkloadSpec synth = WorkloadSpec::parse("gcc", 8);
+    EXPECT_EQ(synth.kind, WorkloadKind::Synthetic);
+    EXPECT_EQ(synth.label(), "gcc");
+
+    const WorkloadSpec one = WorkloadSpec::parse("trace:/tmp/a.usimm", 8);
+    EXPECT_EQ(one.kind, WorkloadKind::TraceFile);
+    ASSERT_EQ(one.tracePaths.size(), 1u);
+    EXPECT_EQ(one.label(), "trace:/tmp/a.usimm");
+    EXPECT_EQ(WorkloadSpec::parse(one.label(), 8), one);
+
+    // Per-core path lists round-trip through the ';' spelling.
+    std::string perCore = "trace:";
+    for (int c = 0; c < 8; ++c)
+        perCore += (c ? ";" : "") + ("/t/c" + std::to_string(c));
+    const WorkloadSpec spec = WorkloadSpec::parse(perCore, 8);
+    EXPECT_EQ(spec.tracePaths.size(), 8u);
+    EXPECT_EQ(spec.label(), perCore);
+    EXPECT_EQ(WorkloadSpec::parse(spec.label(), 8), spec);
+}
+
+TEST(WorkloadSpecApi, MalformedTraceSpellingsAreFatal)
+{
+    // No path at all.
+    EXPECT_THROW(WorkloadSpec::parse("trace:", 8), FatalError);
+    // Wrong per-core count (neither 1 nor cores).
+    EXPECT_THROW(WorkloadSpec::parse("trace:/a;/b;/c", 8), FatalError);
+    // Characters the CSV/manifest spelling cannot carry (';' would
+    // make a single path re-parse as a per-core list).
+    EXPECT_THROW(WorkloadSpec::traceFiles({"/tmp/a,b.usimm"}),
+                 FatalError);
+    EXPECT_THROW(WorkloadSpec::traceFiles({"/tmp/a;b.usimm"}),
+                 FatalError);
+    EXPECT_THROW(WorkloadSpec::traceFiles({"/tmp/a b.usimm"}),
+                 FatalError);
+    EXPECT_THROW(WorkloadSpec::traceFiles({"/tmp/a#b.usimm"}),
+                 FatalError);
+}
+
+TEST(SystemAxesApi, FieldRoundTripsAndRejectsUnknownSpellings)
+{
+    SystemAxes axes;
+    EXPECT_EQ(axes.field(), "closed");
+    axes.pagePolicy = PagePolicy::Open;
+    EXPECT_EQ(axes.field(), "open");
+    axes.tRcNs = 48;
+    EXPECT_EQ(axes.field(), "open@trc=48");
+    EXPECT_EQ(SystemAxes::parse("open@trc=48"), axes);
+    EXPECT_EQ(SystemAxes::parse("closed"), SystemAxes{});
+
+    EXPECT_THROW(pagePolicyFromName("half-open"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@tras=30"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trc=zero"), FatalError);
+}
+
+TEST(SweepAxes, GridExpandsAxesBetweenWorkloadAndMitigation)
+{
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
+    grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    grid.tRcOverrides = {0, 48};
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 16u);
+    ASSERT_EQ(grid.innerCells(), 8u);
+
+    // Axes sit between the workload (outermost) and the mitigation:
+    // page policy outermost of the pair, tRC override inner.
+    EXPECT_EQ(cells[0].axes.field(), "closed");
+    EXPECT_EQ(cells[0].mitigation, MitigationKind::Rrs);
+    EXPECT_EQ(cells[1].mitigation, MitigationKind::ScaleSrs);
+    EXPECT_EQ(cells[2].axes.field(), "closed@trc=48");
+    EXPECT_EQ(cells[4].axes.field(), "open");
+    EXPECT_EQ(cells[6].axes.field(), "open@trc=48");
+    // The whole axes block repeats for the next workload.
+    EXPECT_EQ(cells[8].workload.label(), "gcc");
+    EXPECT_EQ(cells[8].axes.field(), "closed");
+    for (std::size_t i = 0; i < 8; ++i)
+        EXPECT_EQ(cells[i].workload.label(), "gups") << "cell " << i;
+}
+
+TEST(SweepAxes, EachAxesVariantNormalizesAgainstItsOwnBaseline)
+{
+    // An unprotected cell is its own baseline, per axes variant: both
+    // normalize to exactly 1.0 even though the two baselines differ.
+    std::vector<SweepCell> cells(2);
+    cells[0].workload = WorkloadSpec::synthetic("gups");
+    cells[0].mitigation = MitigationKind::None;
+    cells[1] = cells[0];
+    cells[1].axes.pagePolicy = PagePolicy::Open;
+    SweepRunner runner(tinyExperiment(), 2);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+    EXPECT_DOUBLE_EQ(results[1].normalized, 1.0);
+    EXPECT_GT(results[0].baselineIpc, 0.0);
+    EXPECT_GT(results[1].baselineIpc, 0.0);
+    // Same seed on both variants: the trace replays identically, so
+    // only the machine differs.
+    EXPECT_EQ(results[0].seed, results[1].seed);
+}
+
+TEST(SweepTrace, TraceCellsAreThreadCountInvariant)
+{
+    const test::TraceFixture fx("srs_sweep_trace.usimm", "gups",
+                                4000);
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gcc"),
+                      WorkloadSpec::parse("trace:" + fx.path, 8)};
+    grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    const std::vector<SweepCell> cells = grid.expand();
+    EXPECT_EQ(sweepCsv(cells, 1), sweepCsv(cells, 8));
+
+    SweepRunner runner(tinyExperiment(), 4);
+    const std::vector<SweepResult> results = runner.run(cells);
+    for (const SweepResult &r : results) {
+        EXPECT_GT(r.run.aggregateIpc, 0.0);
+        EXPECT_GT(r.baselineIpc, 0.0);
+    }
+}
+
+TEST(SweepTrace, WrongPerCoreTraceCountOrMissingFileIsFatal)
+{
+    const ExperimentConfig exp = tinyExperiment();
+    std::vector<SweepCell> cells(1);
+    cells[0].workload =
+        WorkloadSpec::traceFiles({"/a", "/b", "/c"}); // not 1 or 8
+    SweepRunner runner(exp, 2);
+    EXPECT_THROW(runner.run(cells), FatalError);
+
+    cells[0].workload =
+        WorkloadSpec::traceFiles({"/nonexistent/trace.usimm"});
+    SweepRunner runner2(exp, 2);
+    EXPECT_THROW(runner2.run(cells), FatalError);
+}
+
+TEST(SweepResume, SchemaV1FilesAreRejectedWithAVersionedError)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+
+    // A v1 CSV (header names no workload_spec/policy columns).
+    const std::string v1Header =
+        "index,workload,mitigation,tracker,trh,rate,seed,ipc,"
+        "baseline_ipc,normalized,swaps,unswap_swaps,place_backs,"
+        "rows_pinned,max_row_acts\n";
+    const std::string headerPath =
+        writeTempFile("sweep_v1_header.csv", v1Header);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(headerPath);
+    try {
+        runner.run(cells);
+        FAIL() << "v1 CSV header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v1"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // A v1 journal (no header, 15-column rows with the seed in
+    // column 7) must fail the same way, not recompute silently.
+    const std::string v1Row =
+        "0,gups,rrs,misra-gries,1200,3,0x1234567890abcdef,1.0,2.0,"
+        "0.5,1,2,3,4,5\n";
+    const std::string rowPath =
+        writeTempFile("sweep_v1_journal", v1Row);
+    SweepRunner journalRunner(tinyExperiment(), 2);
+    journalRunner.setResume(rowPath);
+    try {
+        journalRunner.run(cells);
+        FAIL() << "v1 journal row was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v1"),
+                  std::string::npos)
+            << err.what();
+    }
 }
 
 TEST(SweepNames, MitigationAndTrackerRoundTrip)

@@ -16,6 +16,7 @@
 #include "trace/profiles.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_file.hh"
+#include "trace_fixture.hh"
 
 namespace srs
 {
@@ -296,6 +297,19 @@ TEST(TraceFileParse, RejectsMalformedLines)
     EXPECT_THROW(parseTraceLine("1 R zzz", rec, "t"), FatalError);
 }
 
+TEST(TraceFileParse, RejectsBadGapBadHexAndTruncatedWrite)
+{
+    TraceRecord rec;
+    // Non-numeric instruction gap.
+    EXPECT_THROW(parseTraceLine("gap R 0x1000", rec, "t"),
+                 FatalError);
+    // Address with no hex digits at all.
+    EXPECT_THROW(parseTraceLine("4 W qq123", rec, "t"), FatalError);
+    // Write line cut off before its address column.
+    EXPECT_THROW(parseTraceLine("0 W", rec, "t"), FatalError);
+    EXPECT_THROW(parseTraceLine("12", rec, "t"), FatalError);
+}
+
 TEST(TraceFile, WriteReadRoundTrip)
 {
     TempTraceFile tmp;
@@ -351,6 +365,43 @@ TEST(TraceFile, NonLoopingEmitsIdleRecords)
         EXPECT_GT(idle.nonMemGap, 0u);
     }
     EXPECT_EQ(trace.wraps(), 0u);
+}
+
+TEST(TraceFile, NonLoopingFileReplayEndsInTerminalGaps)
+{
+    // A non-looping trace *file* behaves like the record-built one:
+    // after the last record the source repeats a pure-compute gap
+    // forever instead of wrapping (USIMM's run-to-completion mode).
+    test::TraceFixture fx("srs_nonloop.usimm", "gups", 25);
+    FileTrace trace(fx.path, /*loop=*/false);
+    for (std::size_t i = 0; i < fx.written.size(); ++i)
+        EXPECT_EQ(trace.next().addr, fx.written[i].addr);
+    for (int i = 0; i < 10; ++i) {
+        const TraceRecord idle = trace.next();
+        EXPECT_EQ(idle.addr, kInvalidAddr);
+        EXPECT_GT(idle.nonMemGap, 0u);
+    }
+    EXPECT_EQ(trace.wraps(), 0u);
+}
+
+TEST(TraceFile, FixtureRoundTripsWriterThroughFileTrace)
+{
+    const test::TraceFixture fx("srs_fixture_rt.usimm", "gcc", 300,
+                                /*seed=*/123);
+    fx.expectRoundTrip();
+}
+
+TEST(TraceFile, SharedRecordsAreParsedOnceAndShared)
+{
+    const test::TraceFixture fx("srs_shared.usimm", "gups", 100);
+    const SharedTraceRecords records = loadTraceRecords(fx.path);
+    ASSERT_EQ(records->size(), 100u);
+    // Two replays of one shared parse reference the same image.
+    FileTrace a(records);
+    FileTrace b(records);
+    EXPECT_EQ(&a.records(), records.get());
+    EXPECT_EQ(&b.records(), records.get());
+    EXPECT_EQ(a.next().addr, b.next().addr);
 }
 
 TEST(TraceFile, MissingFileIsFatal)

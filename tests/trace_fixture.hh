@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shared TraceWriter -> FileTrace roundtrip fixture for the test
+ * suites: synthesize a deterministic workload trace, write it in
+ * USIMM text format, and hand back both the on-disk path and the
+ * records that were written, so tests can replay the file and
+ * compare record-for-record (or feed the path to trace-file sweep
+ * cells).
+ */
+
+#ifndef SRS_TESTS_TRACE_FIXTURE_HH
+#define SRS_TESTS_TRACE_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "dram/address.hh"
+#include "trace/profiles.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_file.hh"
+
+namespace srs::test
+{
+
+/**
+ * A synthetic workload recorded to a USIMM trace file under the
+ * gtest temp dir; the file is removed on destruction.
+ */
+struct TraceFixture
+{
+    std::string path;
+    std::vector<TraceRecord> written;
+
+    /**
+     * Record @p records accesses of profile @p profileName (drawn
+     * with @p seed) through TraceWriter into
+     * TempDir()/<fileName>.
+     */
+    TraceFixture(const std::string &fileName,
+                 const std::string &profileName, std::uint64_t records,
+                 std::uint64_t seed = 0xBEEF)
+        : path(::testing::TempDir() + fileName)
+    {
+        const DramOrg org;
+        const AddressMap map(org);
+        SyntheticTrace source(profileByName(profileName), map,
+                              /*core=*/0, seed);
+        TraceWriter writer(path);
+        for (std::uint64_t i = 0; i < records; ++i) {
+            const TraceRecord rec = source.next();
+            writer.append(rec, /*pc=*/0x400000 + i);
+            written.push_back(rec);
+        }
+    }
+
+    ~TraceFixture() { std::remove(path.c_str()); }
+
+    TraceFixture(const TraceFixture &) = delete;
+    TraceFixture &operator=(const TraceFixture &) = delete;
+
+    /** Replay the file and require it to reproduce written exactly. */
+    void expectRoundTrip() const
+    {
+        FileTrace replay(path);
+        ASSERT_EQ(replay.size(), written.size());
+        for (const TraceRecord &expect : written) {
+            const TraceRecord got = replay.next();
+            EXPECT_EQ(got.addr, expect.addr);
+            EXPECT_EQ(got.isWrite, expect.isWrite);
+            EXPECT_EQ(got.nonMemGap, expect.nonMemGap);
+        }
+        EXPECT_EQ(replay.wraps(), 0u);
+    }
+};
+
+} // namespace srs::test
+
+#endif // SRS_TESTS_TRACE_FIXTURE_HH

@@ -25,26 +25,34 @@
  *              srs_sim trace --workload=gups --records=100000
  *                      --out=gups.usimm
  *
- *   sweep    run a (workload x mitigation x TRH x rate) grid across
- *            a thread pool and emit one CSV row per cell:
+ *   sweep    run a (workload x system-axes x mitigation x TRH x
+ *            rate) grid across a thread pool and emit one CSV row
+ *            per cell:
  *              srs_sim sweep --workloads=gups,gcc
  *                      --mitigations=rrs,scale-srs --trh=1200,2400
  *                      --rates=3,6 [--tracker=misra-gries]
- *                      [--mix=N] [--mix-base=K] [--threads=N]
- *                      [--cycles=N] [--epoch=N] [--seed=S]
- *                      [--out=FILE] [--resume=FILE]
+ *                      [--trace=FILE[;FILE…]] [--page-policy=A,B]
+ *                      [--trc=NS,…] [--mix=N] [--mix-base=K]
+ *                      [--threads=N] [--cycles=N] [--epoch=N]
+ *                      [--seed=S] [--out=FILE] [--resume=FILE]
  *                      [--journal=FILE]
- *            --workloads=all sweeps every built-in profile; --mix=N
- *            appends N MIX points (per-core profile draws, starting
- *            at mix<K>) to the workload axis; CSV goes to stdout
- *            unless --out is given.  Output is ordered by cell
- *            (workloads outermost, rates innermost) and is
- *            byte-identical for any --threads value.  Completed
- *            cells stream to a journal (default <out>.journal;
- *            --journal=none disables), and --resume=FILE skips
- *            cells already recorded in a previous journal or
- *            (possibly truncated) sweep CSV — the resumed output is
- *            byte-identical to a fresh run.
+ *            --workloads=all sweeps every built-in profile; items
+ *            spelled trace:<path>[;<path>…] (or the --trace
+ *            shorthand) replay recorded USIMM trace files — one
+ *            path for every core, or one per core; --mix=N appends
+ *            N MIX points (per-core profile draws, starting at
+ *            mix<K>) to the workload axis; --page-policy and --trc
+ *            sweep the system axes (closed|open page management,
+ *            tRC override in ns, 0 = default), applied to protected
+ *            and baseline runs alike.  CSV goes to stdout unless
+ *            --out is given.  Output is ordered by cell (workloads
+ *            outermost, then page policy, trc, mitigations, trhs,
+ *            rates innermost) and is byte-identical for any
+ *            --threads value.  Completed cells stream to a journal
+ *            (default <out>.journal; --journal=none disables), and
+ *            --resume=FILE skips cells already recorded in a
+ *            previous journal or (possibly truncated) sweep CSV —
+ *            the resumed output is byte-identical to a fresh run.
  *
  *   orchestrate
  *            split a sweep grid into balanced shards, run each as a
@@ -154,24 +162,42 @@ cmdPerf(const Options &opts)
 
 /**
  * Parse the sweep grid + experiment flags shared by `sweep` and
- * `orchestrate` (--workloads/--mitigations/--trh/--rates/--tracker/
- * --mix/--mix-base/--cycles/--epoch/--seed); fatal() on an empty
- * grid.
+ * `orchestrate` (--workloads/--trace/--mitigations/--page-policy/
+ * --trc/--trh/--rates/--tracker/--mix/--mix-base/--cycles/--epoch/
+ * --seed); fatal() on an empty grid.
  */
 void
 parseGridFlags(const Options &opts, SweepGrid &grid,
                ExperimentConfig &exp)
 {
+    exp.cycles = opts.getUint("cycles", 1'500'000);
+    exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
+    exp.seed = opts.getUint("seed", exp.seed);
+
     const std::string workloads = opts.getString("workloads", "gcc");
     if (workloads == "all") {
         for (const WorkloadProfile &p : allProfiles())
-            grid.workloads.push_back(p.name);
+            grid.workloads.push_back(WorkloadSpec::synthetic(p.name));
     } else {
-        grid.workloads = splitList(workloads);
+        grid.workloads = splitSpecList(workloads, exp.numCores);
+    }
+    // --trace=SPEC[,SPEC…] appends trace-file workloads; each SPEC is
+    // a path (all cores) or a ';'-separated per-core path list —
+    // shorthand for trace:SPEC inside --workloads.
+    for (const std::string &spec :
+         splitList(opts.getString("trace", ""))) {
+        grid.workloads.push_back(
+            WorkloadSpec::parse("trace:" + spec, exp.numCores));
     }
     for (const std::string &m :
          splitList(opts.getString("mitigations", "scale-srs")))
         grid.mitigations.push_back(mitigationKindFromName(m));
+    grid.pagePolicies.clear();
+    for (const std::string &p :
+         splitList(opts.getString("page-policy", "closed")))
+        grid.pagePolicies.push_back(pagePolicyFromName(p));
+    grid.tRcOverrides =
+        splitUint32List(opts.getString("trc", "0"), "--trc");
     grid.trhs =
         splitUint32List(opts.getString("trh", "1200"), "--trh");
     grid.swapRates =
@@ -179,9 +205,6 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
     grid.tracker =
         trackerKindFromName(opts.getString("tracker", "misra-gries"));
 
-    exp.cycles = opts.getUint("cycles", 1'500'000);
-    exp.epochLen = opts.getUint("epoch", exp.cycles / 2);
-    exp.seed = opts.getUint("seed", exp.seed);
     grid.mixCount =
         static_cast<std::uint32_t>(opts.getUint("mix", 0));
     grid.mixBase =
@@ -189,10 +212,11 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
     grid.mixCores = exp.numCores;
 
     if ((grid.workloads.empty() && grid.mixCount == 0)
-        || grid.mitigations.empty() || grid.trhs.empty()
+        || grid.mitigations.empty() || grid.pagePolicies.empty()
+        || grid.tRcOverrides.empty() || grid.trhs.empty()
         || grid.swapRates.empty()) {
         fatal("sweep grid is empty: need at least one workload or "
-              "MIX point, mitigation, trh and rate");
+              "MIX point, page policy, mitigation, trh and rate");
     }
 }
 
@@ -480,10 +504,17 @@ usage()
         "    --trh=N (1200)  --rate=N (3)  --tracker=KIND\n"
         "    --cycles=N (1500000)  --epoch=N (cycles/2)  --csv\n"
         "\n"
-        "  sweep        workload x mitigation x TRH x rate grid,\n"
-        "               one CSV row per cell, thread-pool parallel\n"
-        "    --workloads=A,B|all (gcc)  --mitigations=A,B (scale-srs)\n"
-        "    --trh=N,M (1200)  --rates=N,M (3)  --tracker=KIND\n"
+        "  sweep        workload x system-axes x mitigation x TRH x\n"
+        "               rate grid, one CSV row per cell,\n"
+        "               thread-pool parallel\n"
+        "    --workloads=A,B|all (gcc); an item trace:<path>[;<path>]\n"
+        "    replays USIMM trace file(s), one path or one per core\n"
+        "    --trace=FILE[;FILE] (none)  shorthand: append a\n"
+        "    trace-file workload to the grid\n"
+        "    --mitigations=A,B (scale-srs)\n"
+        "    --page-policy=closed|open[,..] (closed)\n"
+        "    --trc=NS,.. (0 = default tRC)  --trh=N,M (1200)\n"
+        "    --rates=N,M (3)  --tracker=KIND\n"
         "    --mix=N (0)  --mix-base=K (0)  --threads=N (all)\n"
         "    --cycles=N  --epoch=N  --seed=S  --out=FILE (stdout)\n"
         "    --journal=FILE|none (<out>.journal)  --resume=FILE\n"
