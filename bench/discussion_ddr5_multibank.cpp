@@ -12,26 +12,45 @@
  * rate 6, going from 1 bank to all 16 banks of a channel inflates
  * the attack time from ~4 hours to ~9.9 years — why the paper
  * analyzes the single-bank attack.
+ *
+ * Both the analytic DDR5 environment and the cycle-level ablation
+ * are derived from the same `DramTimingNs::ddr5()` preset: the
+ * attack-model knobs scale with the preset's tREFI/tRFC, and the
+ * performance table rides SweepRunner with the DDR5 preset as a
+ * SystemAxes axis (`ddr4` vs `ddr5` cells, each normalized against
+ * the unprotected baseline of its *own* preset, pool-parallel,
+ * SRS_BENCH_THREADS overrides the worker count).
  */
 
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "security/attack_model.hh"
+#include "sim/sweep.hh"
 
 namespace
 {
 
 using namespace srs;
 
-/** DDR5 environment: half the refresh window. */
+/**
+ * DDR5 attack environment, derived from the timing preset: tREFI
+ * halves, so the refresh epoch (and the refresh work done in it)
+ * halves with it, and tRC/tRFC take their DDR5 values.
+ */
 AttackParams
 ddr5Params(std::uint32_t trh, std::uint32_t rate)
 {
+    const DramTimingNs ddr4 = DramTimingNs::preset(DramPreset::Ddr4);
+    const DramTimingNs ddr5 = DramTimingNs::preset(DramPreset::Ddr5);
+    const double refiRatio = ddr5.tREFI / ddr4.tREFI;
     AttackParams p;
     p.trh = trh;
     p.swapRate = rate;
-    p.epochSec = 32e-3;
-    p.refreshOpsPerEpoch = 4096;
+    p.epochSec *= refiRatio;
+    p.refreshOpsPerEpoch = static_cast<std::uint64_t>(
+        static_cast<double>(p.refreshOpsPerEpoch) * refiRatio);
+    p.tRcSec = ddr5.tRC * 1e-9;
+    p.tRfcSec = ddr5.tRFC * 1e-9;
     return p;
 }
 
@@ -93,5 +112,58 @@ main()
     }
     std::printf("(anchor: ~4 hours at 1 bank, ~9.9 years at 16 "
                 "banks)\n");
+
+    header("cycle-level: normalized perf, DDR4 vs DDR5 preset");
+    ExperimentConfig exp = benchExperiment();
+    const std::vector<WorkloadSpec> workloads = benchWorkloadSpecs();
+    struct Point
+    {
+        const char *label;
+        MitigationKind kind;
+        std::uint32_t rate;
+    };
+    const Point points[] = {
+        {"scale-srs", MitigationKind::ScaleSrs, 3},
+        {"rrs", MitigationKind::Rrs, 6},
+    };
+    const DramPreset presets[] = {DramPreset::Ddr4, DramPreset::Ddr5};
+
+    // One sweep cell per (workload, design point, preset); the
+    // runner computes and shares one unprotected baseline per
+    // (workload, preset) pair, so a DDR5 cell normalizes against
+    // the DDR5 machine's own baseline — the doubled refresh rate
+    // costs the baseline bandwidth too.
+    std::vector<SweepCell> cells;
+    for (const WorkloadSpec &w : workloads) {
+        for (const Point &pt : points) {
+            for (const DramPreset preset : presets) {
+                SweepCell cell;
+                cell.workload = w;
+                cell.axes.preset = preset;
+                cell.mitigation = pt.kind;
+                cell.trh = 1200;
+                cell.swapRate = pt.rate;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+    SweepRunner runner(exp, benchThreads());
+    const std::vector<SweepResult> results = runner.run(cells);
+
+    std::printf("%-14s %10s %10s\n", "config", "ddr4", "ddr5");
+    const std::size_t nPt = std::size(points);
+    const std::size_t nPre = std::size(presets);
+    for (std::size_t pi = 0; pi < nPt; ++pi) {
+        std::printf("%-14s", points[pi].label);
+        for (std::size_t qi = 0; qi < nPre; ++qi) {
+            std::vector<double> norms;
+            for (std::size_t wi = 0; wi < workloads.size(); ++wi) {
+                norms.push_back(
+                    results[(wi * nPt + pi) * nPre + qi].normalized);
+            }
+            std::printf(" %10.4f", geoMean(norms));
+        }
+        std::printf("\n");
+    }
     return 0;
 }

@@ -45,6 +45,16 @@ DramTimingNs::ddr5()
     return ns;
 }
 
+DramTimingNs
+DramTimingNs::preset(DramPreset preset)
+{
+    switch (preset) {
+      case DramPreset::Ddr4: return DramTimingNs{};
+      case DramPreset::Ddr5: return ddr5();
+    }
+    fatal("unknown DRAM preset");
+}
+
 DramTiming
 DramTiming::fromNs(const DramTimingNs &ns)
 {

@@ -48,6 +48,18 @@ struct DramOrg
     void validate() const;
 };
 
+/**
+ * Named DRAM-generation timing presets.  Ddr4 is the paper's
+ * Table III baseline; Ddr5 is the Section VIII-5 DDR5-4800-class
+ * variant (DramTimingNs::ddr5()).  The sweep engine exposes the
+ * preset as a system axis (`SystemAxes`, sim/workload_spec.hh).
+ */
+enum class DramPreset
+{
+    Ddr4,
+    Ddr5,
+};
+
 /** Raw DDR4 timing parameters in nanoseconds (defaults: Table III). */
 struct DramTimingNs
 {
@@ -79,6 +91,9 @@ struct DramTimingNs
      * moves across generations).
      */
     static DramTimingNs ddr5();
+
+    /** Timing defaults of @p preset (Ddr4 = Table III, Ddr5 above). */
+    static DramTimingNs preset(DramPreset preset);
 };
 
 /** DDR4 timing parameters converted to CPU cycles. */

@@ -32,7 +32,7 @@ namespace srs
 namespace
 {
 
-constexpr std::uint64_t kManifestVersion = 2;
+constexpr std::uint64_t kManifestVersion = 3;
 
 std::string
 shardKey(std::size_t index, const char *field)
@@ -74,12 +74,21 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
         if (!lines.empty()
             && lines.front().rfind("index,workload,", 0) == 0) {
             return "shard CSV '" + path + "' carries the sweep CSV "
-                   "schema v1 header (no workload_spec/policy "
-                   "columns); this build merges schema v2 only — "
+                   "schema v1 header (no workload_spec/axes "
+                   "columns); this build merges schema v3 only — "
                    "re-run the shard (docs/sweep-format.md)";
         }
-        return "shard CSV '" + path + "' does not start with the "
-               "sweep CSV header";
+        if (!lines.empty()
+            && lines.front().find(",policy,") != std::string::npos
+            && lines.front().rfind("index,workload_spec,", 0) == 0) {
+            return "shard CSV '" + path + "' carries the sweep CSV "
+                   "schema v2 header (`policy` identity column, no "
+                   "DRAM preset/timing axes); this build merges "
+                   "schema v3 only — re-run the shard "
+                   "(docs/sweep-format.md)";
+        }
+        return "shard CSV '" + path + "' does not start with this "
+               "build's schema v3 sweep CSV header";
     }
     if (lines.size() - 1 != shard.cells) {
         return "shard CSV '" + path + "' has "
@@ -233,9 +242,17 @@ serializeManifest(const ShardManifest &manifest)
     std::vector<std::string> policies;
     for (const PagePolicy policy : grid.pagePolicies)
         policies.push_back(pagePolicyName(policy));
+    std::vector<std::string> presets;
+    for (const DramPreset preset : grid.presets)
+        presets.push_back(dramPresetName(preset));
     out << "mitigations=" << joinList(mitigations) << '\n'
         << "policies=" << joinList(policies) << '\n'
+        << "presets=" << joinList(presets) << '\n'
         << "trc=" << joinUint32List(grid.tRcOverrides) << '\n'
+        << "trcd=" << joinUint32List(grid.tRcdOverrides) << '\n'
+        << "trp=" << joinUint32List(grid.tRpOverrides) << '\n'
+        << "trefi=" << joinUint32List(grid.tRefiOverrides) << '\n'
+        << "trfc=" << joinUint32List(grid.tRfcOverrides) << '\n'
         << "trh=" << joinUint32List(grid.trhs) << '\n'
         << "rates=" << joinUint32List(grid.swapRates) << '\n'
         << "tracker=" << trackerKindName(grid.tracker) << '\n'
@@ -272,6 +289,13 @@ loadManifest(const std::string &path)
               "re-plan the orchestration with 'srs_sim orchestrate' "
               "(docs/sweep-format.md)");
     }
+    if (version == 2) {
+        fatal("manifest '", path, "': schema version 2 (no DRAM "
+              "preset or tRCD/tRP/tREFI/tRFC axes); this build reads "
+              "manifest version ", kManifestVersion, " only — "
+              "re-plan the orchestration with 'srs_sim orchestrate' "
+              "(docs/sweep-format.md)");
+    }
     if (version != kManifestVersion) {
         fatal("manifest '", path, "': unsupported version ", version,
               " (this build reads version ", kManifestVersion, ")");
@@ -295,8 +319,20 @@ loadManifest(const std::string &path)
     for (const std::string &name :
          splitList(opts.getString("policies", "closed")))
         grid.pagePolicies.push_back(pagePolicyFromName(name));
+    grid.presets.clear();
+    for (const std::string &name :
+         splitList(opts.getString("presets", "ddr4")))
+        grid.presets.push_back(dramPresetFromName(name));
     grid.tRcOverrides =
         splitUint32List(opts.getString("trc", "0"), "manifest: trc");
+    grid.tRcdOverrides = splitUint32List(
+        opts.getString("trcd", "0"), "manifest: trcd");
+    grid.tRpOverrides =
+        splitUint32List(opts.getString("trp", "0"), "manifest: trp");
+    grid.tRefiOverrides = splitUint32List(
+        opts.getString("trefi", "0"), "manifest: trefi");
+    grid.tRfcOverrides = splitUint32List(
+        opts.getString("trfc", "0"), "manifest: trfc");
     grid.trhs = splitUint32List(opts.getString("trh", ""), "manifest: trh");
     grid.swapRates = splitUint32List(opts.getString("rates", ""), "manifest: rates");
     grid.tracker =
@@ -434,7 +470,15 @@ Orchestrator::shardCommand(std::size_t index) const
     for (const PagePolicy policy : grid.pagePolicies)
         policies.push_back(pagePolicyName(policy));
     cmd.push_back("--page-policy=" + joinList(policies));
+    std::vector<std::string> presets;
+    for (const DramPreset preset : grid.presets)
+        presets.push_back(dramPresetName(preset));
+    cmd.push_back("--preset=" + joinList(presets));
     cmd.push_back("--trc=" + joinUint32List(grid.tRcOverrides));
+    cmd.push_back("--trcd=" + joinUint32List(grid.tRcdOverrides));
+    cmd.push_back("--trp=" + joinUint32List(grid.tRpOverrides));
+    cmd.push_back("--trefi=" + joinUint32List(grid.tRefiOverrides));
+    cmd.push_back("--trfc=" + joinUint32List(grid.tRfcOverrides));
     cmd.push_back("--trh=" + joinUint32List(grid.trhs));
     cmd.push_back("--rates=" + joinUint32List(grid.swapRates));
     cmd.push_back("--tracker="

@@ -31,13 +31,32 @@ std::vector<SystemAxes>
 SweepGrid::axes() const
 {
     std::vector<SystemAxes> out;
-    out.reserve(pagePolicies.size() * tRcOverrides.size());
+    out.reserve(pagePolicies.size() * presets.size()
+                * tRcOverrides.size() * tRcdOverrides.size()
+                * tRpOverrides.size() * tRefiOverrides.size()
+                * tRfcOverrides.size());
     for (const PagePolicy policy : pagePolicies) {
-        for (const std::uint32_t trc : tRcOverrides) {
-            SystemAxes a;
-            a.pagePolicy = policy;
-            a.tRcNs = trc;
-            out.push_back(a);
+        for (const DramPreset preset : presets) {
+            for (const std::uint32_t trc : tRcOverrides) {
+                for (const std::uint32_t trcd : tRcdOverrides) {
+                    for (const std::uint32_t trp : tRpOverrides) {
+                        for (const std::uint32_t trefi : tRefiOverrides) {
+                            for (const std::uint32_t trfc : tRfcOverrides) {
+                                SystemAxes a;
+                                a.pagePolicy = policy;
+                                a.preset = preset;
+                                a.tRcNs = trc;
+                                a.tRcdNs = trcd;
+                                a.tRpNs = trp;
+                                a.tRefiNs = trefi;
+                                a.tRfcNs = trfc;
+                                a.validate();
+                                out.push_back(a);
+                            }
+                        }
+                    }
+                }
+            }
         }
     }
     return out;
@@ -46,7 +65,9 @@ SweepGrid::axes() const
 std::size_t
 SweepGrid::innerCells() const
 {
-    return pagePolicies.size() * tRcOverrides.size()
+    return pagePolicies.size() * presets.size() * tRcOverrides.size()
+           * tRcdOverrides.size() * tRpOverrides.size()
+           * tRefiOverrides.size() * tRfcOverrides.size()
            * mitigations.size() * trhs.size() * swapRates.size();
 }
 
@@ -164,7 +185,7 @@ SweepRunner::identityPrefix(std::size_t index, const SweepCell &cell,
 const char *
 SweepRunner::csvHeader()
 {
-    return "index,workload_spec,mitigation,tracker,trh,rate,policy,"
+    return "index,workload_spec,mitigation,tracker,trh,rate,axes,"
            "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
            "place_backs,rows_pinned,max_row_acts";
 }
@@ -215,13 +236,31 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         // Never trust it; the cell is simply recomputed.
         if (in.eof())
             continue;
-        if (line.empty()
-            || line.rfind("index,workload_spec", 0) == 0)
+        if (line.empty() || line == csvHeader())
             continue;
+        if (line.rfind("index,workload_spec", 0) == 0) {
+            // A byte-exact v3 header matched above.  A v2 header is
+            // recognized by its `policy` identity column; anything
+            // else here is a header-like line this build cannot
+            // trust (foreign schema, stray \r, edited file).
+            if (line.find(",policy,") != std::string::npos) {
+                fatal("resume file '", resumePath_, "' carries the "
+                      "sweep CSV schema v2 header (`policy` identity "
+                      "column, no DRAM preset/timing axes); this "
+                      "build reads schema v3 only — re-run the sweep "
+                      "(docs/sweep-format.md)");
+            }
+            fatal("resume file '", resumePath_, "' has a header line "
+                  "that does not byte-match this build's schema v3 "
+                  "header (foreign schema version, or the file was "
+                  "edited — check for trailing whitespace or \\r "
+                  "line endings):\n  got:      ", line,
+                  "\n  expected: ", csvHeader());
+        }
         if (line.rfind("index,workload", 0) == 0) {
             fatal("resume file '", resumePath_, "' carries the sweep "
-                  "CSV schema v1 header (no workload_spec/policy "
-                  "columns); this build reads schema v2 only — "
+                  "CSV schema v1 header (no workload_spec/axes "
+                  "columns); this build reads schema v3 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         const std::vector<std::string> fields = splitFields(line);
@@ -233,7 +272,7 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             && fields.size() > 6 && fields[6].rfind("0x", 0) == 0) {
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v1 row (15 columns, seed "
-                  "in column 7); this build reads schema v2 only — "
+                  "in column 7); this build reads schema v3 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() != kRowColumns || fields.back().empty())

@@ -30,7 +30,7 @@
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
  *    uninterrupted run (docs/sweep-format.md has the file formats,
- *    schema v2).
+ *    schema v3).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -73,20 +73,26 @@ SweepCell mixSweepCell(std::uint32_t index, std::uint32_t cores);
 
 /**
  * Cross-product sweep description.  expand() enumerates cells in
- * row-major order: workloads outermost, then system axes (page
- * policies outermost of the pair, tRC overrides inner), then
- * mitigations, then trhs, then swapRates innermost.  When
- * mixCount > 0, MIX points mix<mixBase>..mix<mixBase+mixCount-1>
- * follow the named workloads as additional outermost entries,
- * crossed with the same inner axes.
+ * row-major order: workloads outermost, then the system axes (page
+ * policies outermost, then DRAM presets, then the timing overrides
+ * in the order tRC, tRCD, tRP, tREFI, tRFC), then mitigations, then
+ * trhs, then swapRates innermost.  When mixCount > 0, MIX points
+ * mix<mixBase>..mix<mixBase+mixCount-1> follow the named workloads
+ * as additional outermost entries, crossed with the same inner axes.
  */
 struct SweepGrid
 {
     std::vector<WorkloadSpec> workloads;
-    /** Page-policy axis (outer half of the system axes). */
+    /** Page-policy axis (outermost of the system axes). */
     std::vector<PagePolicy> pagePolicies = {PagePolicy::Closed};
-    /** tRC override axis in ns; 0 = Table III default (inner half). */
+    /** DRAM-generation preset axis (ddr4 = Table III defaults). */
+    std::vector<DramPreset> presets = {DramPreset::Ddr4};
+    /** Timing-override axes in ns; 0 = the preset's default. */
     std::vector<std::uint32_t> tRcOverrides = {0};
+    std::vector<std::uint32_t> tRcdOverrides = {0};
+    std::vector<std::uint32_t> tRpOverrides = {0};
+    std::vector<std::uint32_t> tRefiOverrides = {0};
+    std::vector<std::uint32_t> tRfcOverrides = {0};
     std::vector<MitigationKind> mitigations;
     std::vector<std::uint32_t> trhs;
     std::vector<std::uint32_t> swapRates;
@@ -104,7 +110,13 @@ struct SweepGrid
     /** Cores per MIX point; must match ExperimentConfig::numCores. */
     std::uint32_t mixCores = 8;
 
-    /** The system-axes axis: pagePolicies x tRcOverrides, in order. */
+    /**
+     * The system-axes axis: pagePolicies x presets x the five
+     * timing-override lists, crossed in declaration order (policy
+     * outermost, tRFC innermost).  Every combination is validated
+     * (SystemAxes::validate), so an inconsistent grid is fatal()
+     * before any simulation starts.
+     */
     std::vector<SystemAxes> axes() const;
     /** Cells per outer entry: axes x mitigations x trhs x swapRates. */
     std::size_t innerCells() const;
@@ -159,11 +171,12 @@ class SweepRunner
      * Before running, load completed rows from @p path — a sweep
      * CSV (possibly truncated mid-file) or a journal — and skip
      * re-simulating those cells.  Rows are validated against the
-     * grid (workload spec, mitigation, tracker, trh, rate, policy,
-     * seed); a mismatch is fatal(), and a schema-v1 file (15-column
-     * rows, no workload_spec/policy columns) is rejected with a
-     * versioned error.  Incomplete trailing lines are ignored and
-     * recomputed.  An empty path disables resuming.
+     * grid (workload spec, mitigation, tracker, trh, rate, axes,
+     * seed); a mismatch is fatal(), and a schema-v1 or schema-v2
+     * file (15-column rows, or a header naming the v2 `policy`
+     * column) is rejected with a versioned error.  Incomplete
+     * trailing lines are ignored and recomputed.  An empty path
+     * disables resuming.
      */
     void setResume(const std::string &path);
 
@@ -205,7 +218,7 @@ class SweepRunner
 
     /**
      * The first eight columns of a row ("index,workload_spec,
-     * mitigation,tracker,trh,rate,policy,seed," — comma-terminated):
+     * mitigation,tracker,trh,rate,axes,seed," — comma-terminated):
      * the cell identity a resume row or a shard row must reproduce
      * byte for byte.  Resume validation and the shard-merge tool
      * (sim/orchestrator.hh) both compare against these exact bytes.
@@ -217,7 +230,7 @@ class SweepRunner
     /** The CSV header line writeCsv() emits (no trailing newline). */
     static const char *csvHeader();
 
-    /** Total fields of one schema-v2 CSV data row. */
+    /** Total fields of one schema-v3 CSV data row. */
     static constexpr std::size_t kRowColumns = 16;
 
   private:

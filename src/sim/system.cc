@@ -36,8 +36,13 @@ SystemConfig::actMaxPerEpoch() const
     const double epochSec =
         static_cast<double>(effectiveEpochLen()) /
         (timingNs.cpuFreqGHz * 1e9);
+    // Refresh steals tRFC out of every tREFI window, so the share
+    // follows the cell's effective timings: a DDR5 preset (or a
+    // tREFI/tRFC override) resizes the activation budget — and the
+    // trackers derived from it — exactly as it resizes the real
+    // controller's refresh overhead.
     const double refreshShare =
-        350e-9 * 8192.0 * (epochSec / kRefreshIntervalSec);
+        epochSec * (timingNs.tRFC / timingNs.tREFI);
     return static_cast<std::uint64_t>(
         (epochSec - refreshShare) / (timingNs.tRC * 1e-9));
 }

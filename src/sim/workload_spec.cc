@@ -127,12 +127,55 @@ WorkloadSpec::parse(const std::string &spelling, std::uint32_t cores)
     return traceFiles(std::move(paths));
 }
 
+namespace
+{
+
+/**
+ * The timing-knob suffixes of an axes spelling, in canonical order.
+ * The order is load-bearing: field() emits overridden knobs in this
+ * sequence and parse() requires it, which is what makes the two
+ * exact inverses.
+ */
+struct AxesKnob
+{
+    const char *key;
+    std::uint32_t SystemAxes::*member;
+    /** Largest accepted override in ns (row timings stay far below
+     *  refresh-interval scale, so the sanity bound is per knob). */
+    std::uint32_t maxNs;
+};
+
+constexpr AxesKnob kAxesKnobs[] = {
+    {"trc", &SystemAxes::tRcNs, 10'000},
+    {"trcd", &SystemAxes::tRcdNs, 10'000},
+    {"trp", &SystemAxes::tRpNs, 10'000},
+    // DDR4's default tREFI is already 7800 ns; relaxed-refresh
+    // sensitivity points (2x, 4x tREFI) must stay spellable.
+    {"trefi", &SystemAxes::tRefiNs, 100'000},
+    {"trfc", &SystemAxes::tRfcNs, 10'000},
+};
+
+constexpr const char *kAxesGrammar =
+    "<policy>[@ddr4|@ddr5][@trc=NS][@trcd=NS][@trp=NS][@trefi=NS]"
+    "[@trfc=NS] with policy closed|open, suffixes in that order, NS "
+    "in 1..10000 nanoseconds (trefi: 1..100000)";
+
+} // namespace
+
 std::string
 SystemAxes::field() const
 {
     std::string text = pagePolicyName(pagePolicy);
-    if (tRcNs != 0)
-        text += "@trc=" + std::to_string(tRcNs);
+    if (preset != DramPreset::Ddr4) {
+        text += '@';
+        text += dramPresetName(preset);
+    }
+    for (const AxesKnob &knob : kAxesKnobs) {
+        const std::uint32_t ns = this->*knob.member;
+        if (ns != 0)
+            text += "@" + std::string(knob.key) + "="
+                    + std::to_string(ns);
+    }
     return text;
 }
 
@@ -141,40 +184,119 @@ SystemAxes::parse(const std::string &text)
 {
     SystemAxes axes;
     const auto at = text.find('@');
-    axes.pagePolicy = pagePolicyFromName(text.substr(0, at));
-    if (at == std::string::npos)
-        return axes;
-    const std::string suffix = text.substr(at + 1);
-    if (suffix.rfind("trc=", 0) != 0) {
-        fatal("system axes '", text, "': unknown timing override '",
-              suffix, "' (want <policy> or <policy>@trc=<ns>)");
+    const std::string policy = text.substr(0, at);
+    if (policy == "closed") {
+        axes.pagePolicy = PagePolicy::Closed;
+    } else if (policy == "open") {
+        axes.pagePolicy = PagePolicy::Open;
+    } else {
+        fatal("system axes '", text, "': unknown page policy '",
+              policy, "' (want ", kAxesGrammar, ")");
     }
-    const std::string value = suffix.substr(4);
-    char *end = nullptr;
-    const unsigned long long ns =
-        std::strtoull(value.c_str(), &end, 10);
-    if (value.empty() || end == value.c_str() || *end != '\0'
-        || ns == 0 || ns > 10'000) {
-        fatal("system axes '", text, "': '", value,
-              "' is not a tRC override in nanoseconds (1..10000)");
+
+    // Each '@'-chained suffix is either the preset name or one
+    // knob=value pair; kAxesKnobs order is enforced (nextKnob only
+    // advances), which also rejects duplicates.
+    std::size_t nextKnob = 0;
+    bool sawPreset = false;
+    std::string::size_type start = at;
+    while (start != std::string::npos) {
+        const auto end = text.find('@', start + 1);
+        const std::string suffix =
+            text.substr(start + 1, end == std::string::npos
+                                       ? std::string::npos
+                                       : end - start - 1);
+        start = end;
+
+        const auto eq = suffix.find('=');
+        if (eq == std::string::npos) {
+            if (sawPreset || nextKnob > 0) {
+                fatal("system axes '", text, "': preset '", suffix,
+                      "' must come right after the policy (want ",
+                      kAxesGrammar, ")");
+            }
+            if (suffix == "ddr4") {
+                axes.preset = DramPreset::Ddr4;
+            } else if (suffix == "ddr5") {
+                axes.preset = DramPreset::Ddr5;
+            } else {
+                fatal("system axes '", text, "': unknown suffix '",
+                      suffix, "' (want ", kAxesGrammar, ")");
+            }
+            sawPreset = true;
+            continue;
+        }
+
+        const std::string key = suffix.substr(0, eq);
+        std::size_t k = nextKnob;
+        while (k < std::size(kAxesKnobs) && key != kAxesKnobs[k].key)
+            ++k;
+        if (k == std::size(kAxesKnobs)) {
+            bool knownKey = false;
+            for (const AxesKnob &knob : kAxesKnobs)
+                knownKey = knownKey || key == knob.key;
+            fatal("system axes '", text, "': ",
+                  knownKey ? "out-of-order or repeated" : "unknown",
+                  " timing override '", suffix, "' (want ",
+                  kAxesGrammar, ")");
+        }
+        const std::string value = suffix.substr(eq + 1);
+        char *endp = nullptr;
+        const unsigned long long ns =
+            std::strtoull(value.c_str(), &endp, 10);
+        if (value.empty() || endp == value.c_str() || *endp != '\0'
+            || ns == 0 || ns > kAxesKnobs[k].maxNs) {
+            fatal("system axes '", text, "': '", value, "' is not a ",
+                  key, " override in nanoseconds (want ",
+                  kAxesGrammar, ")");
+        }
+        axes.*kAxesKnobs[k].member = static_cast<std::uint32_t>(ns);
+        nextKnob = k + 1;
     }
-    axes.tRcNs = static_cast<std::uint32_t>(ns);
+    axes.validate();
     return axes;
+}
+
+DramTimingNs
+SystemAxes::effectiveTimingNs() const
+{
+    DramTimingNs ns = DramTimingNs::preset(preset);
+    if (tRcNs != 0)
+        ns.tRC = static_cast<double>(tRcNs);
+    if (tRcdNs != 0)
+        ns.tRCD = static_cast<double>(tRcdNs);
+    if (tRpNs != 0)
+        ns.tRP = static_cast<double>(tRpNs);
+    if (tRefiNs != 0)
+        ns.tREFI = static_cast<double>(tRefiNs);
+    if (tRfcNs != 0)
+        ns.tRFC = static_cast<double>(tRfcNs);
+    // tRAS is never overridden directly; it is re-derived so the
+    // bank state machine stays self-consistent.
+    ns.tRAS = ns.tRC - ns.tRP;
+    return ns;
+}
+
+void
+SystemAxes::validate() const
+{
+    const DramTimingNs ns = effectiveTimingNs();
+    if (ns.tRC < ns.tRCD + ns.tRP) {
+        fatal("system axes '", field(), "': inconsistent timings — "
+              "tRC (", ns.tRC, "ns) is smaller than tRCD + tRP (",
+              ns.tRCD, "ns + ", ns.tRP, "ns); a row cycle must cover "
+              "opening and closing the row");
+    }
 }
 
 void
 SystemAxes::apply(SystemConfig &cfg) const
 {
+    validate();
     cfg.memCtrl.pagePolicy = pagePolicy;
-    if (tRcNs != 0) {
-        cfg.timingNs.tRC = static_cast<double>(tRcNs);
-        cfg.timingNs.tRAS = cfg.timingNs.tRC - cfg.timingNs.tRP;
-        if (cfg.timingNs.tRAS <= 0.0) {
-            fatal("system axes '", field(), "': tRC override ", tRcNs,
-                  "ns is not larger than tRP (",
-                  cfg.timingNs.tRP, "ns)");
-        }
-    }
+    const double cpuFreqGHz = cfg.timingNs.cpuFreqGHz;
+    cfg.timingNs = effectiveTimingNs();
+    cfg.timingNs.cpuFreqGHz = cpuFreqGHz;
 }
 
 const char *
@@ -195,6 +317,26 @@ pagePolicyFromName(const std::string &name)
     if (name == "open")
         return PagePolicy::Open;
     fatal("unknown page policy '", name, "' (want closed|open)");
+}
+
+const char *
+dramPresetName(DramPreset preset)
+{
+    switch (preset) {
+      case DramPreset::Ddr4: return "ddr4";
+      case DramPreset::Ddr5: return "ddr5";
+    }
+    return "?";
+}
+
+DramPreset
+dramPresetFromName(const std::string &name)
+{
+    if (name == "ddr4")
+        return DramPreset::Ddr4;
+    if (name == "ddr5")
+        return DramPreset::Ddr5;
+    fatal("unknown DRAM preset '", name, "' (want ddr4|ddr5)");
 }
 
 } // namespace srs

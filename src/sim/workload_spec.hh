@@ -9,15 +9,16 @@
  *    cell's trace seed and baseline exactly as the plain workload
  *    name used to;
  *  - SystemAxes names *which machine variant* it runs on — the
- *    page-management policy and (optionally) DRAM timing overrides
- *    such as tRC — as a sweepable axis applied uniformly to the
- *    protected run and its unprotected baseline.
+ *    page-management policy, a DRAM-generation timing preset
+ *    (ddr4/ddr5), and per-knob nanosecond timing overrides (tRC,
+ *    tRCD, tRP, tREFI, tRFC) — as a sweepable axis applied
+ *    uniformly to the protected run and its unprotected baseline.
  *
  * Both types have a canonical, comma-free text spelling that appears
  * verbatim in the sweep CSV identity columns (`workload_spec`,
- * `policy`) and in the shard manifest, so resume validation and the
+ * `axes`) and in the shard manifest, so resume validation and the
  * shard merge can compare identities byte for byte
- * (docs/sweep-format.md specs the formats).
+ * (docs/sweep-format.md specs the formats, schema v3).
  */
 
 #ifndef SRS_SIM_WORKLOAD_SPEC_HH
@@ -28,6 +29,7 @@
 #include <vector>
 
 #include "dram/command.hh"
+#include "dram/params.hh"
 
 namespace srs
 {
@@ -109,34 +111,65 @@ struct WorkloadSpec
 };
 
 /**
- * System-configuration overlay swept as its own axis: page policy
- * now, DRAM timing knobs behind the same mechanism.  Applied by
+ * System-configuration overlay swept as its own axis: the page
+ * policy, a DRAM-generation timing preset (DDR4 Table III defaults
+ * or the DDR5-4800-class variant), and per-knob nanosecond timing
+ * overrides layered on top of the preset.  Applied by
  * makeSystemConfig() to protected and baseline runs alike, so
  * normalization always compares like with like.
  */
 struct SystemAxes
 {
     PagePolicy pagePolicy = PagePolicy::Closed;
+    /** Timing preset the overrides below are layered onto. */
+    DramPreset preset = DramPreset::Ddr4;
     /**
-     * tRC override in nanoseconds; 0 keeps the Table III default.
-     * tRAS is re-derived as tRC - tRP so the bank state machine
-     * stays self-consistent.
+     * Per-knob timing overrides in nanoseconds; 0 keeps the preset's
+     * value.  tRAS is re-derived as tRC - tRP so the bank state
+     * machine stays self-consistent, and the effective combination
+     * must satisfy tRC >= tRCD + tRP (validate()).
      */
     std::uint32_t tRcNs = 0;
+    std::uint32_t tRcdNs = 0;
+    std::uint32_t tRpNs = 0;
+    std::uint32_t tRefiNs = 0;
+    std::uint32_t tRfcNs = 0;
 
     bool operator==(const SystemAxes &) const = default;
 
     /**
-     * Canonical text field (CSV `policy` column, manifest spelling):
-     * the policy name, plus `@trc=<ns>` when tRC is overridden —
-     * `closed`, `open`, `open@trc=48`.
+     * Canonical text field (CSV `axes` column, manifest spelling):
+     * the policy name, then `@ddr5` when the preset is not DDR4,
+     * then one `@<knob>=<ns>` suffix per overridden knob in the
+     * fixed order trc, trcd, trp, trefi, trfc — `closed`, `open`,
+     * `open@trc=48`, `open@ddr5@trefi=3900`.
      */
     std::string field() const;
 
-    /** Inverse of field(); fatal() naming the accepted spellings. */
+    /**
+     * Inverse of field(): parse one axes spelling
+     * (`<policy>[@ddr4|@ddr5][@trc=NS][@trcd=NS][@trp=NS]
+     * [@trefi=NS][@trfc=NS]`, suffixes in that order, each at most
+     * once).  fatal() names the offending input verbatim and lists
+     * every accepted spelling; the parsed axes are validate()d.
+     */
     static SystemAxes parse(const std::string &text);
 
-    /** Overlay these axes onto a SystemConfig. */
+    /**
+     * Effective timing values — the preset's defaults with this
+     * axes' overrides applied — as raw nanosecond parameters.
+     */
+    DramTimingNs effectiveTimingNs() const;
+
+    /**
+     * fatal() when the effective timings are inconsistent (tRC <
+     * tRCD + tRP, which would make the derived tRAS unable to cover
+     * the row-open window); the message names field() and the
+     * offending values.
+     */
+    void validate() const;
+
+    /** Overlay these axes onto a SystemConfig (validate()s first). */
     void apply(SystemConfig &cfg) const;
 };
 
@@ -145,6 +178,12 @@ const char *pagePolicyName(PagePolicy policy);
 
 /** Parse a page-policy name; fatal() listing accepted spellings. */
 PagePolicy pagePolicyFromName(const std::string &name);
+
+/** @return printable DRAM-preset name ("ddr4" / "ddr5"). */
+const char *dramPresetName(DramPreset preset);
+
+/** Parse a DRAM-preset name; fatal() listing accepted spellings. */
+DramPreset dramPresetFromName(const std::string &name);
 
 } // namespace srs
 

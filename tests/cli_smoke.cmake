@@ -99,6 +99,48 @@ run_expect_ok(sweep --workloads=gups --mitigations=rrs --trh=1200
               --rates=6 --trc=48 --cycles=60000 --epoch=25000
               --threads=2)
 
+# The DDR5 preset and the per-knob timing overrides are system axes
+# too: a preset + trefi-override grid must be thread-count invariant,
+# carry the chained axes spellings in the identity column, and ride
+# orchestrate/merge byte-identically (the Section VIII-5 recipe).
+set(ddr5_grid --workloads=gups --mitigations=rrs --trh=1200 --rates=6
+    --preset=ddr4,ddr5 --trefi=0,5000 --cycles=60000 --epoch=25000)
+run_expect_ok(sweep ${ddr5_grid} --threads=1
+              --out=${smoke_dir}/ddr5_t1.csv --journal=none)
+run_expect_ok(sweep ${ddr5_grid} --threads=2
+              --out=${smoke_dir}/ddr5_t2.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/ddr5_t1.csv ${smoke_dir}/ddr5_t2.csv
+                RESULT_VARIABLE ddr5_diff)
+if(NOT ddr5_diff EQUAL 0)
+  message(FATAL_ERROR "preset/timing sweep is thread-count dependent")
+endif()
+file(READ ${smoke_dir}/ddr5_t1.csv ddr5_csv)
+foreach(needle ",closed," ",closed@ddr5," ",closed@trefi=5000,"
+        ",closed@ddr5@trefi=5000,")
+  if(NOT ddr5_csv MATCHES "${needle}")
+    message(FATAL_ERROR "sweep CSV lacks axes field '${needle}'")
+  endif()
+endforeach()
+file(REMOVE_RECURSE ${smoke_dir}/ddr5_shards)
+run_expect_ok(orchestrate ${ddr5_grid} --shards=2 --jobs=2 --threads=1
+              --out=${smoke_dir}/ddr5_merged.csv
+              --dir=${smoke_dir}/ddr5_shards)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/ddr5_t1.csv ${smoke_dir}/ddr5_merged.csv
+                RESULT_VARIABLE ddr5_orch_diff)
+if(NOT ddr5_orch_diff EQUAL 0)
+  message(FATAL_ERROR "orchestrated preset/timing CSV differs")
+endif()
+run_expect_ok(merge --manifest=${smoke_dir}/ddr5_shards/manifest
+              --out=${smoke_dir}/ddr5_stitched.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/ddr5_t1.csv ${smoke_dir}/ddr5_stitched.csv
+                RESULT_VARIABLE ddr5_merge_diff)
+if(NOT ddr5_merge_diff EQUAL 0)
+  message(FATAL_ERROR "stitch-only preset/timing CSV differs")
+endif()
+
 # The recorded trace rides orchestrate/merge too: the merged CSV is
 # byte-identical to the single-process sweep of the same grid.
 file(REMOVE_RECURSE ${smoke_dir}/axes_shards)
@@ -167,22 +209,34 @@ run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/manifest
 file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
 
 # Unknown axis values must be fatal with the accepted spellings
-# listed, and schema-v1 checkpoints/manifests must be rejected with
-# a versioned error instead of a cryptic identity mismatch.
+# listed, and schema-v1/v2 checkpoints/manifests must be rejected
+# with a versioned error instead of a cryptic identity mismatch.
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --page-policy=half-open)
 run_expect_fail(sweep --workloads=trace: --mitigations=rrs --trh=1200
                 --rates=6)
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --trc=fast)
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --preset=ddr6)
+# Inconsistent timings (tRC < tRCD + tRP) are fatal up front.
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --trc=20)
 file(WRITE ${smoke_dir}/v1_checkpoint.csv
      "index,workload,mitigation,tracker,trh,rate,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --resume=${smoke_dir}/v1_checkpoint.csv)
-file(READ ${smoke_dir}/orch_shards/manifest manifest_v2)
-string(REPLACE "version=2" "version=1" manifest_v1 "${manifest_v2}")
-file(WRITE ${smoke_dir}/v1_manifest "${manifest_v1}")
-run_expect_fail(merge --manifest=${smoke_dir}/v1_manifest)
+file(WRITE ${smoke_dir}/v2_checkpoint.csv
+     "index,workload_spec,mitigation,tracker,trh,rate,policy,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/v2_checkpoint.csv)
+file(READ ${smoke_dir}/orch_shards/manifest manifest_v3)
+foreach(stale_version 1 2)
+  string(REPLACE "version=3" "version=${stale_version}" manifest_stale
+         "${manifest_v3}")
+  file(WRITE ${smoke_dir}/stale_manifest "${manifest_stale}")
+  run_expect_fail(merge --manifest=${smoke_dir}/stale_manifest)
+endforeach()
 
 # Unknown flags must be fatal on every subcommand; so are a resume
 # file that does not exist, a sweep with no workloads at all, a
@@ -210,7 +264,8 @@ execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
                 RESULT_VARIABLE usage_rc ERROR_QUIET)
 foreach(subcommand perf sweep orchestrate merge attack storage trace list
         --workloads --shards --manifest --montecarlo
-        --trace --page-policy --trc "trace:")
+        --trace --page-policy --preset --trc --trcd --trp --trefi
+        --trfc "trace:")
   if(NOT usage_text MATCHES "${subcommand}")
     message(FATAL_ERROR "usage() does not mention '${subcommand}'")
   endif()

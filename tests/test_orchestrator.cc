@@ -213,7 +213,7 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
     // Future manifest versions are rejected, not misread.
     broken = text;
-    const auto version = broken.find("version=2");
+    const auto version = broken.find("version=3");
     ASSERT_NE(version, std::string::npos);
     broken.replace(version, 9, "version=7");
     EXPECT_THROW(
@@ -237,25 +237,32 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
         FatalError);
 }
 
-TEST(ShardManifestFile, V1ManifestIsRejectedWithAVersionedError)
+TEST(ShardManifestFile, V1AndV2ManifestsAreRejectedWithVersionedErrors)
 {
-    // A version-1 manifest (pre-WorkloadSpec schema) must fail with
-    // an error that names the version, not a key-parsing mess or a
+    // A version-1 or version-2 manifest (pre-WorkloadSpec, and
+    // pre-DRAM-preset/timing-axes respectively) must fail with an
+    // error that names the version, not a key-parsing mess or a
     // cryptic identity mismatch downstream.
     const ShardManifest manifest =
         planShards(testGrid(), tinyExperiment(), 2);
-    std::string text = serializeManifest(manifest);
-    const auto version = text.find("version=2");
+    const std::string text = serializeManifest(manifest);
+    const auto version = text.find("version=3");
     ASSERT_NE(version, std::string::npos);
-    text.replace(version, 9, "version=1");
-    const std::string path = writeTempFile("manifest_v1", text);
-    try {
-        loadManifest(path);
-        FAIL() << "v1 manifest was not rejected";
-    } catch (const FatalError &err) {
-        EXPECT_NE(std::string(err.what()).find("version 1"),
-                  std::string::npos)
-            << err.what();
+    for (const int old : {1, 2}) {
+        std::string stale = text;
+        stale.replace(version, 9,
+                      "version=" + std::to_string(old));
+        const std::string path = writeTempFile(
+            "manifest_v" + std::to_string(old), stale);
+        try {
+            loadManifest(path);
+            FAIL() << "v" << old << " manifest was not rejected";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what())
+                          .find("version " + std::to_string(old)),
+                      std::string::npos)
+                << err.what();
+        }
     }
 }
 
@@ -268,7 +275,10 @@ TEST(ShardManifestFile, RoundTripsTraceSpecsAndSystemAxes)
     grid.workloads.push_back(
         WorkloadSpec::parse("trace:/tmp/srs_manifest_rt.usimm", 8));
     grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
     grid.tRcOverrides = {0, 48};
+    grid.tRefiOverrides = {0, 3900};
+    grid.tRfcOverrides = {0, 295};
     const ShardManifest manifest =
         planShards(grid, tinyExperiment(), 2);
     const std::string path =
@@ -277,8 +287,36 @@ TEST(ShardManifestFile, RoundTripsTraceSpecsAndSystemAxes)
     EXPECT_EQ(serializeManifest(loaded), serializeManifest(manifest));
     EXPECT_EQ(loaded.grid.workloads, grid.workloads);
     EXPECT_EQ(loaded.grid.pagePolicies, grid.pagePolicies);
+    EXPECT_EQ(loaded.grid.presets, grid.presets);
     EXPECT_EQ(loaded.grid.tRcOverrides, grid.tRcOverrides);
+    EXPECT_EQ(loaded.grid.tRefiOverrides, grid.tRefiOverrides);
+    EXPECT_EQ(loaded.grid.tRfcOverrides, grid.tRfcOverrides);
     EXPECT_EQ(loaded.grid.innerCells(), grid.innerCells());
+}
+
+TEST(ShardMerge, PresetAndTimingOverrideAxesMergeByteIdentical)
+{
+    // The DDR5-preset axis plus a timing override, sharded and
+    // merged, must reproduce the single-process CSV byte for byte —
+    // the acceptance case behind the Section VIII-5 sweep.
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
+    grid.tRefiOverrides = {0, 5000};
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 2), "preset_", 8);
+    EXPECT_EQ(mergedCsv(manifest), full);
+    // Preset and override spellings appear in the identity columns.
+    EXPECT_NE(full.find(",closed@ddr5,"), std::string::npos);
+    EXPECT_NE(full.find(",closed@ddr5@trefi=5000,"),
+              std::string::npos);
+    EXPECT_NE(full.find(",closed@trefi=5000,"), std::string::npos);
 }
 
 TEST(ShardMerge, PagePolicyAxisMergesByteIdentical)

@@ -442,7 +442,7 @@ TEST(SweepCsv, HeaderAndRowShape)
     SweepRunner::writeCsv(os, {r});
     const std::string csv = os.str();
     EXPECT_NE(csv.find("index,workload_spec,mitigation,tracker,trh,"
-                       "rate,policy,seed,"),
+                       "rate,axes,seed,"),
               std::string::npos);
     EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,closed,"),
               std::string::npos);
@@ -505,6 +505,92 @@ TEST(SystemAxesApi, FieldRoundTripsAndRejectsUnknownSpellings)
     EXPECT_THROW(SystemAxes::parse("open@trc=zero"), FatalError);
 }
 
+TEST(SystemAxesApi, PresetAndTimingKnobSpellingsRoundTrip)
+{
+    // The DDR5 preset chains right after the policy; overridden
+    // knobs follow in the canonical trc, trcd, trp, trefi, trfc
+    // order.  parse() is the exact inverse of field().
+    SystemAxes axes;
+    axes.pagePolicy = PagePolicy::Open;
+    axes.preset = DramPreset::Ddr5;
+    EXPECT_EQ(axes.field(), "open@ddr5");
+    EXPECT_EQ(SystemAxes::parse("open@ddr5"), axes);
+
+    axes.tRefiNs = 3900;
+    EXPECT_EQ(axes.field(), "open@ddr5@trefi=3900");
+    EXPECT_EQ(SystemAxes::parse("open@ddr5@trefi=3900"), axes);
+
+    axes.tRcNs = 48;
+    axes.tRcdNs = 15;
+    axes.tRpNs = 15;
+    axes.tRfcNs = 295;
+    EXPECT_EQ(axes.field(),
+              "open@ddr5@trc=48@trcd=15@trp=15@trefi=3900@trfc=295");
+    EXPECT_EQ(SystemAxes::parse(axes.field()), axes);
+
+    // ddr4 is accepted as an explicit preset but never emitted (it
+    // is the default): parse canonicalizes it away.
+    EXPECT_EQ(SystemAxes::parse("closed@ddr4"), SystemAxes{});
+    EXPECT_EQ(SystemAxes::parse("closed@ddr4").field(), "closed");
+}
+
+TEST(SystemAxesApi, MalformedOrInconsistentSpellingsAreFatal)
+{
+    // Out-of-order, repeated, or misplaced suffixes are rejected —
+    // canonical order is what makes parse/field exact inverses.
+    EXPECT_THROW(SystemAxes::parse("open@trefi=3900@trc=48"),
+                 FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trc=48@trc=50"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trc=48@ddr5"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@ddr3"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trefi=0"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trefi=200000"), FatalError);
+    EXPECT_THROW(SystemAxes::parse("open@trc=20000"), FatalError);
+    // tREFI's bound is per-knob: relaxed-refresh points above the
+    // 10 us row-timing cap (e.g. 2x DDR4 tREFI) stay spellable.
+    EXPECT_EQ(SystemAxes::parse("open@trefi=15600").tRefiNs, 15600u);
+
+    // Inconsistent timings: a tRC smaller than tRCD + tRP cannot
+    // describe a real row cycle.
+    EXPECT_THROW(SystemAxes::parse("closed@trc=20"), FatalError);
+    SystemAxes inconsistent;
+    inconsistent.tRcNs = 40;
+    inconsistent.tRcdNs = 30;
+    inconsistent.tRpNs = 20;
+    EXPECT_THROW(inconsistent.validate(), FatalError);
+
+    // Every axes fatal names the accepted spellings and the
+    // offending input verbatim.
+    try {
+        SystemAxes::parse("open@trefi=3900@trc=48");
+        FAIL() << "out-of-order suffix was not rejected";
+    } catch (const FatalError &err) {
+        const std::string msg = err.what();
+        EXPECT_NE(msg.find("open@trefi=3900@trc=48"),
+                  std::string::npos) << msg;
+        EXPECT_NE(msg.find("closed|open"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("@trefi=NS"), std::string::npos) << msg;
+    }
+}
+
+TEST(SystemAxesApi, Ddr5PresetAppliesTheDdr5TimingClass)
+{
+    SystemAxes axes;
+    axes.preset = DramPreset::Ddr5;
+    SystemConfig cfg;
+    const double ddr4Refi = cfg.timingNs.tREFI;
+    axes.apply(cfg);
+    EXPECT_DOUBLE_EQ(cfg.timingNs.tREFI, ddr4Refi / 2.0);
+    EXPECT_DOUBLE_EQ(cfg.timingNs.tRFC, DramTimingNs::ddr5().tRFC);
+    // An override layered on the preset wins over its default.
+    axes.tRefiNs = 5000;
+    axes.apply(cfg);
+    EXPECT_DOUBLE_EQ(cfg.timingNs.tREFI, 5000.0);
+    // tRAS is re-derived from the effective tRC and tRP.
+    EXPECT_DOUBLE_EQ(cfg.timingNs.tRAS,
+                     cfg.timingNs.tRC - cfg.timingNs.tRP);
+}
+
 TEST(SweepAxes, GridExpandsAxesBetweenWorkloadAndMitigation)
 {
     SweepGrid grid;
@@ -532,6 +618,54 @@ TEST(SweepAxes, GridExpandsAxesBetweenWorkloadAndMitigation)
     EXPECT_EQ(cells[8].axes.field(), "closed");
     for (std::size_t i = 0; i < 8; ++i)
         EXPECT_EQ(cells[i].workload.label(), "gups") << "cell " << i;
+}
+
+TEST(SweepAxes, PresetAndOverrideAxesCrossInDeclarationOrder)
+{
+    // Policy outermost, then preset, then the five timing overrides
+    // (trc, trcd, trp, trefi, trfc) innermost-last.
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gups")};
+    grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
+    grid.tRefiOverrides = {0, 3900};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    ASSERT_EQ(grid.innerCells(), 8u);
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].axes.field(), "closed");
+    EXPECT_EQ(cells[1].axes.field(), "closed@trefi=3900");
+    EXPECT_EQ(cells[2].axes.field(), "closed@ddr5");
+    EXPECT_EQ(cells[3].axes.field(), "closed@ddr5@trefi=3900");
+    EXPECT_EQ(cells[4].axes.field(), "open");
+    EXPECT_EQ(cells[7].axes.field(), "open@ddr5@trefi=3900");
+
+    // An inconsistent override combination is fatal at expansion,
+    // before any simulation starts.
+    SweepGrid bad = grid;
+    bad.tRcOverrides = {20}; // < tRCD + tRP
+    EXPECT_THROW(bad.expand(), FatalError);
+}
+
+TEST(SweepAxes, EachPresetVariantNormalizesAgainstItsOwnBaseline)
+{
+    // DDR4 and DDR5 cells of the same workload share a seed but not
+    // a baseline: each normalizes against the unprotected run of
+    // its own preset.
+    std::vector<SweepCell> cells(2);
+    cells[0].workload = WorkloadSpec::synthetic("gups");
+    cells[0].mitigation = MitigationKind::None;
+    cells[1] = cells[0];
+    cells[1].axes.preset = DramPreset::Ddr5;
+    SweepRunner runner(tinyExperiment(), 2);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+    EXPECT_DOUBLE_EQ(results[1].normalized, 1.0);
+    EXPECT_GT(results[0].baselineIpc, 0.0);
+    EXPECT_GT(results[1].baselineIpc, 0.0);
+    EXPECT_EQ(results[0].seed, results[1].seed);
 }
 
 TEST(SweepAxes, EachAxesVariantNormalizesAgainstItsOwnBaseline)
@@ -632,6 +766,30 @@ TEST(SweepResume, SchemaV1FilesAreRejectedWithAVersionedError)
     }
 }
 
+TEST(SweepResume, SchemaV2FilesAreRejectedWithAVersionedError)
+{
+    // A v2 CSV names its 7th identity column `policy`; v3 renamed
+    // it to `axes` when the DRAM preset/timing knobs joined the
+    // axis.  Resuming from a v2 file must fail naming schema v2.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string v2Header =
+        "index,workload_spec,mitigation,tracker,trh,rate,policy,"
+        "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+        "place_backs,rows_pinned,max_row_acts\n";
+    const std::string path =
+        writeTempFile("sweep_v2_header.csv", v2Header);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    try {
+        runner.run(cells);
+        FAIL() << "v2 CSV header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v2"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
 TEST(SweepNames, MitigationAndTrackerRoundTrip)
 {
     for (const MitigationKind kind :
@@ -646,8 +804,13 @@ TEST(SweepNames, MitigationAndTrackerRoundTrip)
           TrackerKind::TwiCe}) {
         EXPECT_EQ(trackerKindFromName(trackerKindName(kind)), kind);
     }
+    for (const DramPreset preset :
+         {DramPreset::Ddr4, DramPreset::Ddr5}) {
+        EXPECT_EQ(dramPresetFromName(dramPresetName(preset)), preset);
+    }
     EXPECT_THROW(mitigationKindFromName("bogus"), FatalError);
     EXPECT_THROW(trackerKindFromName("bogus"), FatalError);
+    EXPECT_THROW(dramPresetFromName("ddr6"), FatalError);
 }
 
 } // namespace

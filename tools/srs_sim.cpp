@@ -32,7 +32,9 @@
  *                      --mitigations=rrs,scale-srs --trh=1200,2400
  *                      --rates=3,6 [--tracker=misra-gries]
  *                      [--trace=FILE[;FILE…]] [--page-policy=A,B]
- *                      [--trc=NS,…] [--mix=N] [--mix-base=K]
+ *                      [--preset=ddr4,ddr5] [--trc=NS,…]
+ *                      [--trcd=NS,…] [--trp=NS,…] [--trefi=NS,…]
+ *                      [--trfc=NS,…] [--mix=N] [--mix-base=K]
  *                      [--threads=N] [--cycles=N] [--epoch=N]
  *                      [--seed=S] [--out=FILE] [--resume=FILE]
  *                      [--journal=FILE]
@@ -41,12 +43,15 @@
  *            shorthand) replay recorded USIMM trace files — one
  *            path for every core, or one per core; --mix=N appends
  *            N MIX points (per-core profile draws, starting at
- *            mix<K>) to the workload axis; --page-policy and --trc
- *            sweep the system axes (closed|open page management,
- *            tRC override in ns, 0 = default), applied to protected
- *            and baseline runs alike.  CSV goes to stdout unless
- *            --out is given.  Output is ordered by cell (workloads
- *            outermost, then page policy, trc, mitigations, trhs,
+ *            mix<K>) to the workload axis; --page-policy, --preset
+ *            and the --trc/--trcd/--trp/--trefi/--trfc override
+ *            lists sweep the system axes (closed|open page
+ *            management, ddr4|ddr5 timing preset, per-knob ns
+ *            overrides, 0 = the preset's default), applied to
+ *            protected and baseline runs alike.  CSV goes to stdout
+ *            unless --out is given.  Output is ordered by cell
+ *            (workloads outermost, then page policy, preset, the
+ *            timing overrides, mitigations, trhs,
  *            rates innermost) and is byte-identical for any
  *            --threads value.  Completed cells stream to a journal
  *            (default <out>.journal; --journal=none disables), and
@@ -163,8 +168,9 @@ cmdPerf(const Options &opts)
 /**
  * Parse the sweep grid + experiment flags shared by `sweep` and
  * `orchestrate` (--workloads/--trace/--mitigations/--page-policy/
- * --trc/--trh/--rates/--tracker/--mix/--mix-base/--cycles/--epoch/
- * --seed); fatal() on an empty grid.
+ * --preset/--trc/--trcd/--trp/--trefi/--trfc/--trh/--rates/
+ * --tracker/--mix/--mix-base/--cycles/--epoch/--seed); fatal() on
+ * an empty grid or inconsistent timing axes.
  */
 void
 parseGridFlags(const Options &opts, SweepGrid &grid,
@@ -196,8 +202,20 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
     for (const std::string &p :
          splitList(opts.getString("page-policy", "closed")))
         grid.pagePolicies.push_back(pagePolicyFromName(p));
+    grid.presets.clear();
+    for (const std::string &p :
+         splitList(opts.getString("preset", "ddr4")))
+        grid.presets.push_back(dramPresetFromName(p));
     grid.tRcOverrides =
         splitUint32List(opts.getString("trc", "0"), "--trc");
+    grid.tRcdOverrides =
+        splitUint32List(opts.getString("trcd", "0"), "--trcd");
+    grid.tRpOverrides =
+        splitUint32List(opts.getString("trp", "0"), "--trp");
+    grid.tRefiOverrides =
+        splitUint32List(opts.getString("trefi", "0"), "--trefi");
+    grid.tRfcOverrides =
+        splitUint32List(opts.getString("trfc", "0"), "--trfc");
     grid.trhs =
         splitUint32List(opts.getString("trh", "1200"), "--trh");
     grid.swapRates =
@@ -213,11 +231,17 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
 
     if ((grid.workloads.empty() && grid.mixCount == 0)
         || grid.mitigations.empty() || grid.pagePolicies.empty()
-        || grid.tRcOverrides.empty() || grid.trhs.empty()
-        || grid.swapRates.empty()) {
+        || grid.presets.empty() || grid.tRcOverrides.empty()
+        || grid.tRcdOverrides.empty() || grid.tRpOverrides.empty()
+        || grid.tRefiOverrides.empty() || grid.tRfcOverrides.empty()
+        || grid.trhs.empty() || grid.swapRates.empty()) {
         fatal("sweep grid is empty: need at least one workload or "
-              "MIX point, page policy, mitigation, trh and rate");
+              "MIX point, page policy, DRAM preset, timing override "
+              "(0 = default), mitigation, trh and rate");
     }
+    // Reject inconsistent timing combinations (e.g. tRC < tRCD +
+    // tRP) before any shard or worker starts.
+    (void)grid.axes();
 }
 
 int
@@ -513,7 +537,10 @@ usage()
         "    trace-file workload to the grid\n"
         "    --mitigations=A,B (scale-srs)\n"
         "    --page-policy=closed|open[,..] (closed)\n"
-        "    --trc=NS,.. (0 = default tRC)  --trh=N,M (1200)\n"
+        "    --preset=ddr4|ddr5[,..] (ddr4)  DRAM timing preset\n"
+        "    --trc=NS,.. --trcd=NS,.. --trp=NS,.. --trefi=NS,..\n"
+        "    --trfc=NS,.. (0 = the preset's default timing)\n"
+        "    --trh=N,M (1200)\n"
         "    --rates=N,M (3)  --tracker=KIND\n"
         "    --mix=N (0)  --mix-base=K (0)  --threads=N (all)\n"
         "    --cycles=N  --epoch=N  --seed=S  --out=FILE (stdout)\n"
