@@ -87,6 +87,35 @@ SetAssocCache::access(Addr addr, bool isWrite)
     return res;
 }
 
+Addr
+SetAssocCache::victimWritebackAddr(Addr addr) const
+{
+    const Addr tag = lineAlign(addr);
+    const std::uint64_t set = setOf(addr);
+    const Line *base = &lines_[set * cfg_.ways];
+
+    std::uint32_t reserved = 0;
+    if (const auto it = reservedWays_.find(set); it != reservedWays_.end())
+        reserved = it->second;
+    const std::uint32_t usable = cfg_.ways - reserved;
+
+    for (std::uint32_t w = 0; w < usable; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return kInvalidAddr;   // hit: nothing evicted
+    }
+    if (usable == 0)
+        return kInvalidAddr;       // bypass: nothing allocated
+    const Line *victim = nullptr;
+    for (std::uint32_t w = 0; w < usable; ++w) {
+        const Line &line = base[w];
+        if (!line.valid)
+            return kInvalidAddr;   // invalid way: fill without eviction
+        if (!victim || line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    return victim->dirty ? victim->tag : kInvalidAddr;
+}
+
 bool
 SetAssocCache::contains(Addr addr) const
 {

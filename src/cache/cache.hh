@@ -58,6 +58,15 @@ class SetAssocCache
     /** Probe without side effects. */
     bool contains(Addr addr) const;
 
+    /**
+     * Dirty-victim probe: the writeback address that access(@p addr)
+     * would emit, without performing the access.  Mirrors access()'s
+     * victim selection exactly (hit, bypass, and invalid-way fills
+     * evict nothing).
+     * @return kInvalidAddr when the access would cause no writeback
+     */
+    Addr victimWritebackAddr(Addr addr) const;
+
     /** Invalidate one line. @return true when it was present+dirty. */
     bool invalidate(Addr addr);
 

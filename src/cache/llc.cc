@@ -41,7 +41,7 @@ Llc::access(Addr addr, bool isWrite)
 }
 
 bool
-Llc::pinRow(Addr rowBase)
+Llc::pinRow(Addr rowBase, std::vector<Addr> *evicted)
 {
     SRS_ASSERT((rowBase & (rowBytes_ - 1)) == 0,
                "pinRow target not row-aligned");
@@ -56,10 +56,19 @@ Llc::pinRow(Addr rowBase)
     for (std::uint64_t s = setBase; s < setBase + setsPerRow_; ++s)
         cache_.reserveWays(s, cache_.ways(), writebacks);
     // Stale normal-way copies of the row's lines become invalid; their
-    // latest contents now live in the pinned copy.
+    // latest contents now live in the pinned copy.  Displaced dirty
+    // lines of other rows, however, exist nowhere else — surface them
+    // so the caller can post the writebacks.
     const std::uint32_t lineBytes = cache_.config().lineBytes;
     for (Addr a = rowBase; a < rowBase + rowBytes_; a += lineBytes)
         cache_.invalidate(a);
+    for (const Addr wb : writebacks) {
+        if (wb - rowBase < rowBytes_)
+            continue;   // the pinned row's own line: absorbed, not lost
+        stats_.inc("pin_evictions");
+        if (evicted != nullptr)
+            evicted->push_back(wb);
+    }
     stats_.inc("rows_pinned");
     return true;
 }

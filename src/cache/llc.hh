@@ -47,12 +47,28 @@ class Llc
     LlcResult access(Addr addr, bool isWrite);
 
     /**
+     * Side-effect-free dirty-victim probe: the writeback address
+     * access(@p addr) would emit.  Pinned rows never evict.
+     * @return kInvalidAddr when the access would cause no writeback
+     */
+    Addr probeWriteback(Addr addr) const
+    {
+        if (pins_.lookup(addr) != nullptr)
+            return kInvalidAddr;
+        return cache_.victimWritebackAddr(addr);
+    }
+
+    /**
      * Pin a DRAM row: reserve its set range and install a pin-buffer
      * entry.  Stale copies of the row's lines are invalidated from the
-     * normal ways.
+     * normal ways (their contents are absorbed into the pinned copy,
+     * which is written back wholesale at unpin).  Dirty lines of
+     * *other* rows displaced from the reserved sets are appended to
+     * @p evicted (when given) and must be written back by the caller —
+     * dropping them loses committed stores.
      * @return true when pinned; false when the buffer is full.
      */
-    bool pinRow(Addr rowBase);
+    bool pinRow(Addr rowBase, std::vector<Addr> *evicted = nullptr);
 
     /** @return true when the row containing @p addr is pinned. */
     bool rowPinned(Addr addr) const

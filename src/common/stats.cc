@@ -73,31 +73,52 @@ Histogram::maxKey() const
     return buckets_.empty() ? 0 : buckets_.rbegin()->first;
 }
 
+StatSet::Handle
+StatSet::handle(const std::string &name)
+{
+    const auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    const Handle h = static_cast<Handle>(values_.size());
+    index_.emplace(name, h);
+    values_.push_back(0);
+    return h;
+}
+
 void
 StatSet::inc(const std::string &name, std::uint64_t delta)
 {
-    counters_[name] += delta;
+    inc(handle(name), delta);
 }
 
 void
 StatSet::set(const std::string &name, std::uint64_t value)
 {
-    counters_[name] = value;
+    setAt(handle(name), value);
 }
 
 std::uint64_t
 StatSet::get(const std::string &name) const
 {
-    const auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const auto it = index_.find(name);
+    return it == index_.end() ? 0 : values_[it->second];
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::all() const
+{
+    std::map<std::string, std::uint64_t> out;
+    for (const auto &[name, h] : index_)
+        out.emplace(name, values_[h]);
+    return out;
 }
 
 std::string
 StatSet::dump() const
 {
     std::ostringstream os;
-    for (const auto &[name, value] : counters_)
-        os << name << " = " << value << "\n";
+    for (const auto &[name, h] : index_)
+        os << name << " = " << values_[h] << "\n";
     return os.str();
 }
 

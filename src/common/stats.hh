@@ -63,10 +63,30 @@ class Histogram
 /**
  * Named counter registry: simulator components register counters so
  * experiment harnesses can dump everything uniformly.
+ *
+ * Counters are stored in a flat array indexed by interned handles.
+ * Hot paths intern their names once (handle()) and then update
+ * counters with a single array add; the string-keyed API remains for
+ * cold paths, tests and reporting.
  */
 class StatSet
 {
   public:
+    /** Interned counter index; stable for the StatSet's lifetime. */
+    using Handle = std::uint32_t;
+
+    /** Intern @p name, creating the counter at zero. */
+    Handle handle(const std::string &name);
+
+    /** Add @p delta to the counter behind @p h (no lookup). */
+    void inc(Handle h, std::uint64_t delta = 1) { values_[h] += delta; }
+
+    /** Overwrite the counter behind @p h. */
+    void setAt(Handle h, std::uint64_t value) { values_[h] = value; }
+
+    /** @return value of the counter behind @p h. */
+    std::uint64_t getAt(Handle h) const { return values_[h]; }
+
     /** Add @p delta to counter @p name (creating it at zero). */
     void inc(const std::string &name, std::uint64_t delta = 1);
 
@@ -76,16 +96,15 @@ class StatSet
     /** @return counter value; 0 when never touched. */
     std::uint64_t get(const std::string &name) const;
 
-    const std::map<std::string, std::uint64_t> &all() const
-    {
-        return counters_;
-    }
+    /** Materialized name -> value view of every registered counter. */
+    std::map<std::string, std::uint64_t> all() const;
 
     /** Render "name = value" lines, sorted by name. */
     std::string dump() const;
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, Handle> index_;
+    std::vector<std::uint64_t> values_;
 };
 
 } // namespace srs

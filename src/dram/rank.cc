@@ -16,20 +16,6 @@ Rank::Rank(const DramTiming &timing, const DramOrg &org)
     actWindow_.fill(0);
 }
 
-Bank &
-Rank::bank(std::uint32_t idx)
-{
-    SRS_ASSERT(idx < banks_.size(), "bank index out of range");
-    return banks_[idx];
-}
-
-const Bank &
-Rank::bank(std::uint32_t idx) const
-{
-    SRS_ASSERT(idx < banks_.size(), "bank index out of range");
-    return banks_[idx];
-}
-
 bool
 Rank::canIssue(DramCommand cmd, std::uint32_t bankIdx, RowId row,
                Cycle now) const

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "dram/bank.hh"
 #include "dram/params.hh"
@@ -24,9 +25,17 @@ class Rank
   public:
     Rank(const DramTiming &timing, const DramOrg &org);
 
-    /** Access a bank by index within the rank. */
-    Bank &bank(std::uint32_t idx);
-    const Bank &bank(std::uint32_t idx) const;
+    /** Access a bank by index within the rank (hot path: inline). */
+    Bank &bank(std::uint32_t idx)
+    {
+        SRS_ASSERT(idx < banks_.size(), "bank index out of range");
+        return banks_[idx];
+    }
+    const Bank &bank(std::uint32_t idx) const
+    {
+        SRS_ASSERT(idx < banks_.size(), "bank index out of range");
+        return banks_[idx];
+    }
 
     std::uint32_t numBanks() const
     {

@@ -7,6 +7,9 @@
 namespace srs
 {
 
+/** Tombstones tolerated in a queue before it is compacted. */
+constexpr std::uint32_t kCompactThreshold = 32;
+
 const char *
 migrationKindName(MigrationJob::Kind kind)
 {
@@ -26,14 +29,51 @@ MemoryController::MemoryController(const DramOrg &org,
 {
     if (cfg_.writeLoWatermark >= cfg_.writeHiWatermark)
         fatal("write drain watermarks inverted");
+    const std::uint32_t flats = org_.ranksPerChannel * org_.banksPerRank;
     channels_.resize(org_.channels);
     for (auto &c : channels_) {
         c.ranks.reserve(org_.ranksPerChannel);
         for (std::uint32_t r = 0; r < org_.ranksPerChannel; ++r)
             c.ranks.emplace_back(timing_, org_);
-        c.migQ.resize(org_.ranksPerChannel * org_.banksPerRank);
+        c.migQ.resize(flats);
         c.nextRefreshDue.assign(org_.ranksPerChannel, timing_.tREFI);
         c.refreshDebt.assign(org_.ranksPerChannel, 0);
+        c.openRowArr.assign(flats, kInvalidRow);
+        c.readHit.assign(flats, 0);
+        c.writeHit.assign(flats, 0);
+        c.p2Verdict.assign(flats, 0);
+        // Tombstones let a queue exceed its live depth briefly.
+        c.readQ.reserve(cfg_.readQueueDepth + kCompactThreshold + 1);
+        c.writeQ.reserve(cfg_.writeQueueDepth + kCompactThreshold + 1);
+    }
+
+    h_.writesEnqueued = stats_.handle("writes_enqueued");
+    h_.readsForwarded = stats_.handle("reads_forwarded");
+    h_.readsEnqueued = stats_.handle("reads_enqueued");
+    h_.readsCompleted = stats_.handle("reads_completed");
+    h_.readLatencyCycles = stats_.handle("read_latency_cycles");
+    h_.refreshes = stats_.handle("refreshes");
+    h_.forcedPrecharges = stats_.handle("forced_precharges");
+    h_.latentActivations = stats_.handle("latent_activations");
+    h_.migrationBusyCycles = stats_.handle("migration_busy_cycles");
+    h_.writesIssued = stats_.handle("writes_issued");
+    h_.readsIssued = stats_.handle("reads_issued");
+    h_.rowHits = stats_.handle("row_hits");
+    h_.rowConflicts = stats_.handle("row_conflicts");
+    h_.activations = stats_.handle("activations");
+    h_.idleCloses = stats_.handle("idle_closes");
+    h_.p2SkipBusy = stats_.handle("p2_skip_busy");
+    h_.p2SkipForced = stats_.handle("p2_skip_forced");
+    h_.p2SkipHitWait = stats_.handle("p2_skip_hit_wait");
+    h_.p2SkipPreWait = stats_.handle("p2_skip_pre_wait");
+    h_.p2SkipActWait = stats_.handle("p2_skip_act_wait");
+    h_.p2SkipThrottled = stats_.handle("p2_skip_throttled");
+    for (int k = 0; k < 4; ++k) {
+        const auto kind = static_cast<MigrationJob::Kind>(k);
+        h_.migScheduled[k] = stats_.handle(
+            std::string("mig_scheduled_") + migrationKindName(kind));
+        h_.migStarted[k] = stats_.handle(
+            std::string("mig_started_") + migrationKindName(kind));
     }
 }
 
@@ -45,13 +85,29 @@ MemoryController::flatBank(const ChannelState &, std::uint32_t rank,
 }
 
 bool
+MemoryController::wouldForward(const ChannelState &c, Addr line) const
+{
+    for (const MemRequest &w : c.writeQ) {
+        if (w.dead)
+            continue;
+        if ((w.addr & ~static_cast<Addr>(org_.lineBytes - 1)) == line)
+            return true;
+    }
+    return false;
+}
+
+bool
 MemoryController::canAccept(Addr addr, bool isWrite) const
 {
     const DramCoord coord = map_.decode(addr);
     const ChannelState &c = channels_[coord.channel];
     if (isWrite)
-        return c.writeQ.size() < cfg_.writeQueueDepth;
-    return c.readQ.size() < cfg_.readQueueDepth;
+        return liveWrites(c) < cfg_.writeQueueDepth;
+    if (liveReads(c) < cfg_.readQueueDepth)
+        return true;
+    // A read served by read-around-write forwarding never occupies a
+    // read-queue slot, so a full read queue must not reject it.
+    return wouldForward(c, addr & ~static_cast<Addr>(org_.lineBytes - 1));
 }
 
 std::uint64_t
@@ -70,26 +126,27 @@ MemoryController::enqueue(Addr addr, bool isWrite, CoreId core, Cycle now)
 
     ChannelState &c = channels_[req.coord.channel];
     if (isWrite) {
-        stats_.inc("writes_enqueued");
+        stats_.inc(h_.writesEnqueued);
         c.writeQ.push_back(req);
+        ++c.writeStale;
         return req.id;
     }
 
     // Read-around-write forwarding: a read that hits a posted write
-    // is satisfied from the write queue without touching DRAM.
+    // is satisfied from the write queue without touching DRAM.  This
+    // is checked before the queue-capacity path so a forwardable read
+    // is accepted even when the read queue is full.
     const Addr line = addr & ~static_cast<Addr>(org_.lineBytes - 1);
-    for (const MemRequest &w : c.writeQ) {
-        const Addr wline = w.addr & ~static_cast<Addr>(org_.lineBytes - 1);
-        if (wline == line) {
-            stats_.inc("reads_forwarded");
-            MemRequest done = req;
-            done.completion = now + 1;
-            pendingReads_.push({done.completion, done});
-            return req.id;
-        }
+    if (wouldForward(c, line)) {
+        stats_.inc(h_.readsForwarded);
+        MemRequest done = req;
+        done.completion = now + 1;
+        pendingReads_.push({done.completion, done});
+        return req.id;
     }
-    stats_.inc("reads_enqueued");
+    stats_.inc(h_.readsEnqueued);
     c.readQ.push_back(req);
+    ++c.readStale;
     return req.id;
 }
 
@@ -100,10 +157,19 @@ MemoryController::scheduleMigration(std::uint32_t channel,
     SRS_ASSERT(channel < channels_.size(), "bad channel");
     ChannelState &c = channels_[channel];
     SRS_ASSERT(bank < c.migQ.size(), "bad bank");
-    stats_.inc(std::string("mig_scheduled_") + migrationKindName(job.kind));
+    stats_.inc(h_.migScheduled[static_cast<int>(job.kind)]);
     // Any mitigation activity may have changed the row mapping, so
-    // cached remaps in queued requests must be recomputed.
+    // cached remaps in queued requests must be recomputed.  Every
+    // live request becomes stale; no cached translation can be a
+    // row-buffer hit until physRowOf() revalidates it.
     ++c.mapVersion;
+    c.readStale = liveReads(c);
+    c.writeStale = liveWrites(c);
+    std::fill(c.readHit.begin(), c.readHit.end(), 0u);
+    std::fill(c.writeHit.begin(), c.writeHit.end(), 0u);
+    c.readHitSum = 0;
+    c.writeHitSum = 0;
+    ++c.migCount;
     c.migQ[bank].push_back(std::move(job));
 }
 
@@ -120,8 +186,8 @@ MemoryController::tick(Cycle now)
     while (!pendingReads_.empty() && pendingReads_.top().done <= now) {
         MemRequest req = pendingReads_.top().req;
         pendingReads_.pop();
-        stats_.inc("reads_completed");
-        stats_.inc("read_latency_cycles", req.completion - req.arrival);
+        stats_.inc(h_.readsCompleted);
+        stats_.inc(h_.readLatencyCycles, req.completion - req.arrival);
         if (onReadDone_)
             onReadDone_(req);
     }
@@ -143,9 +209,11 @@ MemoryController::manageRefresh(ChannelState &c, Cycle now)
             continue;
         Rank &rank = c.ranks[ri];
         if (rank.canRefresh(now)) {
+            // canRefresh() requires every bank closed, so an all-bank
+            // refresh never disturbs the open-row mirror.
             rank.refresh(now);
             --debt;
-            stats_.inc("refreshes");
+            stats_.inc(h_.refreshes);
             return true;
         }
         if (debt >= cfg_.maxPostponedRefreshes) {
@@ -153,8 +221,8 @@ MemoryController::manageRefresh(ChannelState &c, Cycle now)
             for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
                 if (rank.bank(b).rowOpen() &&
                     rank.canIssue(DramCommand::Precharge, b, 0, now)) {
-                    rank.issue(DramCommand::Precharge, b, 0, now);
-                    stats_.inc("forced_precharges");
+                    issueCmd(c, ri, DramCommand::Precharge, b, 0, now);
+                    stats_.inc(h_.forcedPrecharges);
                     return true;
                 }
             }
@@ -184,7 +252,7 @@ MemoryController::startMigration(std::uint32_t chIdx, ChannelState &c,
             continue;
         if (bank.rowOpen()) {
             if (rank.canIssue(DramCommand::Precharge, bi, 0, now)) {
-                rank.issue(DramCommand::Precharge, bi, 0, now);
+                issueCmd(c, ri, DramCommand::Precharge, bi, 0, now);
                 return true;
             }
             continue;
@@ -193,14 +261,14 @@ MemoryController::startMigration(std::uint32_t chIdx, ChannelState &c,
             continue;
         MigrationJob job = std::move(c.migQ[flat].front());
         c.migQ[flat].pop_front();
+        --c.migCount;
         bank.blockFor(now, job.duration);
         for (const RowCharge &charge : job.charges) {
             bank.chargeActivation(charge.row, charge.count);
-            stats_.inc("latent_activations", charge.count);
+            stats_.inc(h_.latentActivations, charge.count);
         }
-        stats_.inc(std::string("mig_started_") +
-                   migrationKindName(job.kind));
-        stats_.inc("migration_busy_cycles", job.duration);
+        stats_.inc(h_.migStarted[static_cast<int>(job.kind)]);
+        stats_.inc(h_.migrationBusyCycles, job.duration);
         return true;
     }
     return false;
@@ -209,27 +277,149 @@ MemoryController::startMigration(std::uint32_t chIdx, ChannelState &c,
 void
 MemoryController::updateDrainState(ChannelState &c)
 {
-    if (!c.draining && c.writeQ.size() >= cfg_.writeHiWatermark)
+    if (!c.draining && liveWrites(c) >= cfg_.writeHiWatermark)
         c.draining = true;
-    else if (c.draining && c.writeQ.size() <= cfg_.writeLoWatermark)
+    else if (c.draining && liveWrites(c) <= cfg_.writeLoWatermark)
         c.draining = false;
 }
 
 RowId
-MemoryController::physRowOf(std::uint32_t chIdx, const ChannelState &c,
+MemoryController::physRowOf(std::uint32_t chIdx, ChannelState &c,
                             MemRequest &req)
 {
     if (req.mapVersion == c.mapVersion && req.physRow != kInvalidRow)
         return req.physRow;
     RowId phys = req.coord.row;
-    if (listener_) {
-        const std::uint32_t bankInChannel =
-            flatBank(c, req.coord.rank, req.coord.bank);
-        phys = listener_->remapRow(chIdx, bankInChannel, phys);
-    }
+    const std::uint32_t flat = flatBank(c, req.coord.rank, req.coord.bank);
+    if (listener_)
+        phys = listener_->remapRow(chIdx, flat, phys);
+    // The request leaves the stale set; if its fresh translation hits
+    // its bank's open row it joins the hit counters.
+    if (req.isWrite)
+        --c.writeStale;
+    else
+        --c.readStale;
     req.physRow = phys;
     req.mapVersion = c.mapVersion;
+    if (c.openRowArr[flat] == phys) {
+        if (req.isWrite) {
+            ++c.writeHit[flat];
+            ++c.writeHitSum;
+        } else {
+            ++c.readHit[flat];
+            ++c.readHitSum;
+        }
+    }
     return phys;
+}
+
+Cycle
+MemoryController::issueCmd(ChannelState &c, std::uint32_t rank,
+                           DramCommand cmd, std::uint32_t bank, RowId row,
+                           Cycle now, bool autoPre)
+{
+    Rank &r = c.ranks[rank];
+    const Cycle done = r.issue(cmd, bank, row, now, autoPre);
+    const std::uint32_t flat = flatBank(c, rank, bank);
+    const Bank &b = r.bank(bank);
+    const RowId open = b.rowOpen() ? b.openRow() : kInvalidRow;
+    if (open != c.openRowArr[flat]) {
+        if (c.openRowArr[flat] == kInvalidRow)
+            ++c.openCount;
+        else if (open == kInvalidRow)
+            --c.openCount;
+        c.openRowArr[flat] = open;
+        recountBankHits(c, flat);
+    }
+    return done;
+}
+
+void
+MemoryController::recountBankHits(ChannelState &c, std::uint32_t flat)
+{
+    c.readHitSum -= c.readHit[flat];
+    c.writeHitSum -= c.writeHit[flat];
+    c.readHit[flat] = 0;
+    c.writeHit[flat] = 0;
+    const RowId open = c.openRowArr[flat];
+    if (open == kInvalidRow)
+        return;
+    for (const MemRequest &r : c.readQ) {
+        if (!r.dead && r.mapVersion == c.mapVersion && r.physRow == open &&
+            flatBank(c, r.coord.rank, r.coord.bank) == flat) {
+            ++c.readHit[flat];
+        }
+    }
+    for (const MemRequest &w : c.writeQ) {
+        if (!w.dead && w.mapVersion == c.mapVersion && w.physRow == open &&
+            flatBank(c, w.coord.rank, w.coord.bank) == flat) {
+            ++c.writeHit[flat];
+        }
+    }
+    c.readHitSum += c.readHit[flat];
+    c.writeHitSum += c.writeHit[flat];
+}
+
+void
+MemoryController::killRequest(ChannelState &c, MemRequest &req)
+{
+    if (req.mapVersion == c.mapVersion) {
+        const std::uint32_t flat =
+            flatBank(c, req.coord.rank, req.coord.bank);
+        if (c.openRowArr[flat] == req.physRow) {
+            if (req.isWrite) {
+                --c.writeHit[flat];
+                --c.writeHitSum;
+            } else {
+                --c.readHit[flat];
+                --c.readHitSum;
+            }
+        }
+    } else {
+        if (req.isWrite)
+            --c.writeStale;
+        else
+            --c.readStale;
+    }
+    req.dead = true;
+    if (req.isWrite)
+        ++c.writeDead;
+    else
+        ++c.readDead;
+}
+
+void
+MemoryController::compactIfNeeded(ChannelState &c,
+                                  std::vector<MemRequest> &q, bool isWrite)
+{
+    std::uint32_t &dead = isWrite ? c.writeDead : c.readDead;
+    if (dead < kCompactThreshold)
+        return;
+    std::erase_if(q, [](const MemRequest &r) { return r.dead; });
+    dead = 0;
+}
+
+void
+MemoryController::invalidateReqCache(ChannelState &c, MemRequest &req)
+{
+    if (req.mapVersion == c.mapVersion) {
+        const std::uint32_t flat =
+            flatBank(c, req.coord.rank, req.coord.bank);
+        if (c.openRowArr[flat] == req.physRow) {
+            if (req.isWrite) {
+                --c.writeHit[flat];
+                --c.writeHitSum;
+            } else {
+                --c.readHit[flat];
+                --c.readHitSum;
+            }
+        }
+        if (req.isWrite)
+            ++c.writeStale;
+        else
+            ++c.readStale;
+    }
+    req.mapVersion = 0;
 }
 
 bool
@@ -240,49 +430,126 @@ MemoryController::serviceQueue(std::uint32_t chIdx, ChannelState &c,
     const DramCommand cas =
         isWrite ? DramCommand::Write : DramCommand::Read;
 
-    // Pass 1 (FR of FR-FCFS): serve a queued row-buffer hit.
-    for (std::size_t i = 0; i < q.size(); ++i) {
-        MemRequest &req = q[i];
-        const std::uint32_t ri = req.coord.rank;
-        const std::uint32_t bi = req.coord.bank;
-        Rank &rank = c.ranks[ri];
-        Bank &bank = rank.bank(bi);
-        if (rank.refreshing(now) || bank.blocked(now) || !bank.rowOpen())
-            continue;
-        const RowId phys = physRowOf(chIdx, c, req);
-        if (bank.openRow() != phys)
-            continue;
-        if (!rank.canIssue(cas, bi, phys, now))
-            continue;
-        const Cycle done = rank.issue(cas, bi, phys, now,
-                                      /*autoPre=*/false);
-        if (isWrite) {
-            stats_.inc("writes_issued");
-        } else {
-            stats_.inc("reads_issued");
-            stats_.inc("row_hits");
-            MemRequest finished = req;
-            finished.completion = done;
-            pendingReads_.push({done, finished});
+    // Pass 1 (FR of FR-FCFS): serve a queued row-buffer hit.  The
+    // scan is provably a no-op — and skipped — when no current cached
+    // translation equals its bank's open row AND no translation is
+    // stale: physRowOf() revalidates stale entries as a side effect,
+    // which can surface hits mid-scan, so staleness forces the walk.
+    const std::uint32_t hitSum = isWrite ? c.writeHitSum : c.readHitSum;
+    const std::uint32_t staleCnt = isWrite ? c.writeStale : c.readStale;
+    if (hitSum > 0 || staleCnt > 0) {
+        for (std::size_t i = 0; i < q.size(); ++i) {
+            MemRequest &req = q[i];
+            if (req.dead)
+                continue;
+            const std::uint32_t ri = req.coord.rank;
+            const std::uint32_t bi = req.coord.bank;
+            Rank &rank = c.ranks[ri];
+            Bank &bank = rank.bank(bi);
+            if (rank.refreshing(now) || bank.blocked(now) ||
+                !bank.rowOpen()) {
+                continue;
+            }
+            const RowId phys = physRowOf(chIdx, c, req);
+            if (bank.openRow() != phys)
+                continue;
+            if (!rank.canIssue(cas, bi, phys, now))
+                continue;
+            const Cycle done = issueCmd(c, ri, cas, bi, phys, now,
+                                        /*autoPre=*/false);
+            if (isWrite) {
+                stats_.inc(h_.writesIssued);
+            } else {
+                stats_.inc(h_.readsIssued);
+                stats_.inc(h_.rowHits);
+                MemRequest finished = req;
+                finished.completion = done;
+                pendingReads_.push({done, finished});
+            }
+            killRequest(c, req);
+            compactIfNeeded(c, q, isWrite);
+            return true;
         }
-        q.erase(q.begin() + static_cast<std::ptrdiff_t>(i));
-        return true;
     }
 
     // Pass 2 (FCFS): open the oldest serviceable request's row.
+    //
+    // Bank and rank state are constant for the duration of the scan
+    // (issuing any command returns immediately), so the skip verdict
+    // for a bank is computed once and memoized for every later
+    // request targeting it.  Verdicts reached after the physRowOf()
+    // call in the original control flow still refresh the skipped
+    // request's translation cache, preserving the side effect the
+    // unmemoized scan had; busy/forced verdicts precede it and must
+    // not.  Throttling is row-dependent and is never memoized.
+    enum : std::uint8_t
+    {
+        kVerdictNone = 0,
+        kVerdictBusy,
+        kVerdictForced,
+        kVerdictHitWait,
+        kVerdictPreWait,
+        kVerdictActWait,
+    };
+    std::vector<std::uint8_t> &verdict = c.p2Verdict;
+    std::fill(verdict.begin(), verdict.end(), kVerdictNone);
+    std::uint64_t nBusy = 0;
+    std::uint64_t nForced = 0;
+    std::uint64_t nHitWait = 0;
+    std::uint64_t nPreWait = 0;
+    std::uint64_t nActWait = 0;
+    const auto flushSkips = [&]() {
+        if (nBusy > 0)
+            stats_.inc(h_.p2SkipBusy, nBusy);
+        if (nForced > 0)
+            stats_.inc(h_.p2SkipForced, nForced);
+        if (nHitWait > 0)
+            stats_.inc(h_.p2SkipHitWait, nHitWait);
+        if (nPreWait > 0)
+            stats_.inc(h_.p2SkipPreWait, nPreWait);
+        if (nActWait > 0)
+            stats_.inc(h_.p2SkipActWait, nActWait);
+    };
     for (std::size_t i = 0; i < q.size(); ++i) {
         MemRequest &req = q[i];
+        if (req.dead)
+            continue;
         const std::uint32_t ri = req.coord.rank;
         const std::uint32_t bi = req.coord.bank;
+        const std::uint32_t flat = flatBank(c, ri, bi);
+        switch (verdict[flat]) {
+          case kVerdictBusy:
+            ++nBusy;
+            continue;
+          case kVerdictForced:
+            ++nForced;
+            continue;
+          case kVerdictHitWait:
+            physRowOf(chIdx, c, req);
+            ++nHitWait;
+            continue;
+          case kVerdictPreWait:
+            physRowOf(chIdx, c, req);
+            ++nPreWait;
+            continue;
+          case kVerdictActWait:
+            physRowOf(chIdx, c, req);
+            ++nActWait;
+            continue;
+          default:
+            break;
+        }
         Rank &rank = c.ranks[ri];
         Bank &bank = rank.bank(bi);
         if (rank.refreshing(now) || bank.blocked(now)) {
-            stats_.inc("p2_skip_busy");
+            verdict[flat] = kVerdictBusy;
+            ++nBusy;
             continue;
         }
         // Forced-refresh mode: no new activations on this rank.
         if (c.refreshDebt[ri] >= cfg_.maxPostponedRefreshes) {
-            stats_.inc("p2_skip_forced");
+            verdict[flat] = kVerdictForced;
+            ++nForced;
             continue;
         }
         const RowId phys = physRowOf(chIdx, c, req);
@@ -290,35 +557,40 @@ MemoryController::serviceQueue(std::uint32_t chIdx, ChannelState &c,
             // Conflict: close the row so this request can proceed
             // (pass 1 already drained any hits to the open row).
             if (bankHasPendingHit(c, ri, bi, bank.openRow())) {
-                stats_.inc("p2_skip_hit_wait");
+                verdict[flat] = kVerdictHitWait;
+                ++nHitWait;
                 continue;
             }
             if (rank.canIssue(DramCommand::Precharge, bi, 0, now)) {
-                rank.issue(DramCommand::Precharge, bi, 0, now);
-                stats_.inc("row_conflicts");
+                issueCmd(c, ri, DramCommand::Precharge, bi, 0, now);
+                stats_.inc(h_.rowConflicts);
+                flushSkips();
                 return true;
             }
-            stats_.inc("p2_skip_pre_wait");
+            verdict[flat] = kVerdictPreWait;
+            ++nPreWait;
             continue;
         }
         if (!rank.canIssue(DramCommand::Activate, bi, phys, now)) {
-            stats_.inc("p2_skip_act_wait");
+            // Activate legality is row-independent (tRRD/tFAW and the
+            // bank's tRC window), so the verdict covers the bank.
+            verdict[flat] = kVerdictActWait;
+            ++nActWait;
             continue;
         }
         if (listener_ != nullptr &&
-            listener_->actAllowedAt(chIdx, flatBank(c, ri, bi), phys,
-                                    now) > now) {
-            stats_.inc("p2_skip_throttled");
+            listener_->actAllowedAt(chIdx, flat, phys, now) > now) {
+            stats_.inc(h_.p2SkipThrottled);
             continue;
         }
-        rank.issue(DramCommand::Activate, bi, phys, now);
-        stats_.inc("activations");
+        issueCmd(c, ri, DramCommand::Activate, bi, phys, now);
+        stats_.inc(h_.activations);
+        flushSkips();
         if (listener_) {
-            const std::uint32_t bankInChannel = flatBank(c, ri, bi);
-            listener_->onActivate(chIdx, bankInChannel, phys, now);
+            listener_->onActivate(chIdx, flat, phys, now);
             // The mitigation may have remapped rows; refresh the
             // cached translation of this request.
-            req.mapVersion = 0;
+            invalidateReqCache(c, req);
             if (physRowOf(chIdx, c, req) != phys) {
                 // Our own row was swapped away mid-flight; retry via
                 // the normal path next tick.
@@ -327,6 +599,7 @@ MemoryController::serviceQueue(std::uint32_t chIdx, ChannelState &c,
         }
         return true;
     }
+    flushSkips();
     return false;
 }
 
@@ -336,20 +609,15 @@ MemoryController::bankHasPendingHit(const ChannelState &c,
                                     std::uint32_t bank,
                                     RowId openRow) const
 {
-    auto scan = [&](const std::vector<MemRequest> &q) {
-        for (const MemRequest &req : q) {
-            if (req.coord.rank == rank && req.coord.bank == bank &&
-                req.mapVersion == c.mapVersion &&
-                req.physRow == openRow) {
-                return true;
-            }
-        }
-        return false;
-    };
-    // Only count hits the scheduler will actually serve soon: reads
-    // are always eligible; writes only while the channel is draining
-    // (otherwise a parked write would wedge the bank open forever).
-    return scan(c.readQ) || (c.draining && scan(c.writeQ));
+    // Formerly a scan of both queues per call (the simulator's top
+    // hotspot); the incremental counters answer in O(1).  Semantics
+    // are unchanged: only requests whose cached translation is
+    // current can register as hits, and writes count only while the
+    // channel is draining (otherwise a parked write would wedge the
+    // bank open forever).
+    const std::uint32_t flat = flatBank(c, rank, bank);
+    SRS_ASSERT(c.openRowArr[flat] == openRow, "open-row mirror stale");
+    return c.readHit[flat] > 0 || (c.draining && c.writeHit[flat] > 0);
 }
 
 bool
@@ -357,10 +625,14 @@ MemoryController::idleClose(ChannelState &c, Cycle now)
 {
     // Closed-page policy: proactively precharge one bank per tick
     // whose open row has no queued hit.
+    if (c.openCount == 0)
+        return false;
     const std::uint32_t banks =
         org_.ranksPerChannel * org_.banksPerRank;
     for (std::uint32_t step = 0; step < banks; ++step) {
         const std::uint32_t flat = (c.closeCursor + step) % banks;
+        if (c.openRowArr[flat] == kInvalidRow)
+            continue;
         const std::uint32_t ri = flat / org_.banksPerRank;
         const std::uint32_t bi = flat % org_.banksPerRank;
         Rank &rank = c.ranks[ri];
@@ -371,8 +643,8 @@ MemoryController::idleClose(ChannelState &c, Cycle now)
             continue;
         if (!rank.canIssue(DramCommand::Precharge, bi, 0, now))
             continue;
-        rank.issue(DramCommand::Precharge, bi, 0, now);
-        stats_.inc("idle_closes");
+        issueCmd(c, ri, DramCommand::Precharge, bi, 0, now);
+        stats_.inc(h_.idleCloses);
         c.closeCursor = (flat + 1) % banks;
         return true;
     }
@@ -394,7 +666,7 @@ MemoryController::tickChannel(std::uint32_t ch, Cycle now)
                  serviceQueue(ch, c, c.readQ, false, now);
     } else {
         issued = serviceQueue(ch, c, c.readQ, false, now);
-        if (!issued && !c.writeQ.empty() && c.readQ.empty())
+        if (!issued && liveWrites(c) > 0 && liveReads(c) == 0)
             issued = serviceQueue(ch, c, c.writeQ, true, now);
     }
     if (!issued && cfg_.pagePolicy == PagePolicy::Closed)
@@ -436,12 +708,8 @@ MemoryController::idle(Cycle now) const
     if (!pendingReads_.empty())
         return false;
     for (const auto &c : channels_) {
-        if (!c.readQ.empty() || !c.writeQ.empty())
+        if (liveReads(c) > 0 || liveWrites(c) > 0 || c.migCount > 0)
             return false;
-        for (const auto &q : c.migQ) {
-            if (!q.empty())
-                return false;
-        }
         for (std::uint32_t ri = 0; ri < c.ranks.size(); ++ri) {
             const Rank &rank = c.ranks[ri];
             for (std::uint32_t b = 0; b < rank.numBanks(); ++b) {
@@ -451,6 +719,36 @@ MemoryController::idle(Cycle now) const
         }
     }
     return true;
+}
+
+Cycle
+MemoryController::nextEventAt(Cycle now) const
+{
+    Cycle next = kNoCycle;
+    if (!pendingReads_.empty())
+        next = std::max(pendingReads_.top().done, now + 1);
+    for (const auto &c : channels_) {
+        // Any live request, pending migration, owed refresh, or — under
+        // the closed-page policy — an open bank means the channel can
+        // act (or count a p2_skip_* stat) on the very next bus edge.
+        if (liveReads(c) > 0 || liveWrites(c) > 0 || c.migCount > 0)
+            return now + 1;
+        bool debtPending = false;
+        for (std::uint32_t ri = 0; ri < c.ranks.size(); ++ri) {
+            if (c.refreshDebt[ri] > 0) {
+                debtPending = true;
+                break;
+            }
+        }
+        if (debtPending)
+            return now + 1;
+        if (cfg_.pagePolicy == PagePolicy::Closed && c.openCount > 0)
+            return now + 1;
+        // Fully drained: the next effect is refresh debt accrual.
+        for (const Cycle due : c.nextRefreshDue)
+            next = std::min(next, std::max(due, now + 1));
+    }
+    return next;
 }
 
 } // namespace srs

@@ -120,6 +120,17 @@ class MemoryController
     /** Advance the controller; call once per memory bus clock. */
     void tick(Cycle now);
 
+    /**
+     * Earliest cycle (> @p now) at which ticking the controller is
+     * not provably a no-op.  Conservative: whenever any queue holds a
+     * live request, a migration is pending, refresh debt is owed, or
+     * a bank must be idle-closed, this returns now+1 so the event
+     * loop ticks at every bus edge exactly like the reference loop.
+     * With everything drained it jumps to the next tREFI deadline.
+     * @return kNoCycle when no future tick can have any effect
+     */
+    Cycle nextEventAt(Cycle now) const;
+
     /** Reset per-epoch activation ground truth in every bank. */
     void resetEpochCounters();
 
@@ -154,6 +165,38 @@ class MemoryController
         std::uint64_t mapVersion = 1;
         /** round-robin cursor for idle-close precharges */
         std::uint32_t closeCursor = 0;
+
+        // Incrementally-maintained scheduler state.  The invariant,
+        // re-established by every queue/bank/remap mutation: for each
+        // flat bank, readHit/writeHit count the live queued requests
+        // whose cached translation is current (mapVersion matches)
+        // and equals that bank's open row; readStale/writeStale count
+        // live requests whose cached translation is out of date.
+        // This turns bankHasPendingHit — formerly a full two-queue
+        // scan per precharge decision — into an array read.
+
+        /** mirror of each bank's open row (kInvalidRow when closed) */
+        std::vector<RowId> openRowArr;
+        std::vector<std::uint32_t> readHit;
+        std::vector<std::uint32_t> writeHit;
+        std::uint32_t readHitSum = 0;
+        std::uint32_t writeHitSum = 0;
+        std::uint32_t readStale = 0;
+        std::uint32_t writeStale = 0;
+        /** tombstoned (served, not yet compacted) entries per queue */
+        std::uint32_t readDead = 0;
+        std::uint32_t writeDead = 0;
+        /** banks currently holding an open row */
+        std::uint32_t openCount = 0;
+        /** queued-but-unstarted migration jobs across all banks */
+        std::uint64_t migCount = 0;
+        /**
+         * Per-scan scratch for serviceQueue pass 2: the memoized
+         * skip verdict per flat bank (bank state cannot change
+         * mid-scan, so one verdict covers every later request to
+         * the same bank).  Kept here to avoid per-tick allocation.
+         */
+        std::vector<std::uint8_t> p2Verdict;
     };
 
     /** (completionCycle, request) ordered soonest-first. */
@@ -172,11 +215,35 @@ class MemoryController
     bool idleClose(ChannelState &c, Cycle now);
     bool bankHasPendingHit(const ChannelState &c, std::uint32_t rank,
                            std::uint32_t bank, RowId openRow) const;
-    RowId physRowOf(std::uint32_t chIdx, const ChannelState &c,
-                    MemRequest &req);
+    RowId physRowOf(std::uint32_t chIdx, ChannelState &c, MemRequest &req);
     void updateDrainState(ChannelState &c);
     std::uint32_t flatBank(const ChannelState &c, std::uint32_t rank,
                            std::uint32_t bank) const;
+
+    /** issue through the rank, keeping open-row mirrors + hit counts. */
+    Cycle issueCmd(ChannelState &c, std::uint32_t rank, DramCommand cmd,
+                   std::uint32_t bank, RowId row, Cycle now,
+                   bool autoPre = false);
+    /** rebuild one bank's hit counters after its open row changed. */
+    void recountBankHits(ChannelState &c, std::uint32_t flat);
+    /** tombstone a served request, maintaining the counters. */
+    void killRequest(ChannelState &c, MemRequest &req);
+    /** amortized removal of tombstoned entries. */
+    void compactIfNeeded(ChannelState &c, std::vector<MemRequest> &q,
+                         bool isWrite);
+    /** counter-aware replacement for `req.mapVersion = 0`. */
+    void invalidateReqCache(ChannelState &c, MemRequest &req);
+    /** true when a read of @p line would be served from the write queue */
+    bool wouldForward(const ChannelState &c, Addr line) const;
+
+    std::uint32_t liveReads(const ChannelState &c) const
+    {
+        return static_cast<std::uint32_t>(c.readQ.size()) - c.readDead;
+    }
+    std::uint32_t liveWrites(const ChannelState &c) const
+    {
+        return static_cast<std::uint32_t>(c.writeQ.size()) - c.writeDead;
+    }
 
     DramOrg org_;
     DramTiming timing_;
@@ -191,6 +258,19 @@ class MemoryController
     ReadCallback onReadDone_;
     std::uint64_t nextReqId_ = 1;
     StatSet stats_;
+
+    /** Interned counter handles for the per-command hot paths. */
+    struct StatHandles
+    {
+        StatSet::Handle writesEnqueued, readsForwarded, readsEnqueued,
+            readsCompleted, readLatencyCycles, refreshes,
+            forcedPrecharges, latentActivations, migrationBusyCycles,
+            writesIssued, readsIssued, rowHits, rowConflicts,
+            activations, idleCloses, p2SkipBusy, p2SkipForced,
+            p2SkipHitWait, p2SkipPreWait, p2SkipActWait, p2SkipThrottled;
+        StatSet::Handle migScheduled[4], migStarted[4];
+    };
+    StatHandles h_;
 };
 
 } // namespace srs

@@ -30,6 +30,13 @@ struct MemRequest
     std::uint64_t mapVersion = 0;///< remap-cache validity stamp
 
     Cycle completion = kNoCycle;///< data-return cycle once issued
+
+    /**
+     * Tombstone: the request was served and awaits queue compaction.
+     * Scheduler scans skip dead entries; compaction is amortized so
+     * serving a request never pays an O(queue) vector::erase.
+     */
+    bool dead = false;
 };
 
 /** Activation charge to a physical row embedded in a migration. */

@@ -70,6 +70,16 @@ class BlockHammer : public Mitigation
                        RowId physRow, Cycle now) override;
 
     void tick(Cycle now) override;
+
+    /** Folds the filter-rotation deadline into the base schedule. */
+    Cycle nextEventAt(Cycle now) const override
+    {
+        Cycle next = Mitigation::nextEventAt(now);
+        if (nextRotateAt_ != kNoCycle)
+            next = std::min(next, std::max(nextRotateAt_, now + 1));
+        return next;
+    }
+
     void onEpochEnd(Cycle now, Cycle epochLen) override;
 
     std::uint64_t storageBitsPerBank() const override;

@@ -62,6 +62,10 @@ struct ExperimentConfig
     std::uint32_t numCores = 8;
     /** Trace/RIT base seed; equal seeds replay equal runs. */
     std::uint64_t seed = 0xBEEFULL;
+    /** Run under the tick-per-cycle reference loop instead of the
+     *  event-driven loop (A/B equivalence checks and the perf
+     *  harness; results are identical either way). */
+    bool referenceLoop = false;
 };
 
 /**

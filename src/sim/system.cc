@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -134,7 +135,10 @@ System::System(const SystemConfig &cfg)
                 bank % cfg_.org.banksPerRank;
             const Addr base = ctrl_->addressMap().rowBaseAddr(
                 ch, rank, bankInRank, logical);
-            return llc_->pinRow(base);
+            // Park displaced dirty lines; the run loop posts them
+            // (the hook fires mid-queue-iteration, where enqueuing
+            // directly could invalidate the controller's iterators).
+            return llc_->pinRow(base, &pendingPinWritebacks_);
         });
         mitigation_ = std::move(scale);
         break;
@@ -190,20 +194,34 @@ System::access(Addr addr, bool isWrite, CoreId core, std::uint64_t token,
     if (llc_->rowPinned(addr)) {
         stats_.inc("pinned_absorbed");
         latencyOut = cfg_.llcHitLatency;
-        // Record the hit in the LLC stats for visibility.
-        llc_->access(addr, isWrite);
+        // Record the hit in the LLC stats for visibility.  The
+        // pin-buffer short-circuits the tag store, so this access is
+        // guaranteed non-mutating: it can never evict a dirty victim.
+        const LlcResult res = llc_->access(addr, isWrite);
+        SRS_ASSERT(res.pinnedHit && !res.writebackNeeded,
+                   "pinned-row access must be absorbed by the pin-buffer");
         return Outcome::Hit;
     }
 
     if (cfg_.modelLlc) {
-        // Make sure any writeback can be posted before mutating tags.
+        // Make sure both the demand access and the dirty victim it
+        // would evict can be posted before mutating tags.  The victim
+        // can live on a different channel than the miss address, so
+        // its capacity is probed at the actual writeback address.
+        const Addr wb = llc_->probeWriteback(addr);
         if (!ctrl_->canAccept(addr, isWrite) ||
-            !ctrl_->canAccept(addr, true)) {
+            (wb != kInvalidAddr && !ctrl_->canAccept(wb, true))) {
             return Outcome::Reject;
         }
         const LlcResult res = llc_->access(addr, isWrite);
-        if (res.writebackNeeded)
-            ctrl_->enqueue(res.writebackAddr, true, core, now);
+        if (res.writebackNeeded) {
+            SRS_ASSERT(res.writebackAddr == wb,
+                       "victim probe out of sync with access");
+            const std::uint64_t id =
+                ctrl_->enqueue(res.writebackAddr, true, core, now);
+            if (id == std::numeric_limits<std::uint64_t>::max())
+                stats_.inc("writebacks_dropped");
+        }
         if (res.hit) {
             latencyOut = cfg_.llcHitLatency;
             return Outcome::Hit;
@@ -263,6 +281,19 @@ System::onEpochBoundary()
 }
 
 void
+System::drainPinWritebacks()
+{
+    while (!pendingPinWritebacks_.empty()) {
+        const Addr wb = pendingPinWritebacks_.front();
+        if (!ctrl_->canAccept(wb, true))
+            break;   // write queue full: retry next cycle, never drop
+        ctrl_->enqueue(wb, true, 0, now_);
+        stats_.inc("pin_writebacks_posted");
+        pendingPinWritebacks_.erase(pendingPinWritebacks_.begin());
+    }
+}
+
+void
 System::run(Cycle cycles)
 {
     // Lazily build cores on first run so all traces are attached.
@@ -276,6 +307,17 @@ System::run(Cycle cycles)
     }
 
     const Cycle end = now_ + cycles;
+    if (cfg_.referenceLoop)
+        runReference(end);
+    else
+        runEventDriven(end);
+}
+
+void
+System::runReference(Cycle end)
+{
+    // Tick-per-cycle reference: every component, every cycle.  The
+    // event-driven loop below must be byte-identical to this one.
     const Cycle busClock = timing_.busClock;
     while (now_ < end) {
         for (auto &core : cores_)
@@ -288,7 +330,56 @@ System::run(Cycle cycles)
             onEpochBoundary();
             nextEpochAt_ += epochLen_;
         }
+        drainPinWritebacks();
         ++now_;
+    }
+}
+
+void
+System::runEventDriven(Cycle end)
+{
+    // Event-driven skip-ahead.  Each visited cycle replays exactly
+    // what the reference loop would do at that cycle; the loop then
+    // jumps now_ to the earliest cycle at which any component's tick
+    // is not provably a no-op (cores report wake cycles, the
+    // controller and mitigation report their next deadlines on the
+    // bus-clock lattice, and epoch boundaries are always visited).
+    // Skipping is only ever an optimization: visiting a cycle where
+    // every tick is a no-op cannot change state, so correctness
+    // reduces to never jumping past a non-no-op cycle.
+    const Cycle busClock = timing_.busClock;
+    while (now_ < end) {
+        for (auto &core : cores_) {
+            if (core->nextEventAt() <= now_)
+                core->tick(now_);
+        }
+        if (now_ % busClock == 0) {
+            ctrl_->tick(now_);
+            mitigation_->tick(now_);
+        }
+        if (now_ >= nextEpochAt_) {
+            onEpochBoundary();
+            nextEpochAt_ += epochLen_;
+        }
+        drainPinWritebacks();
+
+        Cycle next = std::min(end, nextEpochAt_);
+        for (const auto &core : cores_) {
+            const Cycle wake = core->nextEventAt();
+            if (wake != kNoCycle)
+                next = std::min(next, wake);
+        }
+        const Cycle mem = std::min(ctrl_->nextEventAt(now_),
+                                   mitigation_->nextEventAt(now_));
+        if (mem != kNoCycle) {
+            // These only tick on bus edges; round up to the lattice.
+            const Cycle onBus =
+                ((mem + busClock - 1) / busClock) * busClock;
+            next = std::min(next, onBus);
+        }
+        if (!pendingPinWritebacks_.empty())
+            next = std::min(next, now_ + 1);
+        now_ = std::max(now_ + 1, next);
     }
 }
 

@@ -88,6 +88,14 @@ struct SystemConfig
     Cycle llcHitLatency = 40;
     std::uint32_t pinCapacity = 66;
 
+    /**
+     * Use the tick-per-cycle reference loop instead of the
+     * event-driven skip-ahead loop.  Results are identical by
+     * construction (the equivalence tests lock this down); the
+     * reference exists for A/B verification and the perf harness.
+     */
+    bool referenceLoop = false;
+
     std::uint64_t seed = 0xD00DULL;
 
     /** Effective epoch length in cycles. */
@@ -144,6 +152,9 @@ class System : public CoreMemoryInterface
   private:
     void onEpochBoundary();
     void onReadDone(const MemRequest &req);
+    void runReference(Cycle end);
+    void runEventDriven(Cycle end);
+    void drainPinWritebacks();
 
     SystemConfig cfg_;
     Cycle epochLen_;
@@ -159,6 +170,14 @@ class System : public CoreMemoryInterface
     /** outstanding read id -> (core, token) */
     std::unordered_map<std::uint64_t,
                        std::pair<CoreId, std::uint64_t>> outstanding_;
+
+    /**
+     * Dirty lines displaced by Scale-SRS row pinning.  The pin hook
+     * fires inside the controller's own queue iteration, where
+     * enqueuing could reallocate the vector being walked; evictions
+     * are parked here and posted once per simulated cycle instead.
+     */
+    std::vector<Addr> pendingPinWritebacks_;
 
     Cycle now_ = 0;
     Cycle nextEpochAt_;

@@ -236,5 +236,31 @@ TEST(Llc, RejectsOversizedPinCapacity)
     EXPECT_THROW(Llc(cfg, 8192, 66), FatalError);
 }
 
+TEST(Llc, PinSurfacesDisplacedDirtyForeignLines)
+{
+    // Regression: reserving a pinned row's set range displaces
+    // whatever lives there.  Dirty lines of *other* rows exist
+    // nowhere else — pinRow must hand them to the caller for
+    // writeback rather than discard them with the reservation.
+    CacheConfig cfg;
+    Llc llc(cfg, 8192, 66);
+    // A dirty line of a foreign row that maps into set 0, inside
+    // row 0's reserved range: addr = lineBytes * numSets.
+    const Addr foreign =
+        static_cast<Addr>(cfg.lineBytes) * cfg.numSets();
+    llc.access(foreign, true);
+    // A clean foreign line in the same range must NOT be surfaced.
+    const Addr cleanForeign = 2 * foreign;
+    llc.access(cleanForeign, false);
+    // Row 0's own line: absorbed by the pinned copy, not surfaced.
+    llc.access(64, true);
+
+    std::vector<Addr> evicted;
+    ASSERT_TRUE(llc.pinRow(0, &evicted));
+    ASSERT_EQ(evicted.size(), 1u);
+    EXPECT_EQ(evicted[0], foreign);
+    EXPECT_EQ(llc.stats().get("pin_evictions"), 1u);
+}
+
 } // namespace
 } // namespace srs

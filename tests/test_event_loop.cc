@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Event-driven loop equivalence: the skip-ahead System::run must be
+ * indistinguishable from the tick-per-cycle reference loop.  Skipping
+ * a cycle is only legal when ticking every component there is
+ * provably a no-op, so every observable — IPC per core, mitigation
+ * activity, Row Hammer ground truth, sweep CSV bytes — must match
+ * exactly, not approximately.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/sweep.hh"
+
+namespace srs
+{
+namespace
+{
+
+ExperimentConfig
+smallExperiment(bool referenceLoop)
+{
+    ExperimentConfig exp;
+    exp.cycles = 120'000;
+    exp.epochLen = 50'000;
+    exp.referenceLoop = referenceLoop;
+    return exp;
+}
+
+RunResult
+runCell(const char *workload, MitigationKind kind, TrackerKind tracker,
+        bool referenceLoop)
+{
+    const ExperimentConfig exp = smallExperiment(referenceLoop);
+    const SystemConfig cfg =
+        makeSystemConfig(exp, kind, 1200, 6, tracker);
+    return runWorkload(cfg, profileByName(workload), exp);
+}
+
+void
+expectIdentical(const RunResult &ref, const RunResult &ev,
+                const std::string &label)
+{
+    // Exact double equality is intentional: both loops execute the
+    // same component code at the same simulated cycles, so there is
+    // no rounding to forgive.
+    EXPECT_EQ(ref.aggregateIpc, ev.aggregateIpc) << label;
+    ASSERT_EQ(ref.coreIpc.size(), ev.coreIpc.size()) << label;
+    for (std::size_t i = 0; i < ref.coreIpc.size(); ++i)
+        EXPECT_EQ(ref.coreIpc[i], ev.coreIpc[i]) << label << " core " << i;
+    EXPECT_EQ(ref.swaps, ev.swaps) << label;
+    EXPECT_EQ(ref.unswapSwaps, ev.unswapSwaps) << label;
+    EXPECT_EQ(ref.placeBacks, ev.placeBacks) << label;
+    EXPECT_EQ(ref.latentActivations, ev.latentActivations) << label;
+    EXPECT_EQ(ref.maxRowActivations, ev.maxRowActivations) << label;
+    EXPECT_EQ(ref.rowsPinned, ev.rowsPinned) << label;
+}
+
+TEST(EventLoop, MatchesReferenceAcrossMitigations)
+{
+    const char *workloads[] = {"gups", "gcc"};
+    const MitigationKind kinds[] = {
+        MitigationKind::None,
+        MitigationKind::Srs,
+        MitigationKind::ScaleSrs,
+        MitigationKind::BlockHammer,
+    };
+    for (const char *wl : workloads) {
+        for (const MitigationKind kind : kinds) {
+            const std::string label =
+                std::string(wl) + "/" + mitigationKindName(kind);
+            const RunResult ref =
+                runCell(wl, kind, TrackerKind::MisraGries, true);
+            const RunResult ev =
+                runCell(wl, kind, TrackerKind::MisraGries, false);
+            expectIdentical(ref, ev, label);
+        }
+    }
+}
+
+TEST(EventLoop, MatchesReferenceWithHydraTracker)
+{
+    const RunResult ref =
+        runCell("gups", MitigationKind::Srs, TrackerKind::Hydra, true);
+    const RunResult ev =
+        runCell("gups", MitigationKind::Srs, TrackerKind::Hydra, false);
+    expectIdentical(ref, ev, "gups/srs/hydra");
+}
+
+TEST(EventLoop, SweepCsvBytesMatchReferenceAtAnyThreadCount)
+{
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gups"),
+                      WorkloadSpec::synthetic("gcc")};
+    grid.mitigations = {MitigationKind::Srs, MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+
+    ExperimentConfig exp;
+    exp.cycles = 60'000;
+    exp.epochLen = 25'000;
+
+    std::string csv[2][2];   // [referenceLoop][threads index]
+    for (int refLoop = 0; refLoop < 2; ++refLoop) {
+        exp.referenceLoop = refLoop == 1;
+        const std::size_t threadCounts[] = {1, 8};
+        for (int t = 0; t < 2; ++t) {
+            SweepRunner runner(exp, threadCounts[t]);
+            const std::vector<SweepResult> results = runner.run(grid);
+            std::ostringstream os;
+            SweepRunner::writeCsv(os, results);
+            csv[refLoop][t] = os.str();
+        }
+    }
+    EXPECT_EQ(csv[0][0], csv[0][1]);   // event: threads don't matter
+    EXPECT_EQ(csv[1][0], csv[1][1]);   // reference: threads don't matter
+    EXPECT_EQ(csv[0][0], csv[1][0]);   // loops emit identical bytes
+}
+
+} // namespace
+} // namespace srs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.hh"
 #include "common/logging.hh"
 #include "memctrl/controller.hh"
@@ -386,6 +388,47 @@ TEST(ControllerThrottle, RowHitsBypassThrottle)
         now += timing.busClock;
     }
     EXPECT_EQ(done, 2u);
+}
+
+TEST(ForwardingReject, ForwardEligibleReadAcceptedWhenReadQueueFull)
+{
+    // Regression: canAccept() used to check read-queue capacity
+    // before forwarding eligibility, so a read that would have been
+    // served straight from a queued write was rejected — and the
+    // issuing core stalled — whenever the read queue was full.
+    const DramOrg org;
+    const DramTiming timing = DramTiming::fromNs(DramTimingNs{});
+    MemCtrlConfig cfg;
+    cfg.readQueueDepth = 2;
+    MemoryController ctrl(org, timing, cfg);
+    const AddressMap &map = ctrl.addressMap();
+
+    std::vector<Addr> done;
+    ctrl.setReadCallback([&done](const MemRequest &req) {
+        done.push_back(req.addr);
+    });
+
+    const Addr written = map.rowBaseAddr(0, 0, 0, 50);
+    ctrl.enqueue(written, true, 0, 0);
+    for (RowId row = 60; row < 62; ++row)
+        ctrl.enqueue(map.rowBaseAddr(0, 0, 0, row), false, 0, 0);
+
+    // The queue is full: an unrelated read is rejected...
+    EXPECT_FALSE(ctrl.canAccept(map.rowBaseAddr(0, 0, 0, 70), false));
+    // ...but a read of the queued write's line is forward-eligible
+    // and must be accepted regardless of capacity.
+    EXPECT_TRUE(ctrl.canAccept(written, false));
+    const std::uint64_t id = ctrl.enqueue(written, false, 0, 0);
+    EXPECT_NE(id, std::numeric_limits<std::uint64_t>::max());
+
+    Cycle now = 0;
+    while (done.empty() && now < 10'000) {
+        ctrl.tick(now);
+        now += timing.busClock;
+    }
+    ASSERT_FALSE(done.empty());
+    EXPECT_EQ(done[0], written);
+    EXPECT_EQ(ctrl.stats().get("reads_forwarded"), 1u);
 }
 
 } // namespace
