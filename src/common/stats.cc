@@ -73,6 +73,66 @@ Histogram::maxKey() const
     return buckets_.empty() ? 0 : buckets_.rbegin()->first;
 }
 
+void
+LatencyHistogram::add(std::uint64_t value, std::uint64_t weight)
+{
+    counts_[bucketOf(value)] += weight;
+    total_ += weight;
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (std::uint32_t b = 0; b < kBucketCount; ++b)
+        counts_[b] += other.counts_[b];
+    total_ += other.total_;
+}
+
+std::uint32_t
+LatencyHistogram::bucketOf(std::uint64_t value)
+{
+    if (value < 16)
+        return static_cast<std::uint32_t>(value);
+    std::uint32_t octave = 63;
+    while ((value >> octave) == 0)
+        --octave;
+    const std::uint32_t sub = static_cast<std::uint32_t>(
+        (value >> (octave - kSubBits)) - (1u << kSubBits));
+    return 16 + (octave - 4) * (1u << kSubBits) + sub;
+}
+
+std::uint64_t
+LatencyHistogram::bucketUpperBound(std::uint32_t bucket)
+{
+    if (bucket < 16)
+        return bucket;
+    const std::uint32_t rel = bucket - 16;
+    const std::uint32_t octave = 4 + rel / (1u << kSubBits);
+    const std::uint64_t sub = rel % (1u << kSubBits);
+    // The (1 << kSubBits) + sub + 1 mantissa shifted into place; the
+    // top bucket wraps to exactly UINT64_MAX, its true upper bound.
+    return (((1u << kSubBits) + sub + 1) << (octave - kSubBits)) - 1;
+}
+
+std::uint64_t
+LatencyHistogram::quantilePermille(std::uint32_t permille) const
+{
+    if (total_ == 0)
+        return 0;
+    // ceil(total * permille / 1000) without 128-bit intermediates.
+    const std::uint64_t whole = total_ / 1000;
+    const std::uint64_t rem = total_ % 1000;
+    const std::uint64_t rank =
+        whole * permille + (rem * permille + 999) / 1000;
+    std::uint64_t cumulative = 0;
+    for (std::uint32_t b = 0; b < kBucketCount; ++b) {
+        cumulative += counts_[b];
+        if (cumulative >= rank)
+            return bucketUpperBound(b);
+    }
+    return bucketUpperBound(kBucketCount - 1);
+}
+
 StatSet::Handle
 StatSet::handle(const std::string &name)
 {

@@ -188,6 +188,7 @@ MemoryController::tick(Cycle now)
         pendingReads_.pop();
         stats_.inc(h_.readsCompleted);
         stats_.inc(h_.readLatencyCycles, req.completion - req.arrival);
+        readLatency_.add(req.completion - req.arrival);
         if (onReadDone_)
             onReadDone_(req);
     }

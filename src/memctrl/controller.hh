@@ -146,6 +146,14 @@ class MemoryController
     const StatSet &stats() const { return stats_; }
     StatSet &stats() { return stats_; }
 
+    /**
+     * Read-latency histogram, one sample per completed demand read
+     * (arrival to data return, in CPU cycles; write-queue-forwarded
+     * reads land here too, at latency 1).  Identical between the
+     * event-driven and reference loops by construction.
+     */
+    const LatencyHistogram &readLatency() const { return readLatency_; }
+
     /** @return true when all queues and banks are idle. */
     bool idle(Cycle now) const;
 
@@ -258,6 +266,7 @@ class MemoryController
     ReadCallback onReadDone_;
     std::uint64_t nextReqId_ = 1;
     StatSet stats_;
+    LatencyHistogram readLatency_;
 
     /** Interned counter handles for the per-command hot paths. */
     struct StatHandles

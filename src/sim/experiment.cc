@@ -46,6 +46,10 @@ collect(System &sys)
     r.latentActivations =
         sys.controller().stats().get("latent_activations");
     r.maxRowActivations = sys.maxEpochActivations();
+    r.readLatency = sys.controller().readLatency();
+    r.p50Lat = r.readLatency.quantilePermille(500);
+    r.p99Lat = r.readLatency.quantilePermille(990);
+    r.p999Lat = r.readLatency.quantilePermille(999);
     return r;
 }
 
@@ -82,6 +86,21 @@ runWorkloadTrace(const SystemConfig &sysCfg,
             perCore.size() == 1 ? perCore[0] : perCore[c];
         sys.setTrace(c, std::make_unique<FileTrace>(records,
                                                     /*loop=*/true));
+    }
+    sys.run(exp.warmup + exp.cycles);
+    return collect(sys);
+}
+
+RunResult
+runWorkloadGenerator(const SystemConfig &sysCfg,
+                     const GeneratorSpec &gen,
+                     const ExperimentConfig &exp)
+{
+    System sys(sysCfg);
+    for (CoreId c = 0; c < sysCfg.numCores; ++c) {
+        sys.setTrace(c, std::make_unique<GeneratorTrace>(
+                            gen, sys.controller().addressMap(), c,
+                            exp.seed));
     }
     sys.run(exp.warmup + exp.cycles);
     return collect(sys);

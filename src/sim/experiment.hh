@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hh"
 #include "sim/system.hh"
 #include "sim/workload_spec.hh"
+#include "trace/generators.hh"
 #include "trace/profiles.hh"
 #include "trace/trace_file.hh"
 
@@ -45,6 +47,18 @@ struct RunResult
     std::uint64_t maxRowActivations = 0;
     /** Rows parked in the LLC pin buffer (Scale-SRS outliers). */
     std::uint64_t rowsPinned = 0;
+    /**
+     * Read-latency histogram (one sample per completed demand read,
+     * in CPU cycles) — the source of the percentile columns, kept so
+     * equivalence tests can compare whole distributions.  Rows parsed
+     * back from a resume file carry only the percentiles below.
+     */
+    LatencyHistogram readLatency;
+    /** p50/p99/p999 read latency (cycles; histogram bucket upper
+     *  bounds — the CSV schema v4 tail-latency columns). */
+    std::uint64_t p50Lat = 0;
+    std::uint64_t p99Lat = 0;
+    std::uint64_t p999Lat = 0;
 };
 
 /** Knobs of the experiment harness. */
@@ -132,6 +146,20 @@ RunResult runWorkloadMix(const SystemConfig &sysCfg,
 RunResult runWorkloadTrace(const SystemConfig &sysCfg,
                            const std::vector<SharedTraceRecords> &perCore,
                            const ExperimentConfig &exp);
+
+/**
+ * Run a generator-backed workload (Zipf / hotspot / blend — see
+ * trace/generators.hh): every core drives one GeneratorTrace of the
+ * same spec, decorrelated per core exactly like SyntheticTrace.
+ *
+ * @param sysCfg system under test
+ * @param gen    generator identity (parsed from its spelling)
+ * @param exp    cycle budget, warmup and trace seed
+ * @return aggregate statistics of the run
+ */
+RunResult runWorkloadGenerator(const SystemConfig &sysCfg,
+                               const GeneratorSpec &gen,
+                               const ExperimentConfig &exp);
 
 /**
  * Normalized performance of @p kind vs. the unprotected baseline for

@@ -32,7 +32,7 @@ namespace srs
 namespace
 {
 
-constexpr std::uint64_t kManifestVersion = 3;
+constexpr std::uint64_t kManifestVersion = 4;
 
 std::string
 shardKey(std::size_t index, const char *field)
@@ -75,7 +75,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             && lines.front().rfind("index,workload,", 0) == 0) {
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v1 header (no workload_spec/axes "
-                   "columns); this build merges schema v3 only — "
+                   "columns); this build merges schema v4 only — "
                    "re-run the shard (docs/sweep-format.md)";
         }
         if (!lines.empty()
@@ -84,11 +84,19 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v2 header (`policy` identity column, no "
                    "DRAM preset/timing axes); this build merges "
-                   "schema v3 only — re-run the shard "
+                   "schema v4 only — re-run the shard "
                    "(docs/sweep-format.md)";
         }
+        if (!lines.empty()
+            && lines.front().rfind("index,workload_spec,", 0) == 0
+            && lines.front().find(",p50_lat") == std::string::npos) {
+            return "shard CSV '" + path + "' carries the sweep CSV "
+                   "schema v3 header (no p50_lat/p99_lat/p999_lat "
+                   "tail-latency columns); this build merges schema "
+                   "v4 only — re-run the shard (docs/sweep-format.md)";
+        }
         return "shard CSV '" + path + "' does not start with this "
-               "build's schema v3 sweep CSV header";
+               "build's schema v4 sweep CSV header";
     }
     if (lines.size() - 1 != shard.cells) {
         return "shard CSV '" + path + "' has "
@@ -294,6 +302,15 @@ loadManifest(const std::string &path)
               "preset or tRCD/tRP/tREFI/tRFC axes); this build reads "
               "manifest version ", kManifestVersion, " only — "
               "re-plan the orchestration with 'srs_sim orchestrate' "
+              "(docs/sweep-format.md)");
+    }
+    if (version == 3) {
+        fatal("manifest '", path, "': schema version 3 (its shards "
+              "emit schema-v3 CSVs without the p50_lat/p99_lat/"
+              "p999_lat tail-latency columns, and predate generator "
+              "workload spellings); this build reads manifest "
+              "version ", kManifestVersion, " only — re-plan the "
+              "orchestration with 'srs_sim orchestrate' "
               "(docs/sweep-format.md)");
     }
     if (version != kManifestVersion) {

@@ -187,7 +187,8 @@ SweepRunner::csvHeader()
 {
     return "index,workload_spec,mitigation,tracker,trh,rate,axes,"
            "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
-           "place_backs,rows_pinned,max_row_acts";
+           "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
+           "p999_lat";
 }
 
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
@@ -232,26 +233,34 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         // An interrupted writer can leave a torn final line — every
         // complete row ends with '\n', so a line that ran into EOF
         // instead may be cut anywhere (even mid-digit of the last
-        // field, where it still splits into 16 plausible fields).
+        // field, where it still splits into 19 plausible fields).
         // Never trust it; the cell is simply recomputed.
         if (in.eof())
             continue;
         if (line.empty() || line == csvHeader())
             continue;
         if (line.rfind("index,workload_spec", 0) == 0) {
-            // A byte-exact v3 header matched above.  A v2 header is
-            // recognized by its `policy` identity column; anything
-            // else here is a header-like line this build cannot
-            // trust (foreign schema, stray \r, edited file).
+            // A byte-exact v4 header matched above.  A v2 header is
+            // recognized by its `policy` identity column, a v3
+            // header by the missing latency-percentile columns;
+            // anything else here is a header-like line this build
+            // cannot trust (foreign schema, stray \r, edited file).
             if (line.find(",policy,") != std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v2 header (`policy` identity "
                       "column, no DRAM preset/timing axes); this "
-                      "build reads schema v3 only — re-run the sweep "
+                      "build reads schema v4 only — re-run the sweep "
                       "(docs/sweep-format.md)");
             }
+            if (line.find(",p50_lat") == std::string::npos) {
+                fatal("resume file '", resumePath_, "' carries the "
+                      "sweep CSV schema v3 header (no "
+                      "p50_lat/p99_lat/p999_lat tail-latency "
+                      "columns); this build reads schema v4 only — "
+                      "re-run the sweep (docs/sweep-format.md)");
+            }
             fatal("resume file '", resumePath_, "' has a header line "
-                  "that does not byte-match this build's schema v3 "
+                  "that does not byte-match this build's schema v4 "
                   "header (foreign schema version, or the file was "
                   "edited — check for trailing whitespace or \\r "
                   "line endings):\n  got:      ", line,
@@ -260,19 +269,27 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         if (line.rfind("index,workload", 0) == 0) {
             fatal("resume file '", resumePath_, "' carries the sweep "
                   "CSV schema v1 header (no workload_spec/axes "
-                  "columns); this build reads schema v3 only — "
+                  "columns); this build reads schema v4 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         const std::vector<std::string> fields = splitFields(line);
         // A complete v1 row has 15 fields with the 0x-seed in column
-        // 7 (v2 keeps a policy name there); recognize it so stale
-        // checkpoints fail with a versioned message, not a silent
-        // recompute or a cryptic prefix mismatch.
-        if (fields.size() == kRowColumns - 1
+        // 7 (v2/v3 keep it in column 8 of a 16-field row); recognize
+        // both so stale checkpoints fail with a versioned message,
+        // not a silent recompute or a cryptic prefix mismatch.
+        if (fields.size() == 15
             && fields.size() > 6 && fields[6].rfind("0x", 0) == 0) {
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v1 row (15 columns, seed "
-                  "in column 7); this build reads schema v3 only — "
+                  "in column 7); this build reads schema v4 only — "
+                  "re-run the sweep (docs/sweep-format.md)");
+        }
+        if (fields.size() == 16
+            && fields.size() > 7 && fields[7].rfind("0x", 0) == 0) {
+            fatal("resume file '", resumePath_, "': row '", fields[0],
+                  "' is a sweep CSV schema v2 or v3 row (16 columns, "
+                  "no p50_lat/p99_lat/p999_lat tail-latency "
+                  "columns); this build reads schema v4 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() != kRowColumns || fields.back().empty())
@@ -312,6 +329,10 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             std::strtoull(fields[14].c_str(), nullptr, 10);
         r.run.maxRowActivations =
             std::strtoull(fields[15].c_str(), nullptr, 10);
+        r.run.p50Lat = std::strtoull(fields[16].c_str(), nullptr, 10);
+        r.run.p99Lat = std::strtoull(fields[17].c_str(), nullptr, 10);
+        r.run.p999Lat =
+            std::strtoull(fields[18].c_str(), nullptr, 10);
         r.resumedRow = line;
         done[i] = 1;
     }
@@ -385,6 +406,11 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
                 w.traces.push_back(cached->second);
             }
             break;
+          case WorkloadKind::Generator:
+            // Nothing to preload; the spec itself drives the trace.
+            // Geometry bounds are checked at GeneratorTrace
+            // construction, against the cell's actual machine.
+            break;
         }
         keyOf[ci] = workloads.size();
         workloadIndex.emplace(label, workloads.size());
@@ -434,6 +460,8 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
             return runWorkloadMix(cfg, w.perCore, exp);
           case WorkloadKind::TraceFile:
             return runWorkloadTrace(cfg, w.traces, exp);
+          case WorkloadKind::Generator:
+            return runWorkloadGenerator(cfg, w.spec.generator, exp);
         }
         fatal("unreachable workload kind");
     };
@@ -570,13 +598,16 @@ SweepRunner::formatRow(std::size_t index, const SweepResult &r)
     char payload[256];
     std::snprintf(
         payload, sizeof(payload),
-        "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu",
+        "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
         r.run.aggregateIpc, r.baselineIpc, r.normalized,
         static_cast<unsigned long long>(r.run.swaps),
         static_cast<unsigned long long>(r.run.unswapSwaps),
         static_cast<unsigned long long>(r.run.placeBacks),
         static_cast<unsigned long long>(r.run.rowsPinned),
-        static_cast<unsigned long long>(r.run.maxRowActivations));
+        static_cast<unsigned long long>(r.run.maxRowActivations),
+        static_cast<unsigned long long>(r.run.p50Lat),
+        static_cast<unsigned long long>(r.run.p99Lat),
+        static_cast<unsigned long long>(r.run.p999Lat));
     return identityPrefix(index, r.cell, r.seed) + payload;
 }
 

@@ -19,9 +19,11 @@
  *    threads=N;
  *  - a cell's WorkloadSpec selects what drives the cores: a
  *    synthetic rate-mode profile, a per-core MIX profile list
- *    (runWorkloadMix), or recorded USIMM trace file(s)
+ *    (runWorkloadMix), recorded USIMM trace file(s)
  *    (runWorkloadTrace) — each distinct trace file is parsed once
- *    and shared across every cell and core that replays it;
+ *    and shared across every cell and core that replays it — or a
+ *    generator-backed Zipf/hotspot/blend spec
+ *    (runWorkloadGenerator);
  *  - a cell's SystemAxes select which machine variant it runs on
  *    (page policy, DRAM timing overrides), applied to the protected
  *    run and its baseline alike;
@@ -30,7 +32,8 @@
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
  *    uninterrupted run (docs/sweep-format.md has the file formats,
- *    schema v3).
+ *    schema v4 — the `p50_lat,p99_lat,p999_lat` tail-latency
+ *    columns landed with the generator workloads).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -172,9 +175,10 @@ class SweepRunner
      * CSV (possibly truncated mid-file) or a journal — and skip
      * re-simulating those cells.  Rows are validated against the
      * grid (workload spec, mitigation, tracker, trh, rate, axes,
-     * seed); a mismatch is fatal(), and a schema-v1 or schema-v2
-     * file (15-column rows, or a header naming the v2 `policy`
-     * column) is rejected with a versioned error.  Incomplete
+     * seed); a mismatch is fatal(), and a schema-v1, -v2 or -v3
+     * file (15-column rows, a header naming the v2 `policy` column,
+     * or 16-column rows/headers without the v4 latency-percentile
+     * columns) is rejected with a versioned error.  Incomplete
      * trailing lines are ignored and recomputed.  An empty path
      * disables resuming.
      */
@@ -230,8 +234,8 @@ class SweepRunner
     /** The CSV header line writeCsv() emits (no trailing newline). */
     static const char *csvHeader();
 
-    /** Total fields of one schema-v3 CSV data row. */
-    static constexpr std::size_t kRowColumns = 16;
+    /** Total fields of one schema-v4 CSV data row. */
+    static constexpr std::size_t kRowColumns = 19;
 
   private:
     void loadResume(const std::vector<SweepCell> &cells,

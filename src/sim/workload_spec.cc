@@ -108,8 +108,20 @@ WorkloadSpec::traceFiles(std::vector<std::string> paths)
 }
 
 WorkloadSpec
+WorkloadSpec::generatorSpec(const GeneratorSpec &gen)
+{
+    WorkloadSpec spec;
+    spec.kind = WorkloadKind::Generator;
+    spec.generator = gen;
+    spec.name = gen.label();
+    return spec;
+}
+
+WorkloadSpec
 WorkloadSpec::parse(const std::string &spelling, std::uint32_t cores)
 {
+    if (GeneratorSpec::matchesPrefix(spelling))
+        return generatorSpec(GeneratorSpec::parse(spelling));
     if (spelling.rfind(kTracePrefix, 0) != 0)
         return synthetic(spelling);
     std::vector<std::string> paths =

@@ -4,10 +4,11 @@
  * the orchestrator, and the CLI:
  *
  *  - WorkloadSpec names *what* a sweep cell runs — a synthetic
- *    rate-mode profile, a per-core MIX profile list, or recorded
- *    USIMM trace file(s) — behind one canonical label that keys the
- *    cell's trace seed and baseline exactly as the plain workload
- *    name used to;
+ *    rate-mode profile, a per-core MIX profile list, recorded USIMM
+ *    trace file(s), or a generator-backed spec (Zipf / hotspot /
+ *    blend-with-attack, trace/generators.hh) — behind one canonical
+ *    label that keys the cell's trace seed and baseline exactly as
+ *    the plain workload name used to;
  *  - SystemAxes names *which machine variant* it runs on — the
  *    page-management policy, a DRAM-generation timing preset
  *    (ddr4/ddr5), and per-knob nanosecond timing overrides (tRC,
@@ -18,7 +19,7 @@
  * verbatim in the sweep CSV identity columns (`workload_spec`,
  * `axes`) and in the shard manifest, so resume validation and the
  * shard merge can compare identities byte for byte
- * (docs/sweep-format.md specs the formats, schema v3).
+ * (docs/sweep-format.md specs the formats, schema v4).
  */
 
 #ifndef SRS_SIM_WORKLOAD_SPEC_HH
@@ -30,6 +31,7 @@
 
 #include "dram/command.hh"
 #include "dram/params.hh"
+#include "trace/generators.hh"
 
 namespace srs
 {
@@ -45,6 +47,8 @@ enum class WorkloadKind
     Mix,
     /** Recorded USIMM trace file(s), looped in rate mode. */
     TraceFile,
+    /** Generator-backed spec (Zipf / hotspot / blend-with-attack). */
+    Generator,
 };
 
 /**
@@ -59,7 +63,10 @@ enum class WorkloadKind
  *               a pure function of the MIX index, so the label alone
  *               reproduces the spec;
  *  - TraceFile: `trace:<path>` (every core replays the file) or
- *               `trace:<p0>;<p1>;…` (one path per core).
+ *               `trace:<p0>;<p1>;…` (one path per core);
+ *  - Generator: the generator's canonical spelling
+ *               (`zipf:4096@s=0.99`, `hotspot:…`, `blend:…+attack@…`
+ *               — trace/generators.hh has the grammar).
  *
  * Two cells with the same label must carry the same spec; the sweep
  * runner rejects a label reused with different contents.
@@ -73,6 +80,8 @@ struct WorkloadSpec
     std::vector<std::string> mixProfiles;
     /** Trace file path(s): one for all cores, or one per core. */
     std::vector<std::string> tracePaths;
+    /** Generator identity (Generator only). */
+    GeneratorSpec generator;
 
     bool operator==(const WorkloadSpec &) const = default;
 
@@ -98,13 +107,20 @@ struct WorkloadSpec
      */
     static WorkloadSpec traceFiles(std::vector<std::string> paths);
 
+    /** Generator-backed spec; the label is @p gen's canonical
+     *  spelling (GeneratorSpec::label). */
+    static WorkloadSpec generatorSpec(const GeneratorSpec &gen);
+
     /**
      * Parse one spelling (a `--workloads` item, a manifest
      * `workloads=` item, or a CSV `workload_spec` field):
      * `trace:<path>[;<path>…]` yields a TraceFile spec (fatal()
-     * unless the list has exactly one or @p cores entries); anything
-     * else is a Synthetic profile name, validated later against the
-     * profile table by the sweep runner.
+     * unless the list has exactly one or @p cores entries);
+     * `zipf:…`, `hotspot:…` and `blend:…` yield a Generator spec
+     * (GeneratorSpec::parse, fatal() listing the generator grammar
+     * on malformed input); anything else is a Synthetic profile
+     * name, validated later against the profile table by the sweep
+     * runner.
      */
     static WorkloadSpec parse(const std::string &spelling,
                               std::uint32_t cores);

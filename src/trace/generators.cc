@@ -1,0 +1,380 @@
+#include "trace/generators.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+constexpr const char *kZipfPrefix = "zipf:";
+constexpr const char *kHotspotPrefix = "hotspot:";
+constexpr const char *kBlendPrefix = "blend:";
+constexpr const char *kAttackMarker = "+attack@";
+
+constexpr std::uint32_t kMaxRows = 65536;
+constexpr std::uint32_t kMaxSkewMilli = 8000;
+constexpr std::uint64_t kMaxShift = 1'000'000'000;
+
+/**
+ * Victim-stream intensity knobs.  Not part of the grammar on
+ * purpose: the generator families parameterize *where* accesses
+ * land; how fast a tenant issues them is fixed at a memory-intensive
+ * setting so labels stay short and one spelling means one stream.
+ */
+constexpr double kVictimAvgGap = 8.0;
+constexpr double kVictimWriteFrac = 0.2;
+
+constexpr const char *kGeneratorGrammar =
+    "zipf:<rows>@s=<skew> | "
+    "hotspot:<rows>@hot=<frac>@p=<prob>[@shift=<cycles>] | "
+    "blend:<zipf-or-hotspot-spec>+attack@<rate>, with rows in "
+    "1..65536, skew in 0..8, frac and rate in 0.001..0.999, prob in "
+    "0.001..1, shift in 1..1000000000, and decimals carrying at most "
+    "3 fractional digits";
+
+bool
+allDigits(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    for (const char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            return false;
+    }
+    return true;
+}
+
+/** Parse a plain decimal integer knob in [lo, hi]. */
+std::uint64_t
+parseUint(const std::string &spelling, const char *what,
+          const std::string &text, std::uint64_t lo, std::uint64_t hi)
+{
+    if (!allDigits(text) || text.size() > 12) {
+        fatal("workload generator '", spelling, "': '", text,
+              "' is not a valid ", what, " (want ", kGeneratorGrammar,
+              ")");
+    }
+    const std::uint64_t value = std::strtoull(text.c_str(), nullptr, 10);
+    if (value < lo || value > hi) {
+        fatal("workload generator '", spelling, "': ", what, " ", text,
+              " is out of range (want ", kGeneratorGrammar, ")");
+    }
+    return value;
+}
+
+/**
+ * Parse a decimal fraction with at most 3 fractional digits into
+ * exact milli-units ("0.99" -> 990, "1" -> 1000), range-checked
+ * against [lo, hi] milli.
+ */
+std::uint32_t
+parseMilli(const std::string &spelling, const char *what,
+           const std::string &text, std::uint32_t lo, std::uint32_t hi)
+{
+    const auto dot = text.find('.');
+    const std::string whole = text.substr(0, dot);
+    std::string frac =
+        dot == std::string::npos ? std::string() : text.substr(dot + 1);
+    if (!allDigits(whole) || whole.size() > 6
+        || (dot != std::string::npos
+            && (!allDigits(frac) || frac.size() > 3))) {
+        fatal("workload generator '", spelling, "': '", text,
+              "' is not a valid ", what, " (want ", kGeneratorGrammar,
+              ")");
+    }
+    while (frac.size() < 3)
+        frac += '0';
+    const std::uint64_t milli =
+        std::strtoull(whole.c_str(), nullptr, 10) * 1000
+        + std::strtoull(frac.c_str(), nullptr, 10);
+    if (milli < lo || milli > hi) {
+        fatal("workload generator '", spelling, "': ", what, " ", text,
+              " is out of range (want ", kGeneratorGrammar, ")");
+    }
+    return static_cast<std::uint32_t>(milli);
+}
+
+/** Canonical milli-unit spelling: 990 -> "0.99", 1000 -> "1". */
+std::string
+milliToText(std::uint32_t milli)
+{
+    std::string text = std::to_string(milli / 1000);
+    const std::uint32_t frac = milli % 1000;
+    if (frac == 0)
+        return text;
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), ".%03u", frac);
+    std::string tail = buf;
+    while (tail.back() == '0')
+        tail.pop_back();
+    return text + tail;
+}
+
+/** Split "<a>@<b>@<c>" into its '@'-separated pieces (may be empty). */
+std::vector<std::string>
+splitAts(const std::string &text)
+{
+    std::vector<std::string> parts;
+    std::string::size_type start = 0;
+    for (;;) {
+        const auto at = text.find('@', start);
+        if (at == std::string::npos) {
+            parts.push_back(text.substr(start));
+            return parts;
+        }
+        parts.push_back(text.substr(start, at - start));
+        start = at + 1;
+    }
+}
+
+/** The part of @p part after "<key>", or fatal() naming the grammar. */
+std::string
+expectKey(const std::string &spelling, const std::string &part,
+          const char *key)
+{
+    if (part.rfind(key, 0) != 0) {
+        fatal("workload generator '", spelling, "': expected '", key,
+              "<value>' but found '", part, "' (want ",
+              kGeneratorGrammar, ")");
+    }
+    return part.substr(std::string(key).size());
+}
+
+GeneratorSpec
+parseZipf(const std::string &spelling, const std::string &body)
+{
+    const std::vector<std::string> parts = splitAts(body);
+    if (parts.size() != 2) {
+        fatal("workload generator '", spelling, "': a zipf spec has "
+              "exactly one @s=<skew> suffix (want ", kGeneratorGrammar,
+              ")");
+    }
+    GeneratorSpec spec;
+    spec.family = GeneratorFamily::Zipf;
+    spec.rows = static_cast<std::uint32_t>(
+        parseUint(spelling, "row count", parts[0], 1, kMaxRows));
+    spec.skewMilli = parseMilli(
+        spelling, "skew", expectKey(spelling, parts[1], "s="), 0,
+        kMaxSkewMilli);
+    return spec;
+}
+
+GeneratorSpec
+parseHotspot(const std::string &spelling, const std::string &body)
+{
+    const std::vector<std::string> parts = splitAts(body);
+    if (parts.size() != 3 && parts.size() != 4) {
+        fatal("workload generator '", spelling, "': a hotspot spec "
+              "has @hot=<frac>@p=<prob> and an optional "
+              "@shift=<cycles> (want ", kGeneratorGrammar, ")");
+    }
+    GeneratorSpec spec;
+    spec.family = GeneratorFamily::Hotspot;
+    spec.rows = static_cast<std::uint32_t>(
+        parseUint(spelling, "row count", parts[0], 1, kMaxRows));
+    spec.hotFracMilli = parseMilli(
+        spelling, "hot fraction", expectKey(spelling, parts[1], "hot="),
+        1, 999);
+    spec.hotProbMilli = parseMilli(
+        spelling, "hot probability", expectKey(spelling, parts[2], "p="),
+        1, 1000);
+    if (parts.size() == 4) {
+        spec.shiftCycles = parseUint(
+            spelling, "shift period",
+            expectKey(spelling, parts[3], "shift="), 1, kMaxShift);
+    }
+    return spec;
+}
+
+} // namespace
+
+std::string
+GeneratorSpec::label() const
+{
+    std::string victim;
+    switch (family) {
+      case GeneratorFamily::Zipf:
+        victim = kZipfPrefix + std::to_string(rows)
+                 + "@s=" + milliToText(skewMilli);
+        break;
+      case GeneratorFamily::Hotspot:
+        victim = kHotspotPrefix + std::to_string(rows)
+                 + "@hot=" + milliToText(hotFracMilli)
+                 + "@p=" + milliToText(hotProbMilli);
+        if (shiftCycles != 0)
+            victim += "@shift=" + std::to_string(shiftCycles);
+        break;
+    }
+    if (attackRateMilli == 0)
+        return victim;
+    return kBlendPrefix + victim + kAttackMarker
+           + milliToText(attackRateMilli);
+}
+
+bool
+GeneratorSpec::matchesPrefix(const std::string &spelling)
+{
+    return spelling.rfind(kZipfPrefix, 0) == 0
+           || spelling.rfind(kHotspotPrefix, 0) == 0
+           || spelling.rfind(kBlendPrefix, 0) == 0;
+}
+
+GeneratorSpec
+GeneratorSpec::parse(const std::string &spelling)
+{
+    if (spelling.rfind(kZipfPrefix, 0) == 0) {
+        return parseZipf(
+            spelling, spelling.substr(std::string(kZipfPrefix).size()));
+    }
+    if (spelling.rfind(kHotspotPrefix, 0) == 0) {
+        return parseHotspot(
+            spelling,
+            spelling.substr(std::string(kHotspotPrefix).size()));
+    }
+    if (spelling.rfind(kBlendPrefix, 0) != 0) {
+        fatal("workload generator '", spelling, "': unknown generator "
+              "family (want ", kGeneratorGrammar, ")");
+    }
+    const std::string rest =
+        spelling.substr(std::string(kBlendPrefix).size());
+    const auto marker = rest.find(kAttackMarker);
+    if (marker == std::string::npos) {
+        fatal("workload generator '", spelling, "': a blend spec "
+              "needs a '", kAttackMarker, "<rate>' attack stream "
+              "(want ", kGeneratorGrammar, ")");
+    }
+    const std::string victimText = rest.substr(0, marker);
+    if (victimText.rfind(kBlendPrefix, 0) == 0) {
+        fatal("workload generator '", spelling, "': a blend victim "
+              "must be a zipf or hotspot spec, not another blend "
+              "(want ", kGeneratorGrammar, ")");
+    }
+    GeneratorSpec spec = parse(victimText);
+    spec.attackRateMilli = parseMilli(
+        spelling, "attack rate",
+        rest.substr(marker + std::string(kAttackMarker).size()), 1,
+        999);
+    return spec;
+}
+
+GeneratorTrace::GeneratorTrace(const GeneratorSpec &spec,
+                               const AddressMap &map, CoreId core,
+                               std::uint64_t seed)
+    : spec_(spec), map_(map), core_(core),
+      rng_(seed ^ (0x9E3779B9ULL * (core + 1)))
+{
+    const DramOrg &org = map_.org();
+    const std::uint64_t totalRows =
+        static_cast<std::uint64_t>(org.channels) * org.ranksPerChannel
+        * org.banksPerRank * org.rowsPerBank;
+    if (spec_.rows == 0 || spec_.rows > totalRows) {
+        fatal("workload generator '", spec_.label(), "': ", spec_.rows,
+              " rows exceed the machine's ", totalRows, " mapped rows");
+    }
+    if (spec_.family == GeneratorFamily::Zipf) {
+        const double s =
+            static_cast<double>(spec_.skewMilli) / 1000.0;
+        double acc = 0.0;
+        zipfCdf_.reserve(spec_.rows);
+        for (std::uint32_t rank = 0; rank < spec_.rows; ++rank) {
+            acc += std::pow(static_cast<double>(rank + 1), -s);
+            zipfCdf_.push_back(acc);
+        }
+        for (double &v : zipfCdf_)
+            v /= acc;
+    }
+}
+
+Addr
+GeneratorTrace::addrOfRowIndex(std::uint64_t rowIndex,
+                               std::uint64_t line)
+{
+    const DramOrg &org = map_.org();
+    const std::uint32_t channel =
+        static_cast<std::uint32_t>(rowIndex % org.channels);
+    std::uint64_t rest = rowIndex / org.channels;
+    const std::uint32_t bank =
+        static_cast<std::uint32_t>(rest % org.banksPerRank);
+    rest /= org.banksPerRank;
+    const std::uint32_t rank =
+        static_cast<std::uint32_t>(rest % org.ranksPerChannel);
+    const RowId row = static_cast<RowId>(rest / org.ranksPerChannel);
+    const std::uint64_t col = line % org.linesPerRow();
+    return map_.rowBaseAddr(channel, rank, bank, row)
+           + static_cast<Addr>(col) * org.lineBytes;
+}
+
+std::uint64_t
+GeneratorTrace::hotSetStart() const
+{
+    const std::uint64_t phase =
+        spec_.shiftCycles == 0 ? 0 : time_ / spec_.shiftCycles;
+    const std::uint64_t hotRows = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec_.rows)
+               * spec_.hotFracMilli / 1000);
+    return (phase * hotRows) % spec_.rows;
+}
+
+std::uint64_t
+GeneratorTrace::pickVictimRow()
+{
+    if (spec_.family == GeneratorFamily::Zipf) {
+        const double u = rng_.nextDouble();
+        const auto it =
+            std::lower_bound(zipfCdf_.begin(), zipfCdf_.end(), u);
+        return static_cast<std::uint64_t>(std::min<std::ptrdiff_t>(
+            it - zipfCdf_.begin(),
+            static_cast<std::ptrdiff_t>(zipfCdf_.size() - 1)));
+    }
+    const std::uint64_t hotRows = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(spec_.rows)
+               * spec_.hotFracMilli / 1000);
+    if (rng_.nextBool(static_cast<double>(spec_.hotProbMilli) / 1000.0))
+        return (hotSetStart() + rng_.nextBelow(hotRows)) % spec_.rows;
+    return rng_.nextBelow(spec_.rows);
+}
+
+TraceRecord
+GeneratorTrace::next()
+{
+    TraceRecord rec;
+    // Exponentially distributed non-memory run length, like
+    // SyntheticTrace.
+    const double u = rng_.nextDouble();
+    rec.nonMemGap = static_cast<std::uint32_t>(
+        std::min(-kVictimAvgGap * std::log1p(-u), 100000.0));
+
+    const bool attack =
+        spec_.attackRateMilli != 0
+        && rng_.nextBool(
+               static_cast<double>(spec_.attackRateMilli) / 1000.0);
+    if (attack) {
+        // The embedded hammer stream: zero-gap reads alternating
+        // over the victim's two hottest rows (Zipf ranks 0/1, or the
+        // leading rows of the current hot set, so the attack follows
+        // a phase shift).
+        rec.nonMemGap = 0;
+        const std::uint64_t hottest =
+            spec_.family == GeneratorFamily::Zipf ? 0 : hotSetStart();
+        const std::uint64_t offset =
+            spec_.rows > 1 ? (attackFlip_++ & 1) : 0;
+        rec.addr = addrOfRowIndex((hottest + offset) % spec_.rows,
+                                  attackLine_++);
+        rec.isWrite = false;
+    } else {
+        rec.addr = addrOfRowIndex(pickVictimRow(), victimLine_++);
+        rec.isWrite = rng_.nextBool(kVictimWriteFrac);
+    }
+    time_ += rec.nonMemGap + 1;
+    return rec;
+}
+
+} // namespace srs

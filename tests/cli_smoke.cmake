@@ -208,8 +208,49 @@ run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/manifest
                 --out=${smoke_dir}/orch_rejected.csv)
 file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
 
+# Generator workloads: a zipf + blend grid must be thread-count
+# invariant, carry the canonical spellings in the identity column,
+# and emit the schema-v4 tail-latency header.
+set(gen_grid --workloads=zipf:4096@s=0.99,blend:zipf:4096@s=0.9+attack@0.05
+    --mitigations=rrs --trh=1200 --rates=6 --cycles=60000 --epoch=25000)
+run_expect_ok(sweep ${gen_grid} --threads=1
+              --out=${smoke_dir}/gen_t1.csv --journal=none)
+run_expect_ok(sweep ${gen_grid} --threads=8
+              --out=${smoke_dir}/gen_t8.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/gen_t1.csv ${smoke_dir}/gen_t8.csv
+                RESULT_VARIABLE gen_diff)
+if(NOT gen_diff EQUAL 0)
+  message(FATAL_ERROR "generator sweep is thread-count dependent")
+endif()
+file(READ ${smoke_dir}/gen_t1.csv gen_csv)
+foreach(needle ",zipf:4096@s=0.99," ",blend:zipf:4096@s=0.9\\+attack@0.05,"
+        ",p50_lat,p99_lat,p999_lat")
+  if(NOT gen_csv MATCHES "${needle}")
+    message(FATAL_ERROR "generator sweep CSV lacks '${needle}'")
+  endif()
+endforeach()
+# The generator grid rides orchestrate/merge byte-identically too.
+file(REMOVE_RECURSE ${smoke_dir}/gen_shards)
+run_expect_ok(orchestrate ${gen_grid} --shards=2 --jobs=2 --threads=1
+              --out=${smoke_dir}/gen_merged.csv
+              --dir=${smoke_dir}/gen_shards)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/gen_t1.csv ${smoke_dir}/gen_merged.csv
+                RESULT_VARIABLE gen_orch_diff)
+if(NOT gen_orch_diff EQUAL 0)
+  message(FATAL_ERROR "orchestrated generator CSV differs")
+endif()
+# Malformed generator spellings must be fatal up front.
+run_expect_fail(sweep --workloads=zipf:0 --mitigations=rrs --trh=1200
+                --rates=6)
+run_expect_fail(sweep --workloads=blend:zipf:64@s=1 --mitigations=rrs
+                --trh=1200 --rates=6)
+run_expect_fail(sweep --workloads=hotspot:4096@hot=1.5@p=0.5
+                --mitigations=rrs --trh=1200 --rates=6)
+
 # Unknown axis values must be fatal with the accepted spellings
-# listed, and schema-v1/v2 checkpoints/manifests must be rejected
+# listed, and schema-v1/v2/v3 checkpoints/manifests must be rejected
 # with a versioned error instead of a cryptic identity mismatch.
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --page-policy=half-open)
@@ -230,13 +271,21 @@ file(WRITE ${smoke_dir}/v2_checkpoint.csv
      "index,workload_spec,mitigation,tracker,trh,rate,policy,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --resume=${smoke_dir}/v2_checkpoint.csv)
-file(READ ${smoke_dir}/orch_shards/manifest manifest_v3)
-foreach(stale_version 1 2)
-  string(REPLACE "version=3" "version=${stale_version}" manifest_stale
-         "${manifest_v3}")
-  file(WRITE ${smoke_dir}/stale_manifest "${manifest_stale}")
-  run_expect_fail(merge --manifest=${smoke_dir}/stale_manifest)
+file(WRITE ${smoke_dir}/v3_checkpoint.csv
+     "index,workload_spec,mitigation,tracker,trh,rate,axes,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/v3_checkpoint.csv)
+file(READ ${smoke_dir}/orch_shards/manifest manifest_v4)
+if(NOT manifest_v4 MATCHES "version=4")
+  message(FATAL_ERROR "orchestrate manifest is not schema v4")
+endif()
+foreach(stale_version 1 2 3)
+  string(REPLACE "version=4" "version=${stale_version}" manifest_stale
+         "${manifest_v4}")
+  file(WRITE ${smoke_dir}/orch_shards/stale_manifest "${manifest_stale}")
+  run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/stale_manifest)
 endforeach()
+file(REMOVE ${smoke_dir}/orch_shards/stale_manifest)
 
 # Unknown flags must be fatal on every subcommand; so are a resume
 # file that does not exist, a sweep with no workloads at all, a

@@ -12,7 +12,9 @@
 # policy, DDR4/DDR5 preset, a tREFI override) at a tiny cycle budget,
 # and uses a low T_RH so the mitigations actually swap rows — the
 # payload columns lock down mitigation behaviour, not just identity
-# formatting.  The regeneration runs at the default thread count:
+# formatting.  A zipf and a blend generator cell ride next to the
+# synthetic workload so the generator sampling paths and the
+# schema-v4 latency-percentile columns are locked down too.  The regeneration runs at the default thread count:
 # sweep CSVs are byte-identical for any --threads value (that
 # invariant has its own tests), so the comparison is exact while the
 # regeneration parallelizes.
@@ -34,7 +36,8 @@ endif()
 set(regen ${CMAKE_CURRENT_BINARY_DIR}/golden_regen.csv)
 execute_process(
   COMMAND ${SRS_SIM} sweep
-          --workloads=gups --mitigations=rrs,scale-srs --trh=60
+          --workloads=gups,zipf:4096@s=0.99,blend:zipf:4096@s=0.9+attack@0.05
+          --mitigations=rrs,scale-srs --trh=60
           --rates=6 --page-policy=closed,open --preset=ddr4,ddr5
           --trefi=0,3900 --cycles=120000 --epoch=30000 --threads=0
           --out=${regen} --journal=none

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include <cmath>
 
@@ -296,6 +297,94 @@ TEST(Histogram, CountsAndMax)
     EXPECT_EQ(h.countOf(7), 5u);
     EXPECT_EQ(h.countOf(42), 0u);
     EXPECT_EQ(h.maxKey(), 7u);
+}
+
+TEST(LatencyHistogram, SmallValuesHaveExactBuckets)
+{
+    // Values below 16 land in unit-wide buckets, so every quantile
+    // of a small-value stream is exact.
+    LatencyHistogram h;
+    for (std::uint64_t v : {1, 1, 2, 3, 4, 4, 4, 5, 9, 15})
+        h.add(v);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.quantilePermille(100), 1u);
+    EXPECT_EQ(h.quantilePermille(500), 4u);
+    EXPECT_EQ(h.quantilePermille(900), 9u);
+    EXPECT_EQ(h.quantilePermille(990), 15u);
+    EXPECT_EQ(h.quantilePermille(999), 15u);
+    EXPECT_EQ(h.quantilePermille(1000), 15u);
+}
+
+TEST(LatencyHistogram, BucketBoundariesAtTheOctaveEdges)
+{
+    // The exact range ends at 15; 16 opens the first sub-bucketed
+    // octave, whose 8 buckets cover [16,17]..[30,31].
+    EXPECT_EQ(LatencyHistogram::bucketOf(0), 0u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(15), 15u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(16), 16u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(17), 16u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(18), 17u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(31), 23u);
+    EXPECT_EQ(LatencyHistogram::bucketOf(32), 24u);
+    // Every bucket's upper bound maps back into that bucket, and the
+    // next value starts the next bucket (the buckets tile the axis).
+    for (std::uint32_t b = 0;
+         b + 1 < LatencyHistogram::kBucketCount; ++b) {
+        const std::uint64_t hi = LatencyHistogram::bucketUpperBound(b);
+        EXPECT_EQ(LatencyHistogram::bucketOf(hi), b) << "bucket " << b;
+        EXPECT_EQ(LatencyHistogram::bucketOf(hi + 1), b + 1)
+            << "bucket " << b;
+    }
+    EXPECT_EQ(LatencyHistogram::bucketOf(
+                  std::numeric_limits<std::uint64_t>::max()),
+              LatencyHistogram::kBucketCount - 1);
+}
+
+TEST(LatencyHistogram, QuantilesReportBucketUpperBounds)
+{
+    // Above the exact range a quantile reports its bucket's upper
+    // bound — deterministic and conservative (never understates).
+    LatencyHistogram h;
+    h.add(100, 10);
+    const std::uint64_t bound = LatencyHistogram::bucketUpperBound(
+        LatencyHistogram::bucketOf(100));
+    EXPECT_GE(bound, 100u);
+    EXPECT_EQ(h.quantilePermille(500), bound);
+    EXPECT_EQ(h.quantilePermille(999), bound);
+}
+
+TEST(LatencyHistogram, MergeEqualsConcatenatedStream)
+{
+    // merge() is exactly stream concatenation: per-core and
+    // per-shard histograms combine into the bytes a single-threaded
+    // run would have produced — the invariance the CSV percentile
+    // columns rely on.
+    LatencyHistogram all, a, b;
+    Rng rng(0x1a7e);
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = rng.nextBelow(1u << 20);
+        all.add(v);
+        (i % 2 ? a : b).add(v);
+    }
+    LatencyHistogram ab = a;
+    ab.merge(b);
+    LatencyHistogram ba = b;
+    ba.merge(a);
+    EXPECT_EQ(ab, all);
+    EXPECT_EQ(ba, all);
+    EXPECT_EQ(ab.quantilePermille(990), all.quantilePermille(990));
+    EXPECT_NE(a, all);
+}
+
+TEST(LatencyHistogram, EmptyIsSafeAndEqualityIsStructural)
+{
+    LatencyHistogram empty;
+    EXPECT_EQ(empty.total(), 0u);
+    EXPECT_EQ(empty.quantilePermille(500), 0u);
+    LatencyHistogram one;
+    one.add(0);
+    EXPECT_NE(empty, one);
+    EXPECT_EQ(one.quantilePermille(500), 0u);
 }
 
 TEST(StatSet, IncSetGetDump)

@@ -59,6 +59,12 @@ expectIdentical(const RunResult &ref, const RunResult &ev,
     EXPECT_EQ(ref.latentActivations, ev.latentActivations) << label;
     EXPECT_EQ(ref.maxRowActivations, ev.maxRowActivations) << label;
     EXPECT_EQ(ref.rowsPinned, ev.rowsPinned) << label;
+    // Whole read-latency distributions must match bucket for bucket,
+    // not just the three percentile columns derived from them.
+    EXPECT_EQ(ref.readLatency, ev.readLatency) << label;
+    EXPECT_EQ(ref.p50Lat, ev.p50Lat) << label;
+    EXPECT_EQ(ref.p99Lat, ev.p99Lat) << label;
+    EXPECT_EQ(ref.p999Lat, ev.p999Lat) << label;
 }
 
 TEST(EventLoop, MatchesReferenceAcrossMitigations)
@@ -90,6 +96,33 @@ TEST(EventLoop, MatchesReferenceWithHydraTracker)
     const RunResult ev =
         runCell("gups", MitigationKind::Srs, TrackerKind::Hydra, false);
     expectIdentical(ref, ev, "gups/srs/hydra");
+}
+
+TEST(EventLoop, MatchesReferenceOnGeneratorWorkloads)
+{
+    // The generator-backed streams (Zipf, migrating hotspot, blend
+    // with an embedded hammer stream) draw their records from
+    // generator-time, not wall-clock scheduling, so both loops must
+    // see the identical access stream — and the identical latency
+    // histogram.
+    const char *specs[] = {
+        "zipf:4096@s=0.99",
+        "hotspot:1024@hot=0.1@p=0.9@shift=20000",
+        "blend:zipf:4096@s=0.9+attack@0.05",
+    };
+    for (const char *spelling : specs) {
+        const GeneratorSpec gen = GeneratorSpec::parse(spelling);
+        RunResult results[2];
+        for (int refLoop = 0; refLoop < 2; ++refLoop) {
+            const ExperimentConfig exp =
+                smallExperiment(refLoop == 1);
+            const SystemConfig cfg = makeSystemConfig(
+                exp, MitigationKind::ScaleSrs, 1200, 6);
+            results[refLoop] = runWorkloadGenerator(cfg, gen, exp);
+        }
+        expectIdentical(results[1], results[0], spelling);
+        EXPECT_GT(results[0].readLatency.total(), 0u) << spelling;
+    }
 }
 
 TEST(EventLoop, SweepCsvBytesMatchReferenceAtAnyThreadCount)

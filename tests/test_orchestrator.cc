@@ -213,7 +213,7 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
     // Future manifest versions are rejected, not misread.
     broken = text;
-    const auto version = broken.find("version=3");
+    const auto version = broken.find("version=4");
     ASSERT_NE(version, std::string::npos);
     broken.replace(version, 9, "version=7");
     EXPECT_THROW(
@@ -237,18 +237,19 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
         FatalError);
 }
 
-TEST(ShardManifestFile, V1AndV2ManifestsAreRejectedWithVersionedErrors)
+TEST(ShardManifestFile, StaleManifestsAreRejectedWithVersionedErrors)
 {
-    // A version-1 or version-2 manifest (pre-WorkloadSpec, and
-    // pre-DRAM-preset/timing-axes respectively) must fail with an
-    // error that names the version, not a key-parsing mess or a
-    // cryptic identity mismatch downstream.
+    // A version-1, -2 or -3 manifest (pre-WorkloadSpec,
+    // pre-DRAM-preset/timing-axes, and pre-latency-percentiles
+    // respectively) must fail with an error that names the version,
+    // not a key-parsing mess or a cryptic identity mismatch
+    // downstream.
     const ShardManifest manifest =
         planShards(testGrid(), tinyExperiment(), 2);
     const std::string text = serializeManifest(manifest);
-    const auto version = text.find("version=3");
+    const auto version = text.find("version=4");
     ASSERT_NE(version, std::string::npos);
-    for (const int old : {1, 2}) {
+    for (const int old : {1, 2, 3}) {
         std::string stale = text;
         stale.replace(version, 9,
                       "version=" + std::to_string(old));
@@ -274,6 +275,10 @@ TEST(ShardManifestFile, RoundTripsTraceSpecsAndSystemAxes)
     SweepGrid grid = testGrid();
     grid.workloads.push_back(
         WorkloadSpec::parse("trace:/tmp/srs_manifest_rt.usimm", 8));
+    grid.workloads.push_back(
+        WorkloadSpec::parse("zipf:4096@s=0.99", 8));
+    grid.workloads.push_back(WorkloadSpec::parse(
+        "blend:hotspot:1024@hot=0.1@p=0.9+attack@0.05", 8));
     grid.pagePolicies = {PagePolicy::Closed, PagePolicy::Open};
     grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
     grid.tRcOverrides = {0, 48};
@@ -334,6 +339,38 @@ TEST(ShardMerge, PagePolicyAxisMergesByteIdentical)
     // Both policy spellings actually appear in the identity columns.
     EXPECT_NE(full.find(",closed,"), std::string::npos);
     EXPECT_NE(full.find(",open,"), std::string::npos);
+}
+
+TEST(ShardMerge, GeneratorWorkloadsMergeByteIdentical)
+{
+    // The tentpole invariance: a zipf + blend grid, sharded and
+    // merged, reproduces the single-process CSV — including the
+    // schema-v4 percentile columns — byte for byte, because the
+    // per-cell seed and the latency histogram are pure functions of
+    // the canonical label and the access stream.
+    SweepGrid grid;
+    grid.workloads = {
+        WorkloadSpec::parse("zipf:4096@s=0.99", 8),
+        WorkloadSpec::parse("blend:zipf:4096@s=0.9+attack@0.05", 8),
+    };
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::None};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        const ShardManifest manifest = runShardsInProcess(
+            planShards(grid, exp, 2),
+            "gen_t" + std::to_string(threads) + "_", threads);
+        EXPECT_EQ(mergedCsv(manifest), full)
+            << "threads=" << threads;
+    }
+    // The generator spellings ride the manifest's workloads= key.
+    const ShardManifest manifest = planShards(grid, exp, 2);
+    const std::string text = serializeManifest(manifest);
+    EXPECT_NE(text.find("zipf:4096@s=0.99"), std::string::npos);
+    EXPECT_NE(text.find("blend:zipf:4096@s=0.9+attack@0.05"),
+              std::string::npos);
 }
 
 TEST(ShardMerge, ByteIdenticalToSingleProcessSweep)

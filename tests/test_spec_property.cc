@@ -23,6 +23,7 @@
 #include "common/rng.hh"
 #include "sim/sweep.hh"
 #include "sim/workload_spec.hh"
+#include "trace/generators.hh"
 #include "trace/profiles.hh"
 
 namespace srs
@@ -87,6 +88,40 @@ randomTracePath(Rng &rng)
     return path;
 }
 
+/**
+ * Draw one valid GeneratorSpec across all three families: a Zipf or
+ * hotspot victim, optionally wrapped into a blend by a nonzero
+ * attack rate.  Every knob spans its full accepted range so the
+ * canonical decimal formatter (trailing-zero stripping, whole-number
+ * collapse) is exercised at its edges.
+ */
+GeneratorSpec
+randomGenerator(Rng &rng)
+{
+    GeneratorSpec gen;
+    if (rng.nextBool(0.5)) {
+        gen.family = GeneratorFamily::Zipf;
+        gen.rows =
+            static_cast<std::uint32_t>(rng.nextRange(1, 65536));
+        gen.skewMilli =
+            static_cast<std::uint32_t>(rng.nextRange(0, 8000));
+    } else {
+        gen.family = GeneratorFamily::Hotspot;
+        gen.rows =
+            static_cast<std::uint32_t>(rng.nextRange(1, 65536));
+        gen.hotFracMilli =
+            static_cast<std::uint32_t>(rng.nextRange(1, 999));
+        gen.hotProbMilli =
+            static_cast<std::uint32_t>(rng.nextRange(1, 1000));
+        if (rng.nextBool(0.5))
+            gen.shiftCycles = rng.nextRange(1, 1'000'000'000);
+    }
+    if (rng.nextBool(0.5))
+        gen.attackRateMilli =
+            static_cast<std::uint32_t>(rng.nextRange(1, 999));
+    return gen;
+}
+
 TEST(SpecProperty, SystemAxesParseIsTheExactInverseOfField)
 {
     Rng rng(0xA85e5);
@@ -128,6 +163,49 @@ TEST(SpecProperty, WorkloadSpecParseIsTheExactInverseOfLabel)
         EXPECT_EQ(back.label(), spelling);
         EXPECT_EQ(spelling.find(','), std::string::npos);
     }
+}
+
+TEST(SpecProperty, GeneratorSpecParseIsTheExactInverseOfLabel)
+{
+    Rng rng(0x21Bf);
+    for (int i = 0; i < kIterations; ++i) {
+        const GeneratorSpec gen = randomGenerator(rng);
+        const std::string spelling = gen.label();
+        SCOPED_TRACE(spelling);
+        const GeneratorSpec back = GeneratorSpec::parse(spelling);
+        EXPECT_EQ(back, gen);
+        // label() is canonical: re-serializing changes nothing.
+        EXPECT_EQ(back.label(), spelling);
+        // The spelling survives a CSV cell and a manifest value.
+        EXPECT_EQ(spelling.find(','), std::string::npos);
+        EXPECT_EQ(spelling.find('#'), std::string::npos);
+        EXPECT_EQ(spelling.find(' '), std::string::npos);
+        // The same spelling routes through the WorkloadSpec grammar
+        // (the `--workloads` list and the manifest `workloads=` key).
+        const WorkloadSpec spec = WorkloadSpec::parse(spelling, 8);
+        EXPECT_EQ(spec.kind, WorkloadKind::Generator);
+        EXPECT_EQ(spec.generator, gen);
+        EXPECT_EQ(spec.label(), spelling);
+    }
+}
+
+TEST(SpecProperty, GeneratorDecimalKnobsKeepExactMilliResolution)
+{
+    // The fractional knobs are stored in exact milli units: any
+    // spelling with at most three fractional digits roundtrips to
+    // the canonical form with trailing zeros stripped, never through
+    // a lossy double.
+    const GeneratorSpec a = GeneratorSpec::parse("zipf:4096@s=0.990");
+    EXPECT_EQ(a.skewMilli, 990u);
+    EXPECT_EQ(a.label(), "zipf:4096@s=0.99");
+    const GeneratorSpec b = GeneratorSpec::parse("zipf:4096@s=1.000");
+    EXPECT_EQ(b.skewMilli, 1000u);
+    EXPECT_EQ(b.label(), "zipf:4096@s=1");
+    const GeneratorSpec c =
+        GeneratorSpec::parse("hotspot:64@hot=0.100@p=1.0");
+    EXPECT_EQ(c.hotFracMilli, 100u);
+    EXPECT_EQ(c.hotProbMilli, 1000u);
+    EXPECT_EQ(c.label(), "hotspot:64@hot=0.1@p=1");
 }
 
 TEST(SpecProperty, MixSpecsAreDeterministicPureFunctionsOfTheIndex)
@@ -205,6 +283,56 @@ TEST(SpecProperty, MalformedWorkloadSpellingsNameInputAndGrammar)
     for (const NegativeCase &c : cases) {
         SCOPED_TRACE(c.input);
         try {
+            WorkloadSpec::parse(c.input, 8);
+            FAIL() << "'" << c.input << "' was not rejected";
+        } catch (const FatalError &err) {
+            const std::string msg = err.what();
+            for (const char *needle : c.needles)
+                EXPECT_NE(msg.find(needle), std::string::npos)
+                    << "message lacks '" << needle << "': " << msg;
+        }
+    }
+}
+
+TEST(SpecProperty, MalformedGeneratorSpellingsNameInputAndGrammar)
+{
+    // Generator fatals quote the whole offending spelling verbatim
+    // and append the full three-family grammar, so a typo'd
+    // --workloads item or manifest entry is self-explanatory.
+    const char *kGrammar = "zipf:<rows>@s=<skew>";
+    const NegativeCase cases[] = {
+        {"zipf:0", {"zipf:0", "zipf:<rows>@s=<skew>",
+                    "blend:<zipf-or-hotspot-spec>+attack@<rate>"}},
+        {"zipf:0@s=1", {"zipf:0@s=1", "row count", "1..65536"}},
+        {"zipf:999999@s=1", {"zipf:999999@s=1", "row count"}},
+        {"zipf:4096@s=-1", {"zipf:4096@s=-1", "skew", kGrammar}},
+        {"zipf:4096@s=8.001", {"zipf:4096@s=8.001", "skew"}},
+        {"zipf:4096@s=0.9999", {"zipf:4096@s=0.9999", "skew"}},
+        {"zipf:4096@skew=1", {"zipf:4096@skew=1", "s=<value>"}},
+        {"hotspot:4096@hot=0@p=0.5",
+         {"hotspot:4096@hot=0@p=0.5", "hot fraction"}},
+        {"hotspot:4096@hot=1.5@p=0.5",
+         {"hotspot:4096@hot=1.5@p=0.5", "hot fraction"}},
+        {"hotspot:4096@hot=0.1@p=0",
+         {"hotspot:4096@hot=0.1@p=0", "hot probability"}},
+        {"hotspot:4096@hot=0.1@p=0.5@shift=0",
+         {"hotspot:4096@hot=0.1@p=0.5@shift=0", "shift period"}},
+        {"hotspot:4096@hot=0.1",
+         {"hotspot:4096@hot=0.1", "@shift=<cycles>"}},
+        {"blend:zipf:64@s=1",
+         {"blend:zipf:64@s=1", "+attack@", kGrammar}},
+        {"blend:zipf:64@s=1+attack@0",
+         {"blend:zipf:64@s=1+attack@0", "attack rate"}},
+        {"blend:zipf:64@s=1+attack@1",
+         {"blend:zipf:64@s=1+attack@1", "attack rate"}},
+        {"blend:blend:zipf:64@s=1+attack@0.1",
+         {"blend:blend:zipf:64@s=1+attack@0.1", "not another blend"}},
+    };
+    for (const NegativeCase &c : cases) {
+        SCOPED_TRACE(c.input);
+        try {
+            // Through the WorkloadSpec entry point, the route the
+            // --workloads list and the manifest take.
             WorkloadSpec::parse(c.input, 8);
             FAIL() << "'" << c.input << "' was not rejected";
         } catch (const FatalError &err) {

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <fstream>
@@ -438,15 +439,28 @@ TEST(SweepCsv, HeaderAndRowShape)
     r.run.aggregateIpc = 1.5;
     r.baselineIpc = 2.0;
     r.normalized = 0.75;
+    r.run.p50Lat = 31;
+    r.run.p99Lat = 95;
+    r.run.p999Lat = 127;
     std::ostringstream os;
     SweepRunner::writeCsv(os, {r});
     const std::string csv = os.str();
     EXPECT_NE(csv.find("index,workload_spec,mitigation,tracker,trh,"
                        "rate,axes,seed,"),
               std::string::npos);
+    // Schema v4: the tail-latency percentile columns close the header.
+    EXPECT_NE(csv.find(",p50_lat,p99_lat,p999_lat\n"),
+              std::string::npos);
     EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,closed,"),
               std::string::npos);
     EXPECT_NE(csv.find("0.750000"), std::string::npos);
+    EXPECT_NE(csv.find(",31,95,127\n"), std::string::npos);
+    // Every data row carries exactly kRowColumns comma-separated
+    // fields.
+    const std::string row = csv.substr(csv.find('\n') + 1);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count(row.begin(), row.end(), ',')),
+              SweepRunner::kRowColumns - 1);
 }
 
 TEST(WorkloadSpecApi, ParseRoundTripsSyntheticAndTraceSpellings)
@@ -469,6 +483,17 @@ TEST(WorkloadSpecApi, ParseRoundTripsSyntheticAndTraceSpellings)
     EXPECT_EQ(spec.tracePaths.size(), 8u);
     EXPECT_EQ(spec.label(), perCore);
     EXPECT_EQ(WorkloadSpec::parse(spec.label(), 8), spec);
+
+    // Generator spellings parse into the Generator kind and
+    // round-trip through their canonical label.
+    const WorkloadSpec gen =
+        WorkloadSpec::parse("blend:hotspot:512@hot=0.25@p=0.8"
+                            "@shift=50000+attack@0.1", 8);
+    EXPECT_EQ(gen.kind, WorkloadKind::Generator);
+    EXPECT_EQ(gen.label(),
+              "blend:hotspot:512@hot=0.25@p=0.8@shift=50000"
+              "+attack@0.1");
+    EXPECT_EQ(WorkloadSpec::parse(gen.label(), 8), gen);
 }
 
 TEST(WorkloadSpecApi, MalformedTraceSpellingsAreFatal)
@@ -788,6 +813,115 @@ TEST(SweepResume, SchemaV2FilesAreRejectedWithAVersionedError)
                   std::string::npos)
             << err.what();
     }
+}
+
+TEST(SweepResume, SchemaV3FilesAreRejectedWithAVersionedError)
+{
+    // A v3 CSV has the axes column but no tail-latency percentile
+    // columns; v4 appended p50_lat/p99_lat/p999_lat.  Resuming from
+    // a v3 file must fail naming schema v3, both via its header and
+    // via a headerless journal row.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string v3Header =
+        "index,workload_spec,mitigation,tracker,trh,rate,axes,"
+        "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+        "place_backs,rows_pinned,max_row_acts\n";
+    const std::string path =
+        writeTempFile("sweep_v3_header.csv", v3Header);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    try {
+        runner.run(cells);
+        FAIL() << "v3 CSV header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v3"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // A v3 journal row: 16 fields, 0x-seed in column 8.
+    const std::string v3Row =
+        "0,gups,rrs,misra-gries,1200,3,closed,0x1234567890abcdef,"
+        "1.0,2.0,0.5,1,2,3,4,5\n";
+    const std::string rowPath =
+        writeTempFile("sweep_v3_journal", v3Row);
+    SweepRunner journalRunner(tinyExperiment(), 2);
+    journalRunner.setResume(rowPath);
+    try {
+        journalRunner.run(cells);
+        FAIL() << "v3 journal row was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("v3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(SweepGenerator, ZipfAndBlendCellsAreThreadCountInvariant)
+{
+    // Generator-backed cells derive their per-cell seed from the
+    // canonical label like every other workload, so a zipf and a
+    // blend cell must produce byte-identical CSV at any worker
+    // count — the invariance the orchestrator's shard split relies
+    // on.
+    SweepGrid grid;
+    grid.workloads = {
+        WorkloadSpec::parse("zipf:4096@s=0.99", 8),
+        WorkloadSpec::parse("blend:zipf:4096@s=0.9+attack@0.05", 8),
+    };
+    grid.mitigations = {MitigationKind::Rrs, MitigationKind::None};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    const std::vector<SweepCell> cells = grid.expand();
+    const std::string csv1 = sweepCsv(cells, 1);
+    EXPECT_EQ(csv1, sweepCsv(cells, 8));
+    // The identity column carries the canonical spellings, and the
+    // percentile columns are live (nonzero for a read-heavy stream).
+    EXPECT_NE(csv1.find(",zipf:4096@s=0.99,"), std::string::npos);
+    EXPECT_NE(csv1.find(",blend:zipf:4096@s=0.9+attack@0.05,"),
+              std::string::npos);
+
+    SweepRunner runner(tinyExperiment(), 4);
+    const std::vector<SweepResult> results = runner.run(cells);
+    for (const SweepResult &r : results) {
+        EXPECT_GT(r.run.aggregateIpc, 0.0);
+        EXPECT_GT(r.run.readLatency.total(), 0u);
+        EXPECT_GT(r.run.p50Lat, 0u);
+        EXPECT_GE(r.run.p99Lat, r.run.p50Lat);
+        EXPECT_GE(r.run.p999Lat, r.run.p99Lat);
+    }
+}
+
+TEST(SweepGenerator, ResumedGeneratorCellsReplayByteIdentical)
+{
+    // A truncated generator sweep resumes to the uninterrupted
+    // bytes: parsed-back identity must validate against the
+    // generator labels, and recomputed cells reproduce the same
+    // percentiles.
+    SweepGrid grid;
+    grid.workloads = {
+        WorkloadSpec::parse("hotspot:1024@hot=0.1@p=0.9", 8),
+        WorkloadSpec::parse("zipf:2048@s=1.2", 8),
+    };
+    grid.mitigations = {MitigationKind::ScaleSrs};
+    grid.trhs = {1200};
+    grid.swapRates = {6};
+    const std::vector<SweepCell> cells = grid.expand();
+    const std::string full = sweepCsv(cells, 2);
+
+    std::istringstream in(full);
+    std::string line, partial;
+    for (int i = 0; i < 2 && std::getline(in, line); ++i)
+        partial += line + "\n";
+    const std::string path =
+        writeTempFile("sweep_generator_resume.csv", partial);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_FALSE(results[0].resumedRow.empty());
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, results);
+    EXPECT_EQ(os.str(), full);
 }
 
 TEST(SweepNames, MitigationAndTrackerRoundTrip)

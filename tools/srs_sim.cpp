@@ -41,14 +41,22 @@
  *            --workloads=all sweeps every built-in profile; items
  *            spelled trace:<path>[;<path>…] (or the --trace
  *            shorthand) replay recorded USIMM trace files — one
- *            path for every core, or one per core; --mix=N appends
- *            N MIX points (per-core profile draws, starting at
- *            mix<K>) to the workload axis; --page-policy, --preset
- *            and the --trc/--trcd/--trp/--trefi/--trfc override
- *            lists sweep the system axes (closed|open page
+ *            path for every core, or one per core; items spelled
+ *            zipf:<rows>@s=<skew>,
+ *            hotspot:<rows>@hot=<frac>@p=<prob>[@shift=<cycles>] or
+ *            blend:<spec>+attack@<rate> run generator-backed skewed
+ *            multi-tenant streams (Zipf row popularity, migrating
+ *            hot sets, victim traffic with an embedded hammer
+ *            stream — trace/generators.hh has the grammar); --mix=N
+ *            appends N MIX points (per-core profile draws, starting
+ *            at mix<K>) to the workload axis; --page-policy,
+ *            --preset and the --trc/--trcd/--trp/--trefi/--trfc
+ *            override lists sweep the system axes (closed|open page
  *            management, ddr4|ddr5 timing preset, per-knob ns
  *            overrides, 0 = the preset's default), applied to
- *            protected and baseline runs alike.  CSV goes to stdout
+ *            protected and baseline runs alike.  Every row ends
+ *            with the p50_lat/p99_lat/p999_lat read-latency
+ *            percentile columns (schema v4).  CSV goes to stdout
  *            unless --out is given.  Output is ordered by cell
  *            (workloads outermost, then page policy, preset, the
  *            timing overrides, mitigations, trhs,
@@ -532,7 +540,10 @@ usage()
         "               rate grid, one CSV row per cell,\n"
         "               thread-pool parallel\n"
         "    --workloads=A,B|all (gcc); an item trace:<path>[;<path>]\n"
-        "    replays USIMM trace file(s), one path or one per core\n"
+        "    replays USIMM trace file(s), one path or one per core;\n"
+        "    generator items: zipf:<rows>@s=<skew>,\n"
+        "    hotspot:<rows>@hot=<frac>@p=<prob>[@shift=<cycles>],\n"
+        "    blend:<spec>+attack@<rate>\n"
         "    --trace=FILE[;FILE] (none)  shorthand: append a\n"
         "    trace-file workload to the grid\n"
         "    --mitigations=A,B (scale-srs)\n"
