@@ -13,12 +13,11 @@ AddressMap::AddressMap(const DramOrg &org)
     offsetBits_ = floorLog2(org_.lineBytes);
     columnBits_ = floorLog2(org_.linesPerRow());
     channelBits_ = floorLog2(org_.channels);
-    rankBits_ = org_.ranksPerChannel > 1
-        ? floorLog2(org_.ranksPerChannel) : 0;
+    // validate() already guarantees power-of-two geometry, so every
+    // field width (rank included) comes straight from the org.
+    rankBits_ = floorLog2(org_.ranksPerChannel);
     bankBits_ = floorLog2(org_.banksPerRank);
     rowBits_ = floorLog2(org_.rowsPerBank);
-    if (org_.ranksPerChannel > 1 && !isPowerOfTwo(org_.ranksPerChannel))
-        fatal("AddressMap: ranksPerChannel must be a power of two");
 }
 
 DramCoord

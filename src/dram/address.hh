@@ -2,12 +2,16 @@
  * @file
  * Physical-address <-> DRAM-coordinate mapping.
  *
- * Layout (LSB to MSB): line offset | column | channel | bank | row.
- * With the Table III geometry this is 6 + 7 + 1 + 4 + 17 = 35 bits
- * (32 GB).  Channel bits sit just above the column so consecutive
- * rows stripe across channels, which maximizes channel parallelism
- * for streaming workloads, while one DRAM row stays contiguous in
- * the physical address space (required for LLC row pinning).
+ * Layout (LSB to MSB): line offset | column | channel | rank | bank
+ * | row.  Every field width is derived from the live DramOrg (no
+ * width is hard-coded): with the default 2x1x16 Table III geometry
+ * that is 6 + 7 + 1 + 0 + 4 + 17 = 35 bits (32 GB); a 4x2x32 org
+ * yields 6 + 7 + 2 + 1 + 5 + 17 = 38 bits.  Channel, rank and bank
+ * bits sit just above the column so consecutive row-sized blocks
+ * stripe across every bank in the system before the row index
+ * advances — maximizing bank/channel parallelism for streaming
+ * workloads — while one DRAM row stays contiguous in the physical
+ * address space (required for LLC row pinning).
  */
 
 #ifndef SRS_DRAM_ADDRESS_HH

@@ -13,7 +13,8 @@ DramOrg::validate() const
 {
     if (channels == 0 || ranksPerChannel == 0 || banksPerRank == 0)
         fatal("DramOrg: zero-sized geometry");
-    if (!isPowerOfTwo(channels) || !isPowerOfTwo(banksPerRank) ||
+    if (!isPowerOfTwo(channels) || !isPowerOfTwo(ranksPerChannel) ||
+        !isPowerOfTwo(banksPerRank) ||
         !isPowerOfTwo(rowsPerBank) || !isPowerOfTwo(rowBytes) ||
         !isPowerOfTwo(lineBytes)) {
         fatal("DramOrg: geometry fields must be powers of two");

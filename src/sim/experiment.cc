@@ -23,6 +23,7 @@ makeSystemConfig(const ExperimentConfig &exp, MitigationKind kind,
     cfg.epochLen = exp.epochLen;
     cfg.seed = exp.seed;
     cfg.referenceLoop = exp.referenceLoop;
+    cfg.channelWorkers = exp.channelWorkers;
     axes.apply(cfg);
     return cfg;
 }
@@ -50,6 +51,7 @@ collect(System &sys)
     r.p50Lat = r.readLatency.quantilePermille(500);
     r.p99Lat = r.readLatency.quantilePermille(990);
     r.p999Lat = r.readLatency.quantilePermille(999);
+    r.latSamples = r.readLatency.total();
     return r;
 }
 

@@ -59,6 +59,10 @@ struct RunResult
     std::uint64_t p50Lat = 0;
     std::uint64_t p99Lat = 0;
     std::uint64_t p999Lat = 0;
+    /** Completed demand reads behind the percentiles
+     *  (readLatency.total() — the CSV schema v5 `lat_samples`
+     *  column; survives a resume-file round trip). */
+    std::uint64_t latSamples = 0;
 };
 
 /** Knobs of the experiment harness. */
@@ -80,6 +84,10 @@ struct ExperimentConfig
      *  event-driven loop (A/B equivalence checks and the perf
      *  harness; results are identical either way). */
     bool referenceLoop = false;
+    /** Worker threads for channel-parallel simulation inside one
+     *  run (1 = serial; capped at the channel count; results are
+     *  byte-identical at any value — see sim/system.hh). */
+    std::uint32_t channelWorkers = 1;
 };
 
 /**

@@ -32,7 +32,7 @@ namespace srs
 namespace
 {
 
-constexpr std::uint64_t kManifestVersion = 4;
+constexpr std::uint64_t kManifestVersion = 5;
 
 std::string
 shardKey(std::size_t index, const char *field)
@@ -75,7 +75,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             && lines.front().rfind("index,workload,", 0) == 0) {
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v1 header (no workload_spec/axes "
-                   "columns); this build merges schema v4 only — "
+                   "columns); this build merges schema v5 only — "
                    "re-run the shard (docs/sweep-format.md)";
         }
         if (!lines.empty()
@@ -84,7 +84,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v2 header (`policy` identity column, no "
                    "DRAM preset/timing axes); this build merges "
-                   "schema v4 only — re-run the shard "
+                   "schema v5 only — re-run the shard "
                    "(docs/sweep-format.md)";
         }
         if (!lines.empty()
@@ -93,10 +93,20 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v3 header (no p50_lat/p99_lat/p999_lat "
                    "tail-latency columns); this build merges schema "
-                   "v4 only — re-run the shard (docs/sweep-format.md)";
+                   "v5 only — re-run the shard (docs/sweep-format.md)";
+        }
+        if (!lines.empty()
+            && lines.front().rfind("index,workload_spec,", 0) == 0
+            && lines.front().find(",lat_samples")
+                   == std::string::npos) {
+            return "shard CSV '" + path + "' carries the sweep CSV "
+                   "schema v4 header (no lat_samples column; it "
+                   "predates the DRAM-organization axis); this build "
+                   "merges schema v5 only — re-run the shard "
+                   "(docs/sweep-format.md)";
         }
         return "shard CSV '" + path + "' does not start with this "
-               "build's schema v4 sweep CSV header";
+               "build's schema v5 sweep CSV header";
     }
     if (lines.size() - 1 != shard.cells) {
         return "shard CSV '" + path + "' has "
@@ -256,6 +266,7 @@ serializeManifest(const ShardManifest &manifest)
     out << "mitigations=" << joinList(mitigations) << '\n'
         << "policies=" << joinList(policies) << '\n'
         << "presets=" << joinList(presets) << '\n'
+        << "orgs=" << joinList(grid.orgs) << '\n'
         << "trc=" << joinUint32List(grid.tRcOverrides) << '\n'
         << "trcd=" << joinUint32List(grid.tRcdOverrides) << '\n'
         << "trp=" << joinUint32List(grid.tRpOverrides) << '\n'
@@ -313,6 +324,14 @@ loadManifest(const std::string &path)
               "orchestration with 'srs_sim orchestrate' "
               "(docs/sweep-format.md)");
     }
+    if (version == 4) {
+        fatal("manifest '", path, "': schema version 4 (no orgs "
+              "axis; its shards emit schema-v4 CSVs without the "
+              "lat_samples column); this build reads manifest "
+              "version ", kManifestVersion, " only — re-plan the "
+              "orchestration with 'srs_sim orchestrate' "
+              "(docs/sweep-format.md)");
+    }
     if (version != kManifestVersion) {
         fatal("manifest '", path, "': unsupported version ", version,
               " (this build reads version ", kManifestVersion, ")");
@@ -340,6 +359,13 @@ loadManifest(const std::string &path)
     for (const std::string &name :
          splitList(opts.getString("presets", "ddr4")))
         grid.presets.push_back(dramPresetFromName(name));
+    grid.orgs = splitList(opts.getString("orgs", "2x1x16"));
+    for (const std::string &org : grid.orgs) {
+        // Surface a malformed org spelling at load time, with the
+        // manifest named, instead of deep inside the first shard run.
+        SystemAxes probe;
+        dramOrgFromName(org, probe);
+    }
     grid.tRcOverrides =
         splitUint32List(opts.getString("trc", "0"), "manifest: trc");
     grid.tRcdOverrides = splitUint32List(
@@ -491,6 +517,7 @@ Orchestrator::shardCommand(std::size_t index) const
     for (const DramPreset preset : grid.presets)
         presets.push_back(dramPresetName(preset));
     cmd.push_back("--preset=" + joinList(presets));
+    cmd.push_back("--org=" + joinList(grid.orgs));
     cmd.push_back("--trc=" + joinUint32List(grid.tRcOverrides));
     cmd.push_back("--trcd=" + joinUint32List(grid.tRcdOverrides));
     cmd.push_back("--trp=" + joinUint32List(grid.tRpOverrides));

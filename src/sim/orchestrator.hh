@@ -72,11 +72,11 @@ struct ShardSpec
 /**
  * Everything the merge (or a remote shard runner) needs to know
  * about one orchestrated sweep.  Serialized as `key=value` lines
- * (schema version 3: workload-spec spellings on the outer axis,
- * page-policy/DRAM-preset/timing-override system axes on the
- * inner) — see docs/sweep-format.md for the schema.  Version-1 and
- * version-2 manifests are rejected with a versioned error, never
- * misread.
+ * (schema version 5: workload-spec spellings on the outer axis,
+ * page-policy/DRAM-preset/DRAM-organization/timing-override system
+ * axes on the inner) — see docs/sweep-format.md for the schema.
+ * Version-1 through version-4 manifests are rejected with a
+ * versioned error, never misread.
  */
 struct ShardManifest
 {
@@ -131,9 +131,9 @@ ShardManifest loadManifest(const std::string &path);
  *
  * Checks, in order: the file exists and ends with a newline (a
  * torn final line means the writer died mid-row), the first line is
- * the schema-v3 sweep CSV header (a v1 or v2 header is rejected
- * with a versioned message), exactly @p shard.cells data rows
- * follow, and
+ * the schema-v5 sweep CSV header (a v1, v2, v3 or v4 header is
+ * rejected with a versioned message), exactly @p shard.cells data
+ * rows follow, and
  * every row has SweepRunner::kRowColumns fields and byte-matches
  * the identity prefix of its cell *within the shard's own
  * numbering* (index local to the shard, seed derived from @p exp).

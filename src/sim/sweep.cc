@@ -31,27 +31,30 @@ std::vector<SystemAxes>
 SweepGrid::axes() const
 {
     std::vector<SystemAxes> out;
-    out.reserve(pagePolicies.size() * presets.size()
+    out.reserve(pagePolicies.size() * presets.size() * orgs.size()
                 * tRcOverrides.size() * tRcdOverrides.size()
                 * tRpOverrides.size() * tRefiOverrides.size()
                 * tRfcOverrides.size());
     for (const PagePolicy policy : pagePolicies) {
         for (const DramPreset preset : presets) {
-            for (const std::uint32_t trc : tRcOverrides) {
-                for (const std::uint32_t trcd : tRcdOverrides) {
-                    for (const std::uint32_t trp : tRpOverrides) {
-                        for (const std::uint32_t trefi : tRefiOverrides) {
-                            for (const std::uint32_t trfc : tRfcOverrides) {
-                                SystemAxes a;
-                                a.pagePolicy = policy;
-                                a.preset = preset;
-                                a.tRcNs = trc;
-                                a.tRcdNs = trcd;
-                                a.tRpNs = trp;
-                                a.tRefiNs = trefi;
-                                a.tRfcNs = trfc;
-                                a.validate();
-                                out.push_back(a);
+            for (const std::string &org : orgs) {
+                for (const std::uint32_t trc : tRcOverrides) {
+                    for (const std::uint32_t trcd : tRcdOverrides) {
+                        for (const std::uint32_t trp : tRpOverrides) {
+                            for (const std::uint32_t trefi : tRefiOverrides) {
+                                for (const std::uint32_t trfc : tRfcOverrides) {
+                                    SystemAxes a;
+                                    a.pagePolicy = policy;
+                                    a.preset = preset;
+                                    dramOrgFromName(org, a);
+                                    a.tRcNs = trc;
+                                    a.tRcdNs = trcd;
+                                    a.tRpNs = trp;
+                                    a.tRefiNs = trefi;
+                                    a.tRfcNs = trfc;
+                                    a.validate();
+                                    out.push_back(a);
+                                }
                             }
                         }
                     }
@@ -65,10 +68,11 @@ SweepGrid::axes() const
 std::size_t
 SweepGrid::innerCells() const
 {
-    return pagePolicies.size() * presets.size() * tRcOverrides.size()
-           * tRcdOverrides.size() * tRpOverrides.size()
-           * tRefiOverrides.size() * tRfcOverrides.size()
-           * mitigations.size() * trhs.size() * swapRates.size();
+    return pagePolicies.size() * presets.size() * orgs.size()
+           * tRcOverrides.size() * tRcdOverrides.size()
+           * tRpOverrides.size() * tRefiOverrides.size()
+           * tRfcOverrides.size() * mitigations.size() * trhs.size()
+           * swapRates.size();
 }
 
 std::size_t
@@ -188,7 +192,7 @@ SweepRunner::csvHeader()
     return "index,workload_spec,mitigation,tracker,trh,rate,axes,"
            "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
            "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
-           "p999_lat";
+           "p999_lat,lat_samples";
 }
 
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
@@ -233,34 +237,42 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         // An interrupted writer can leave a torn final line — every
         // complete row ends with '\n', so a line that ran into EOF
         // instead may be cut anywhere (even mid-digit of the last
-        // field, where it still splits into 19 plausible fields).
+        // field, where it still splits into 20 plausible fields).
         // Never trust it; the cell is simply recomputed.
         if (in.eof())
             continue;
         if (line.empty() || line == csvHeader())
             continue;
         if (line.rfind("index,workload_spec", 0) == 0) {
-            // A byte-exact v4 header matched above.  A v2 header is
+            // A byte-exact v5 header matched above.  A v2 header is
             // recognized by its `policy` identity column, a v3
-            // header by the missing latency-percentile columns;
-            // anything else here is a header-like line this build
-            // cannot trust (foreign schema, stray \r, edited file).
+            // header by the missing latency-percentile columns, a v4
+            // header by the missing sample-count column; anything
+            // else here is a header-like line this build cannot
+            // trust (foreign schema, stray \r, edited file).
             if (line.find(",policy,") != std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v2 header (`policy` identity "
                       "column, no DRAM preset/timing axes); this "
-                      "build reads schema v4 only — re-run the sweep "
+                      "build reads schema v5 only — re-run the sweep "
                       "(docs/sweep-format.md)");
             }
             if (line.find(",p50_lat") == std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v3 header (no "
                       "p50_lat/p99_lat/p999_lat tail-latency "
-                      "columns); this build reads schema v4 only — "
+                      "columns); this build reads schema v5 only — "
+                      "re-run the sweep (docs/sweep-format.md)");
+            }
+            if (line.find(",lat_samples") == std::string::npos) {
+                fatal("resume file '", resumePath_, "' carries the "
+                      "sweep CSV schema v4 header (no lat_samples "
+                      "column; it predates the DRAM-organization "
+                      "axis); this build reads schema v5 only — "
                       "re-run the sweep (docs/sweep-format.md)");
             }
             fatal("resume file '", resumePath_, "' has a header line "
-                  "that does not byte-match this build's schema v4 "
+                  "that does not byte-match this build's schema v5 "
                   "header (foreign schema version, or the file was "
                   "edited — check for trailing whitespace or \\r "
                   "line endings):\n  got:      ", line,
@@ -269,19 +281,20 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         if (line.rfind("index,workload", 0) == 0) {
             fatal("resume file '", resumePath_, "' carries the sweep "
                   "CSV schema v1 header (no workload_spec/axes "
-                  "columns); this build reads schema v4 only — "
+                  "columns); this build reads schema v5 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         const std::vector<std::string> fields = splitFields(line);
         // A complete v1 row has 15 fields with the 0x-seed in column
-        // 7 (v2/v3 keep it in column 8 of a 16-field row); recognize
-        // both so stale checkpoints fail with a versioned message,
-        // not a silent recompute or a cryptic prefix mismatch.
+        // 7 (v2/v3 keep it in column 8 of a 16-field row, v4 in
+        // column 8 of a 19-field row); recognize all of them so
+        // stale checkpoints fail with a versioned message, not a
+        // silent recompute or a cryptic prefix mismatch.
         if (fields.size() == 15
             && fields.size() > 6 && fields[6].rfind("0x", 0) == 0) {
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v1 row (15 columns, seed "
-                  "in column 7); this build reads schema v4 only — "
+                  "in column 7); this build reads schema v5 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() == 16
@@ -289,8 +302,15 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v2 or v3 row (16 columns, "
                   "no p50_lat/p99_lat/p999_lat tail-latency "
-                  "columns); this build reads schema v4 only — "
+                  "columns); this build reads schema v5 only — "
                   "re-run the sweep (docs/sweep-format.md)");
+        }
+        if (fields.size() == 19
+            && fields.size() > 7 && fields[7].rfind("0x", 0) == 0) {
+            fatal("resume file '", resumePath_, "': row '", fields[0],
+                  "' is a sweep CSV schema v4 row (19 columns, no "
+                  "lat_samples column); this build reads schema v5 "
+                  "only — re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() != kRowColumns || fields.back().empty())
             continue;
@@ -333,6 +353,8 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         r.run.p99Lat = std::strtoull(fields[17].c_str(), nullptr, 10);
         r.run.p999Lat =
             std::strtoull(fields[18].c_str(), nullptr, 10);
+        r.run.latSamples =
+            std::strtoull(fields[19].c_str(), nullptr, 10);
         r.resumedRow = line;
         done[i] = 1;
     }
@@ -598,7 +620,8 @@ SweepRunner::formatRow(std::size_t index, const SweepResult &r)
     char payload[256];
     std::snprintf(
         payload, sizeof(payload),
-        "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu",
+        "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+        "%llu",
         r.run.aggregateIpc, r.baselineIpc, r.normalized,
         static_cast<unsigned long long>(r.run.swaps),
         static_cast<unsigned long long>(r.run.unswapSwaps),
@@ -607,7 +630,8 @@ SweepRunner::formatRow(std::size_t index, const SweepResult &r)
         static_cast<unsigned long long>(r.run.maxRowActivations),
         static_cast<unsigned long long>(r.run.p50Lat),
         static_cast<unsigned long long>(r.run.p99Lat),
-        static_cast<unsigned long long>(r.run.p999Lat));
+        static_cast<unsigned long long>(r.run.p999Lat),
+        static_cast<unsigned long long>(r.run.latSamples));
     return identityPrefix(index, r.cell, r.seed) + payload;
 }
 

@@ -32,8 +32,9 @@
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
  *    uninterrupted run (docs/sweep-format.md has the file formats,
- *    schema v4 — the `p50_lat,p99_lat,p999_lat` tail-latency
- *    columns landed with the generator workloads).
+ *    schema v5 — the `p50_lat,p99_lat,p999_lat` tail-latency
+ *    columns landed with the generator workloads, `lat_samples`
+ *    with the DRAM-organization axis).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -77,9 +78,9 @@ SweepCell mixSweepCell(std::uint32_t index, std::uint32_t cores);
 /**
  * Cross-product sweep description.  expand() enumerates cells in
  * row-major order: workloads outermost, then the system axes (page
- * policies outermost, then DRAM presets, then the timing overrides
- * in the order tRC, tRCD, tRP, tREFI, tRFC), then mitigations, then
- * trhs, then swapRates innermost.  When mixCount > 0, MIX points
+ * policies outermost, then DRAM presets, then DRAM organizations,
+ * then the timing overrides in the order tRC, tRCD, tRP, tREFI,
+ * tRFC), then mitigations, then trhs, then swapRates innermost.  When mixCount > 0, MIX points
  * mix<mixBase>..mix<mixBase+mixCount-1> follow the named workloads
  * as additional outermost entries, crossed with the same inner axes.
  */
@@ -90,6 +91,13 @@ struct SweepGrid
     std::vector<PagePolicy> pagePolicies = {PagePolicy::Closed};
     /** DRAM-generation preset axis (ddr4 = Table III defaults). */
     std::vector<DramPreset> presets = {DramPreset::Ddr4};
+    /**
+     * DRAM-organization axis: `CxRxB` spellings (channels x ranks x
+     * banks-per-rank, dramOrgFromName bounds).  "2x1x16" is the
+     * default Table III geometry and is canonicalized away in the
+     * axes field, exactly like the ddr4 preset.
+     */
+    std::vector<std::string> orgs = {"2x1x16"};
     /** Timing-override axes in ns; 0 = the preset's default. */
     std::vector<std::uint32_t> tRcOverrides = {0};
     std::vector<std::uint32_t> tRcdOverrides = {0};
@@ -114,11 +122,11 @@ struct SweepGrid
     std::uint32_t mixCores = 8;
 
     /**
-     * The system-axes axis: pagePolicies x presets x the five
-     * timing-override lists, crossed in declaration order (policy
-     * outermost, tRFC innermost).  Every combination is validated
-     * (SystemAxes::validate), so an inconsistent grid is fatal()
-     * before any simulation starts.
+     * The system-axes axis: pagePolicies x presets x orgs x the
+     * five timing-override lists, crossed in declaration order
+     * (policy outermost, tRFC innermost).  Every combination is
+     * validated (SystemAxes::validate), so an inconsistent grid is
+     * fatal() before any simulation starts.
      */
     std::vector<SystemAxes> axes() const;
     /** Cells per outer entry: axes x mitigations x trhs x swapRates. */
@@ -175,10 +183,12 @@ class SweepRunner
      * CSV (possibly truncated mid-file) or a journal — and skip
      * re-simulating those cells.  Rows are validated against the
      * grid (workload spec, mitigation, tracker, trh, rate, axes,
-     * seed); a mismatch is fatal(), and a schema-v1, -v2 or -v3
-     * file (15-column rows, a header naming the v2 `policy` column,
-     * or 16-column rows/headers without the v4 latency-percentile
-     * columns) is rejected with a versioned error.  Incomplete
+     * seed); a mismatch is fatal(), and a schema-v1, -v2, -v3 or
+     * -v4 file (15-column rows, a header naming the v2 `policy`
+     * column, 16-column rows/headers without the v4
+     * latency-percentile columns, or 19-column rows/headers without
+     * the v5 `lat_samples` column) is rejected with a versioned
+     * error.  Incomplete
      * trailing lines are ignored and recomputed.  An empty path
      * disables resuming.
      */
@@ -234,8 +244,8 @@ class SweepRunner
     /** The CSV header line writeCsv() emits (no trailing newline). */
     static const char *csvHeader();
 
-    /** Total fields of one schema-v4 CSV data row. */
-    static constexpr std::size_t kRowColumns = 19;
+    /** Total fields of one schema-v5 CSV data row. */
+    static constexpr std::size_t kRowColumns = 20;
 
   private:
     void loadResume(const std::vector<SweepCell> &cells,

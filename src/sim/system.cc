@@ -54,8 +54,9 @@ System::System(const SystemConfig &cfg)
       nextEpochAt_(epochLen_)
 {
     cfg_.org.validate();
-    ctrl_ = std::make_unique<MemoryController>(cfg_.org, timing_,
-                                               cfg_.memCtrl);
+    MemCtrlConfig mcfg = cfg_.memCtrl;
+    mcfg.channelWorkers = cfg_.channelWorkers;
+    ctrl_ = std::make_unique<MemoryController>(cfg_.org, timing_, mcfg);
     llc_ = std::make_unique<Llc>(cfg_.llc, cfg_.org.rowBytes,
                                  cfg_.pinCapacity);
 

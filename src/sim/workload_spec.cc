@@ -168,9 +168,58 @@ constexpr AxesKnob kAxesKnobs[] = {
 };
 
 constexpr const char *kAxesGrammar =
-    "<policy>[@ddr4|@ddr5][@trc=NS][@trcd=NS][@trp=NS][@trefi=NS]"
-    "[@trfc=NS] with policy closed|open, suffixes in that order, NS "
-    "in 1..10000 nanoseconds (trefi: 1..100000)";
+    "<policy>[@ddr4|@ddr5][@org=CxRxB][@trc=NS][@trcd=NS][@trp=NS]"
+    "[@trefi=NS][@trfc=NS] with policy closed|open, suffixes in that "
+    "order, org a power-of-two channels x ranks x banks-per-rank "
+    "triple (channels 1..8, ranks 1..4, banks 4..64), NS in 1..10000 "
+    "nanoseconds (trefi: 1..100000)";
+
+bool
+isPow2(std::uint32_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** One strictly-decimal component of a CxRxB triple. */
+bool
+parseOrgPart(const std::string &part, std::uint32_t &out)
+{
+    if (part.empty()
+        || !std::isdigit(static_cast<unsigned char>(part[0])))
+        return false;
+    char *endp = nullptr;
+    const unsigned long long v = std::strtoull(part.c_str(), &endp, 10);
+    if (endp != part.c_str() + part.size() || v > 0xFFFFFFFFull)
+        return false;
+    out = static_cast<std::uint32_t>(v);
+    return true;
+}
+
+/** Shape check only: exactly three 'x'-separated decimal fields. */
+bool
+parseOrgValue(const std::string &value, std::uint32_t &channels,
+              std::uint32_t &ranks, std::uint32_t &banks)
+{
+    const auto x1 = value.find('x');
+    if (x1 == std::string::npos)
+        return false;
+    const auto x2 = value.find('x', x1 + 1);
+    if (x2 == std::string::npos
+        || value.find('x', x2 + 1) != std::string::npos)
+        return false;
+    return parseOrgPart(value.substr(0, x1), channels)
+        && parseOrgPart(value.substr(x1 + 1, x2 - x1 - 1), ranks)
+        && parseOrgPart(value.substr(x2 + 1), banks);
+}
+
+bool
+orgInBounds(std::uint32_t channels, std::uint32_t ranks,
+            std::uint32_t banks)
+{
+    return isPow2(channels) && channels <= 8
+        && isPow2(ranks) && ranks <= 4
+        && isPow2(banks) && banks >= 4 && banks <= 64;
+}
 
 } // namespace
 
@@ -181,6 +230,14 @@ SystemAxes::field() const
     if (preset != DramPreset::Ddr4) {
         text += '@';
         text += dramPresetName(preset);
+    }
+    const DramOrg defaultOrg{};
+    if (orgChannels != defaultOrg.channels
+        || orgRanks != defaultOrg.ranksPerChannel
+        || orgBanks != defaultOrg.banksPerRank) {
+        text += "@org=" + std::to_string(orgChannels) + "x"
+                + std::to_string(orgRanks) + "x"
+                + std::to_string(orgBanks);
     }
     for (const AxesKnob &knob : kAxesKnobs) {
         const std::uint32_t ns = this->*knob.member;
@@ -206,11 +263,12 @@ SystemAxes::parse(const std::string &text)
               policy, "' (want ", kAxesGrammar, ")");
     }
 
-    // Each '@'-chained suffix is either the preset name or one
-    // knob=value pair; kAxesKnobs order is enforced (nextKnob only
-    // advances), which also rejects duplicates.
+    // Each '@'-chained suffix is the preset name, the org triple, or
+    // one knob=value pair; kAxesKnobs order is enforced (nextKnob
+    // only advances), which also rejects duplicates.
     std::size_t nextKnob = 0;
     bool sawPreset = false;
+    bool sawOrg = false;
     std::string::size_type start = at;
     while (start != std::string::npos) {
         const auto end = text.find('@', start + 1);
@@ -222,7 +280,7 @@ SystemAxes::parse(const std::string &text)
 
         const auto eq = suffix.find('=');
         if (eq == std::string::npos) {
-            if (sawPreset || nextKnob > 0) {
+            if (sawPreset || sawOrg || nextKnob > 0) {
                 fatal("system axes '", text, "': preset '", suffix,
                       "' must come right after the policy (want ",
                       kAxesGrammar, ")");
@@ -240,6 +298,28 @@ SystemAxes::parse(const std::string &text)
         }
 
         const std::string key = suffix.substr(0, eq);
+        if (key == "org") {
+            if (sawOrg || nextKnob > 0) {
+                fatal("system axes '", text, "': ",
+                      sawOrg ? "repeated" : "out-of-order",
+                      " org suffix '", suffix, "' — org comes right "
+                      "after the policy/preset (want ", kAxesGrammar,
+                      ")");
+            }
+            const std::string value = suffix.substr(eq + 1);
+            std::uint32_t channels = 0, ranks = 0, banks = 0;
+            if (!parseOrgValue(value, channels, ranks, banks)
+                || !orgInBounds(channels, ranks, banks)) {
+                fatal("system axes '", text, "': '", value,
+                      "' is not a CxRxB DRAM organization (want ",
+                      kAxesGrammar, ")");
+            }
+            axes.orgChannels = channels;
+            axes.orgRanks = ranks;
+            axes.orgBanks = banks;
+            sawOrg = true;
+            continue;
+        }
         std::size_t k = nextKnob;
         while (k < std::size(kAxesKnobs) && key != kAxesKnobs[k].key)
             ++k;
@@ -292,6 +372,12 @@ SystemAxes::effectiveTimingNs() const
 void
 SystemAxes::validate() const
 {
+    if (!orgInBounds(orgChannels, orgRanks, orgBanks)) {
+        fatal("system axes '", field(), "': DRAM organization ",
+              orgChannels, "x", orgRanks, "x", orgBanks,
+              " out of range — channels, ranks and banks-per-rank "
+              "must be powers of two within 1..8 / 1..4 / 4..64");
+    }
     const DramTimingNs ns = effectiveTimingNs();
     if (ns.tRC < ns.tRCD + ns.tRP) {
         fatal("system axes '", field(), "': inconsistent timings — "
@@ -306,6 +392,9 @@ SystemAxes::apply(SystemConfig &cfg) const
 {
     validate();
     cfg.memCtrl.pagePolicy = pagePolicy;
+    cfg.org.channels = orgChannels;
+    cfg.org.ranksPerChannel = orgRanks;
+    cfg.org.banksPerRank = orgBanks;
     const double cpuFreqGHz = cfg.timingNs.cpuFreqGHz;
     cfg.timingNs = effectiveTimingNs();
     cfg.timingNs.cpuFreqGHz = cpuFreqGHz;
@@ -349,6 +438,21 @@ dramPresetFromName(const std::string &name)
     if (name == "ddr5")
         return DramPreset::Ddr5;
     fatal("unknown DRAM preset '", name, "' (want ddr4|ddr5)");
+}
+
+void
+dramOrgFromName(const std::string &name, SystemAxes &axes)
+{
+    std::uint32_t channels = 0, ranks = 0, banks = 0;
+    if (!parseOrgValue(name, channels, ranks, banks)
+        || !orgInBounds(channels, ranks, banks)) {
+        fatal("unknown DRAM org '", name, "' (want CxRxB — "
+              "power-of-two channels x ranks x banks-per-rank, "
+              "channels 1..8, ranks 1..4, banks 4..64)");
+    }
+    axes.orgChannels = channels;
+    axes.orgRanks = ranks;
+    axes.orgBanks = banks;
 }
 
 } // namespace srs

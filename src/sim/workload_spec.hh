@@ -11,15 +11,17 @@
  *    the plain workload name used to;
  *  - SystemAxes names *which machine variant* it runs on — the
  *    page-management policy, a DRAM-generation timing preset
- *    (ddr4/ddr5), and per-knob nanosecond timing overrides (tRC,
- *    tRCD, tRP, tREFI, tRFC) — as a sweepable axis applied
- *    uniformly to the protected run and its unprotected baseline.
+ *    (ddr4/ddr5), the DRAM organization (`org=CxRxB`: channels x
+ *    ranks-per-channel x banks-per-rank), and per-knob nanosecond
+ *    timing overrides (tRC, tRCD, tRP, tREFI, tRFC) — as a
+ *    sweepable axis applied uniformly to the protected run and its
+ *    unprotected baseline.
  *
  * Both types have a canonical, comma-free text spelling that appears
  * verbatim in the sweep CSV identity columns (`workload_spec`,
  * `axes`) and in the shard manifest, so resume validation and the
  * shard merge can compare identities byte for byte
- * (docs/sweep-format.md specs the formats, schema v4).
+ * (docs/sweep-format.md specs the formats, schema v5).
  */
 
 #ifndef SRS_SIM_WORKLOAD_SPEC_HH
@@ -129,8 +131,9 @@ struct WorkloadSpec
 /**
  * System-configuration overlay swept as its own axis: the page
  * policy, a DRAM-generation timing preset (DDR4 Table III defaults
- * or the DDR5-4800-class variant), and per-knob nanosecond timing
- * overrides layered on top of the preset.  Applied by
+ * or the DDR5-4800-class variant), the DRAM organization (channels,
+ * ranks per channel, banks per rank), and per-knob nanosecond
+ * timing overrides layered on top of the preset.  Applied by
  * makeSystemConfig() to protected and baseline runs alike, so
  * normalization always compares like with like.
  */
@@ -139,6 +142,17 @@ struct SystemAxes
     PagePolicy pagePolicy = PagePolicy::Closed;
     /** Timing preset the overrides below are layered onto. */
     DramPreset preset = DramPreset::Ddr4;
+    /**
+     * DRAM organization (the `@org=CxRxB` suffix): channels, ranks
+     * per channel and banks per rank, each a power of two within
+     * channels 1..8, ranks 1..4, banks-per-rank 4..64.  The
+     * defaults mirror DramOrg{} (2x1x16, the Table III geometry),
+     * and — like `@ddr4` — the default triple is canonicalized away
+     * by field().  Rows-per-bank and row/line bytes are not swept.
+     */
+    std::uint32_t orgChannels = 2;
+    std::uint32_t orgRanks = 1;
+    std::uint32_t orgBanks = 16;
     /**
      * Per-knob timing overrides in nanoseconds; 0 keeps the preset's
      * value.  tRAS is re-derived as tRC - tRP so the bank state
@@ -156,18 +170,20 @@ struct SystemAxes
     /**
      * Canonical text field (CSV `axes` column, manifest spelling):
      * the policy name, then `@ddr5` when the preset is not DDR4,
-     * then one `@<knob>=<ns>` suffix per overridden knob in the
-     * fixed order trc, trcd, trp, trefi, trfc — `closed`, `open`,
-     * `open@trc=48`, `open@ddr5@trefi=3900`.
+     * then `@org=CxRxB` when the organization is not the default
+     * 2x1x16, then one `@<knob>=<ns>` suffix per overridden knob in
+     * the fixed order trc, trcd, trp, trefi, trfc — `closed`,
+     * `open`, `open@trc=48`, `open@ddr5@org=2x2x32@trefi=3900`.
      */
     std::string field() const;
 
     /**
      * Inverse of field(): parse one axes spelling
-     * (`<policy>[@ddr4|@ddr5][@trc=NS][@trcd=NS][@trp=NS]
-     * [@trefi=NS][@trfc=NS]`, suffixes in that order, each at most
-     * once).  fatal() names the offending input verbatim and lists
-     * every accepted spelling; the parsed axes are validate()d.
+     * (`<policy>[@ddr4|@ddr5][@org=CxRxB][@trc=NS][@trcd=NS]
+     * [@trp=NS][@trefi=NS][@trfc=NS]`, suffixes in that order, each
+     * at most once).  fatal() names the offending input verbatim and
+     * lists every accepted spelling; the parsed axes are
+     * validate()d.
      */
     static SystemAxes parse(const std::string &text);
 
@@ -180,8 +196,8 @@ struct SystemAxes
     /**
      * fatal() when the effective timings are inconsistent (tRC <
      * tRCD + tRP, which would make the derived tRAS unable to cover
-     * the row-open window); the message names field() and the
-     * offending values.
+     * the row-open window) or the organization triple is out of
+     * range; the message names field() and the offending values.
      */
     void validate() const;
 
@@ -200,6 +216,13 @@ const char *dramPresetName(DramPreset preset);
 
 /** Parse a DRAM-preset name; fatal() listing accepted spellings. */
 DramPreset dramPresetFromName(const std::string &name);
+
+/**
+ * Parse a `CxRxB` DRAM-organization spelling (a `--org` grid item or
+ * manifest `orgs=` item) into @p axes' org fields; fatal() listing
+ * the accepted shape and bounds on malformed or out-of-range input.
+ */
+void dramOrgFromName(const std::string &name, SystemAxes &axes);
 
 } // namespace srs
 

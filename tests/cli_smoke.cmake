@@ -210,7 +210,7 @@ file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
 
 # Generator workloads: a zipf + blend grid must be thread-count
 # invariant, carry the canonical spellings in the identity column,
-# and emit the schema-v4 tail-latency header.
+# and emit the schema-v5 tail-latency header.
 set(gen_grid --workloads=zipf:4096@s=0.99,blend:zipf:4096@s=0.9+attack@0.05
     --mitigations=rrs --trh=1200 --rates=6 --cycles=60000 --epoch=25000)
 run_expect_ok(sweep ${gen_grid} --threads=1
@@ -225,7 +225,7 @@ if(NOT gen_diff EQUAL 0)
 endif()
 file(READ ${smoke_dir}/gen_t1.csv gen_csv)
 foreach(needle ",zipf:4096@s=0.99," ",blend:zipf:4096@s=0.9\\+attack@0.05,"
-        ",p50_lat,p99_lat,p999_lat")
+        ",p50_lat,p99_lat,p999_lat,lat_samples")
   if(NOT gen_csv MATCHES "${needle}")
     message(FATAL_ERROR "generator sweep CSV lacks '${needle}'")
   endif()
@@ -249,9 +249,55 @@ run_expect_fail(sweep --workloads=blend:zipf:64@s=1 --mitigations=rrs
 run_expect_fail(sweep --workloads=hotspot:4096@hot=1.5@p=0.5
                 --mitigations=rrs --trh=1200 --rates=6)
 
+# The DRAM organization is a system axis too: an org grid must be
+# invariant under both --threads and --channel-workers (the channel-
+# parallel kernel is an optimization, never an axis), carry the
+# @org= spellings in the identity column, and ride orchestrate/merge
+# byte-identically.
+set(org_grid --workloads=gups --mitigations=rrs,scale-srs --trh=1200
+    --rates=6 --org=1x1x16,2x1x16,2x2x32 --cycles=60000 --epoch=25000)
+run_expect_ok(sweep ${org_grid} --threads=1 --channel-workers=1
+              --out=${smoke_dir}/org_serial.csv --journal=none)
+run_expect_ok(sweep ${org_grid} --threads=8 --channel-workers=8
+              --out=${smoke_dir}/org_parallel.csv --journal=none)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/org_serial.csv
+                ${smoke_dir}/org_parallel.csv
+                RESULT_VARIABLE org_diff)
+if(NOT org_diff EQUAL 0)
+  message(FATAL_ERROR "org sweep depends on the thread/channel-worker count")
+endif()
+file(READ ${smoke_dir}/org_serial.csv org_csv)
+foreach(needle ",closed@org=1x1x16," ",closed,")
+  if(NOT org_csv MATCHES "${needle}")
+    message(FATAL_ERROR "org sweep CSV lacks axes field '${needle}'")
+  endif()
+endforeach()
+if(NOT org_csv MATCHES ",closed@org=2x2x32,")
+  message(FATAL_ERROR "org sweep CSV lacks the 2x2x32 axes field")
+endif()
+file(REMOVE_RECURSE ${smoke_dir}/org_shards)
+run_expect_ok(orchestrate ${org_grid} --shards=2 --jobs=2 --threads=1
+              --out=${smoke_dir}/org_merged.csv
+              --dir=${smoke_dir}/org_shards)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/org_serial.csv ${smoke_dir}/org_merged.csv
+                RESULT_VARIABLE org_orch_diff)
+if(NOT org_orch_diff EQUAL 0)
+  message(FATAL_ERROR "orchestrated org CSV differs")
+endif()
+# Malformed or out-of-range --org values are fatal up front.
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --org=2x2)
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --org=0x1x16)
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --org=2x2x128)
+
 # Unknown axis values must be fatal with the accepted spellings
-# listed, and schema-v1/v2/v3 checkpoints/manifests must be rejected
-# with a versioned error instead of a cryptic identity mismatch.
+# listed, and schema-v1/v2/v3/v4 checkpoints/manifests must be
+# rejected with a versioned error instead of a cryptic identity
+# mismatch.
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --page-policy=half-open)
 run_expect_fail(sweep --workloads=trace: --mitigations=rrs --trh=1200
@@ -275,13 +321,17 @@ file(WRITE ${smoke_dir}/v3_checkpoint.csv
      "index,workload_spec,mitigation,tracker,trh,rate,axes,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts\n")
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --resume=${smoke_dir}/v3_checkpoint.csv)
-file(READ ${smoke_dir}/orch_shards/manifest manifest_v4)
-if(NOT manifest_v4 MATCHES "version=4")
-  message(FATAL_ERROR "orchestrate manifest is not schema v4")
+file(WRITE ${smoke_dir}/v4_checkpoint.csv
+     "index,workload_spec,mitigation,tracker,trh,rate,axes,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,p999_lat\n")
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/v4_checkpoint.csv)
+file(READ ${smoke_dir}/orch_shards/manifest manifest_v5)
+if(NOT manifest_v5 MATCHES "version=5")
+  message(FATAL_ERROR "orchestrate manifest is not schema v5")
 endif()
-foreach(stale_version 1 2 3)
-  string(REPLACE "version=4" "version=${stale_version}" manifest_stale
-         "${manifest_v4}")
+foreach(stale_version 1 2 3 4)
+  string(REPLACE "version=5" "version=${stale_version}" manifest_stale
+         "${manifest_v5}")
   file(WRITE ${smoke_dir}/orch_shards/stale_manifest "${manifest_stale}")
   run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/stale_manifest)
 endforeach()
@@ -313,8 +363,8 @@ execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
                 RESULT_VARIABLE usage_rc ERROR_QUIET)
 foreach(subcommand perf sweep orchestrate merge attack storage trace list
         --workloads --shards --manifest --montecarlo
-        --trace --page-policy --preset --trc --trcd --trp --trefi
-        --trfc "trace:")
+        --trace --page-policy --preset --org --channel-workers
+        --trc --trcd --trp --trefi --trfc "trace:")
   if(NOT usage_text MATCHES "${subcommand}")
     message(FATAL_ERROR "usage() does not mention '${subcommand}'")
   endif()

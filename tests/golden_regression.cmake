@@ -9,12 +9,16 @@
 # downstream resume/merge failure.
 #
 # The grid deliberately crosses the identity-bearing axes (page
-# policy, DDR4/DDR5 preset, a tREFI override) at a tiny cycle budget,
+# policy, DDR4/DDR5 preset, a DRAM organization, a tREFI override)
+# at a tiny cycle budget,
 # and uses a low T_RH so the mitigations actually swap rows — the
 # payload columns lock down mitigation behaviour, not just identity
 # formatting.  A zipf and a blend generator cell ride next to the
 # synthetic workload so the generator sampling paths and the
-# schema-v4 latency-percentile columns are locked down too.  The regeneration runs at the default thread count:
+# schema-v5 latency-percentile/lat_samples columns are locked down
+# too, and the multi-channel multi-rank org cells pin down the
+# channel-parallel execution kernel's byte-identity.  The
+# regeneration runs at the default thread count:
 # sweep CSVs are byte-identical for any --threads value (that
 # invariant has its own tests), so the comparison is exact while the
 # regeneration parallelizes.
@@ -39,6 +43,7 @@ execute_process(
           --workloads=gups,zipf:4096@s=0.99,blend:zipf:4096@s=0.9+attack@0.05
           --mitigations=rrs,scale-srs --trh=60
           --rates=6 --page-policy=closed,open --preset=ddr4,ddr5
+          --org=2x1x16,2x2x32
           --trefi=0,3900 --cycles=120000 --epoch=30000 --threads=0
           --out=${regen} --journal=none
   RESULT_VARIABLE rc

@@ -57,6 +57,13 @@ TEST(Params, OrgValidateRejectsNonPow2)
     EXPECT_THROW(org.validate(), FatalError);
 }
 
+TEST(Params, OrgValidateRejectsNonPow2Ranks)
+{
+    DramOrg org;
+    org.ranksPerChannel = 3;
+    EXPECT_THROW(org.validate(), FatalError);
+}
+
 TEST(Params, OrgCapacityMatchesTableIII)
 {
     DramOrg org;
@@ -112,6 +119,65 @@ TEST(AddressMap, FlatBankCoversAllBanks)
     }
     for (bool s : seen)
         EXPECT_TRUE(s);
+}
+
+/**
+ * The layout's striping contract, proved for non-default orgs: the
+ * bank-select bits (channel, rank, bank) sit directly above the
+ * column, so the first totalBanks() consecutive row-sized blocks of
+ * the address space land on every (channel, rank, bank) triple
+ * exactly once — all in row 0 — before the row index advances.
+ * Before the field widths were derived from the live org, a
+ * multi-rank geometry silently aliased ranks onto bank bits.
+ */
+TEST(AddressMap, RowStripingCoversEveryBankOncePerOrg)
+{
+    for (const DramOrg base : {DramOrg{}, DramOrg{4, 2, 32},
+                               DramOrg{1, 1, 4}, DramOrg{8, 4, 64}}) {
+        AddressMap map(base);
+        std::vector<std::uint32_t> hits(base.totalBanks(), 0);
+        for (std::uint32_t blk = 0; blk < base.totalBanks(); ++blk) {
+            const Addr addr =
+                static_cast<Addr>(blk) * base.rowBytes;
+            const DramCoord c = map.decode(addr);
+            EXPECT_EQ(c.row, 0u);
+            EXPECT_EQ(c.column, 0u);
+            ++hits[map.flatBank(c)];
+        }
+        for (std::uint32_t h : hits)
+            EXPECT_EQ(h, 1u);
+        // The next block wraps back to bank 0, one row up.
+        const DramCoord next = map.decode(
+            static_cast<Addr>(base.totalBanks()) * base.rowBytes);
+        EXPECT_EQ(map.flatBank(next), 0u);
+        EXPECT_EQ(next.row, 1u);
+    }
+}
+
+TEST(AddressMap, EncodeDecodeRoundTripsNonDefaultOrgs)
+{
+    for (const DramOrg org : {DramOrg{4, 2, 32}, DramOrg{8, 4, 64},
+                              DramOrg{1, 2, 8}}) {
+        AddressMap map(org);
+        std::uint64_t x = 0x2545F4914F6CDD1DULL;
+        for (int i = 0; i < 32; ++i) {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            std::uint64_t v = x;
+            DramCoord c;
+            c.channel = static_cast<std::uint32_t>(v % org.channels);
+            v /= org.channels;
+            c.rank = static_cast<std::uint32_t>(v % org.ranksPerChannel);
+            v /= org.ranksPerChannel;
+            c.bank = static_cast<std::uint32_t>(v % org.banksPerRank);
+            v /= org.banksPerRank;
+            c.row = static_cast<RowId>(v % org.rowsPerBank);
+            v /= org.rowsPerBank;
+            c.column = static_cast<std::uint32_t>(v % org.linesPerRow());
+            const Addr a = map.encode(c);
+            EXPECT_EQ(map.decode(a), c);
+            EXPECT_LT(a, org.capacityBytes());
+        }
+    }
 }
 
 /** Property sweep: decode(encode(x)) == x across the coordinate space. */

@@ -213,7 +213,7 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
     // Future manifest versions are rejected, not misread.
     broken = text;
-    const auto version = broken.find("version=4");
+    const auto version = broken.find("version=5");
     ASSERT_NE(version, std::string::npos);
     broken.replace(version, 9, "version=7");
     EXPECT_THROW(
@@ -239,17 +239,17 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
 TEST(ShardManifestFile, StaleManifestsAreRejectedWithVersionedErrors)
 {
-    // A version-1, -2 or -3 manifest (pre-WorkloadSpec,
-    // pre-DRAM-preset/timing-axes, and pre-latency-percentiles
-    // respectively) must fail with an error that names the version,
-    // not a key-parsing mess or a cryptic identity mismatch
-    // downstream.
+    // A version-1, -2, -3 or -4 manifest (pre-WorkloadSpec,
+    // pre-DRAM-preset/timing-axes, pre-latency-percentiles, and
+    // pre-DRAM-organization-axis respectively) must fail with an
+    // error that names the version, not a key-parsing mess or a
+    // cryptic identity mismatch downstream.
     const ShardManifest manifest =
         planShards(testGrid(), tinyExperiment(), 2);
     const std::string text = serializeManifest(manifest);
-    const auto version = text.find("version=4");
+    const auto version = text.find("version=5");
     ASSERT_NE(version, std::string::npos);
-    for (const int old : {1, 2, 3}) {
+    for (const int old : {1, 2, 3, 4}) {
         std::string stale = text;
         stale.replace(version, 9,
                       "version=" + std::to_string(old));
@@ -480,6 +480,55 @@ TEST(ShardMerge, TornOrShortShardIsFatal)
     ShardManifest missing = manifest;
     missing.shards[1].csv = "no_such_shard.csv";
     EXPECT_THROW(mergedCsv(missing), FatalError);
+}
+
+TEST(ShardMerge, StaleShardCsvHeaderIsRejectedWithAVersionedError)
+{
+    // A shard produced by a schema-v4 build (percentile columns but
+    // no lat_samples, predating the DRAM-organization axis) must be
+    // rejected naming schema v4, mirroring the manifest-version
+    // checks — never merged with reinterpreted columns.
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "stalehdr_", 8);
+    const std::string path =
+        testing::TempDir() + manifest.shards[0].csv;
+    const std::string intact = readFile(path);
+    const auto headerEnd = intact.find('\n');
+    const std::string v4Header =
+        "index,workload_spec,mitigation,tracker,trh,rate,axes,"
+        "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+        "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
+        "p999_lat";
+    writeTempFile(manifest.shards[0].csv,
+                  v4Header + intact.substr(headerEnd));
+    const std::string reason =
+        validateShardCsv(manifest.shards[0], exp, path);
+    EXPECT_NE(reason.find("schema v4"), std::string::npos) << reason;
+    EXPECT_NE(reason.find("lat_samples"), std::string::npos)
+        << reason;
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+}
+
+TEST(ShardMerge, OrgAxisSurvivesShardingAndMergesByteIdentical)
+{
+    // An org-bearing grid shards and merges to the bytes of the
+    // single-process sweep, org spellings intact in every identity
+    // prefix.
+    SweepGrid grid = testGrid();
+    grid.orgs = {"2x1x16", "4x2x32"};
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string full = sweepCsv(grid, 1);
+    const ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "orgmerge_", 8);
+    EXPECT_EQ(mergedCsv(manifest), full);
+    EXPECT_NE(full.find("@org=4x2x32"), std::string::npos);
+    // The org axis round-trips through the manifest bytes too.
+    const std::string text = serializeManifest(manifest);
+    EXPECT_NE(text.find("orgs=2x1x16,4x2x32"), std::string::npos);
+    const std::string path = writeTempFile("manifest_orgs", text);
+    EXPECT_EQ(serializeManifest(loadManifest(path)), text);
 }
 
 TEST(ShardMerge, KilledShardResumesAndRemergesByteIdentical)

@@ -34,10 +34,12 @@ namespace
 constexpr int kIterations = 300;
 
 /**
- * Draw one valid SystemAxes: random policy and preset, each timing
- * knob overridden with probability ~1/2.  tRC (when overridden) is
- * drawn at or above the effective tRCD + tRP so the combination
- * always validates.
+ * Draw one valid SystemAxes: random policy and preset, a random
+ * in-bounds organization triple with probability ~1/2 (sometimes
+ * landing on the default 2x1x16, which field() must canonicalize
+ * away), each timing knob overridden with probability ~1/2.  tRC
+ * (when overridden) is drawn at or above the effective tRCD + tRP so
+ * the combination always validates.
  */
 SystemAxes
 randomAxes(Rng &rng)
@@ -47,6 +49,14 @@ randomAxes(Rng &rng)
         rng.nextBool(0.5) ? PagePolicy::Closed : PagePolicy::Open;
     axes.preset =
         rng.nextBool(0.5) ? DramPreset::Ddr4 : DramPreset::Ddr5;
+    if (rng.nextBool(0.5)) {
+        static const std::uint32_t chs[] = {1, 2, 4, 8};
+        static const std::uint32_t rks[] = {1, 2, 4};
+        static const std::uint32_t bks[] = {4, 8, 16, 32, 64};
+        axes.orgChannels = chs[rng.nextBelow(std::size(chs))];
+        axes.orgRanks = rks[rng.nextBelow(std::size(rks))];
+        axes.orgBanks = bks[rng.nextBelow(std::size(bks))];
+    }
     if (rng.nextBool(0.5))
         axes.tRcdNs = static_cast<std::uint32_t>(rng.nextRange(1, 100));
     if (rng.nextBool(0.5))
@@ -253,6 +263,20 @@ TEST(SpecProperty, MalformedAxesSpellingsNameInputAndGrammar)
          {"open@trefi=3900@trc=48", "out-of-order"}},
         {"open@trc=48@ddr5",
          {"open@trc=48@ddr5", "right after the policy"}},
+        {"open@org=0x1x16",
+         {"open@org=0x1x16", "0x1x16", "CxRxB", "channels 1..8"}},
+        {"open@org=2x2", {"open@org=2x2", "CxRxB", "banks 4..64"}},
+        {"open@org=2x2x128",
+         {"open@org=2x2x128", "2x2x128", "banks 4..64"}},
+        {"open@org=axbxc",
+         {"open@org=axbxc", "axbxc", "power-of-two"}},
+        {"open@ddr5@org=3x1x16",
+         {"open@ddr5@org=3x1x16", "3x1x16", "power-of-two"}},
+        {"open@org=2x2x32@org=2x2x32",
+         {"open@org=2x2x32@org=2x2x32", "repeated"}},
+        {"open@trc=48@org=2x2x32",
+         {"open@trc=48@org=2x2x32", "out-of-order",
+          "right after the policy"}},
         {"closed@trc=20", {"closed@trc=20", "tRCD + tRP"}},
         {"closed@ddr5@trcd=40@trp=40",
          {"closed@ddr5@trcd=40@trp=40", "tRCD + tRP"}},

@@ -442,19 +442,21 @@ TEST(SweepCsv, HeaderAndRowShape)
     r.run.p50Lat = 31;
     r.run.p99Lat = 95;
     r.run.p999Lat = 127;
+    r.run.latSamples = 4242;
     std::ostringstream os;
     SweepRunner::writeCsv(os, {r});
     const std::string csv = os.str();
     EXPECT_NE(csv.find("index,workload_spec,mitigation,tracker,trh,"
                        "rate,axes,seed,"),
               std::string::npos);
-    // Schema v4: the tail-latency percentile columns close the header.
-    EXPECT_NE(csv.find(",p50_lat,p99_lat,p999_lat\n"),
+    // Schema v5: the percentile columns plus the lat_samples count
+    // close the header.
+    EXPECT_NE(csv.find(",p50_lat,p99_lat,p999_lat,lat_samples\n"),
               std::string::npos);
     EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,closed,"),
               std::string::npos);
     EXPECT_NE(csv.find("0.750000"), std::string::npos);
-    EXPECT_NE(csv.find(",31,95,127\n"), std::string::npos);
+    EXPECT_NE(csv.find(",31,95,127,4242\n"), std::string::npos);
     // Every data row carries exactly kRowColumns comma-separated
     // fields.
     const std::string row = csv.substr(csv.find('\n') + 1);
@@ -674,6 +676,67 @@ TEST(SweepAxes, PresetAndOverrideAxesCrossInDeclarationOrder)
     EXPECT_THROW(bad.expand(), FatalError);
 }
 
+TEST(SweepAxes, OrgAxisCrossesBetweenPresetAndTimingOverrides)
+{
+    // The canonical suffix order is also the expansion order:
+    // policy, then preset, then org, then the timing overrides.
+    SweepGrid grid;
+    grid.workloads = {WorkloadSpec::synthetic("gups")};
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
+    grid.orgs = {"2x1x16", "4x2x32"};
+    grid.tRefiOverrides = {0, 3900};
+    grid.mitigations = {MitigationKind::Rrs};
+    grid.trhs = {1200};
+    grid.swapRates = {3};
+    ASSERT_EQ(grid.innerCells(), 8u);
+    const std::vector<SweepCell> cells = grid.expand();
+    ASSERT_EQ(cells.size(), 8u);
+    EXPECT_EQ(cells[0].axes.field(), "closed");
+    EXPECT_EQ(cells[1].axes.field(), "closed@trefi=3900");
+    EXPECT_EQ(cells[2].axes.field(), "closed@org=4x2x32");
+    EXPECT_EQ(cells[3].axes.field(),
+              "closed@org=4x2x32@trefi=3900");
+    EXPECT_EQ(cells[4].axes.field(), "closed@ddr5");
+    EXPECT_EQ(cells[6].axes.field(), "closed@ddr5@org=4x2x32");
+    EXPECT_EQ(cells[7].axes.field(),
+              "closed@ddr5@org=4x2x32@trefi=3900");
+
+    // A malformed org spelling is fatal at expansion, before any
+    // simulation starts, naming the input verbatim.
+    SweepGrid bad = grid;
+    bad.orgs = {"2x2"};
+    try {
+        bad.expand();
+        FAIL() << "malformed org was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("2x2"),
+                  std::string::npos)
+            << err.what();
+        EXPECT_NE(std::string(err.what()).find("CxRxB"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(SweepAxes, EachOrgVariantNormalizesAgainstItsOwnBaseline)
+{
+    // Organization variants of the same workload share a trace seed
+    // but not a baseline: a 4-channel cell normalizes against the
+    // unprotected 4-channel run, never the default-org one.
+    std::vector<SweepCell> cells(2);
+    cells[0].workload = WorkloadSpec::synthetic("gups");
+    cells[0].mitigation = MitigationKind::None;
+    cells[1] = cells[0];
+    dramOrgFromName("4x2x32", cells[1].axes);
+    SweepRunner runner(tinyExperiment(), 2);
+    const std::vector<SweepResult> results = runner.run(cells);
+    EXPECT_DOUBLE_EQ(results[0].normalized, 1.0);
+    EXPECT_DOUBLE_EQ(results[1].normalized, 1.0);
+    EXPECT_GT(results[0].baselineIpc, 0.0);
+    EXPECT_GT(results[1].baselineIpc, 0.0);
+    EXPECT_EQ(results[0].seed, results[1].seed);
+}
+
 TEST(SweepAxes, EachPresetVariantNormalizesAgainstItsOwnBaseline)
 {
     // DDR4 and DDR5 cells of the same workload share a seed but not
@@ -852,6 +915,50 @@ TEST(SweepResume, SchemaV3FilesAreRejectedWithAVersionedError)
         FAIL() << "v3 journal row was not rejected";
     } catch (const FatalError &err) {
         EXPECT_NE(std::string(err.what()).find("v3"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(SweepResume, SchemaV4FilesAreRejectedWithAVersionedError)
+{
+    // A v4 CSV has the tail-latency percentile columns but no
+    // lat_samples count; v5 appended it alongside the
+    // DRAM-organization axis.  Resuming from a v4 file must fail
+    // naming schema v4, both via its header and via a headerless
+    // journal row.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string v4Header =
+        "index,workload_spec,mitigation,tracker,trh,rate,axes,"
+        "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+        "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
+        "p999_lat\n";
+    const std::string path =
+        writeTempFile("sweep_v4_header.csv", v4Header);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    try {
+        runner.run(cells);
+        FAIL() << "v4 CSV header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v4"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // A v4 journal row: 19 fields, 0x-seed in column 8.
+    const std::string v4Row =
+        "0,gups,rrs,misra-gries,1200,3,closed,0x1234567890abcdef,"
+        "1.0,2.0,0.5,1,2,3,4,5,31,95,127\n";
+    const std::string rowPath =
+        writeTempFile("sweep_v4_journal", v4Row);
+    SweepRunner journalRunner(tinyExperiment(), 2);
+    journalRunner.setResume(rowPath);
+    try {
+        journalRunner.run(cells);
+        FAIL() << "v4 journal row was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("v4"),
                   std::string::npos)
             << err.what();
     }

@@ -32,10 +32,12 @@
  *                      --mitigations=rrs,scale-srs --trh=1200,2400
  *                      --rates=3,6 [--tracker=misra-gries]
  *                      [--trace=FILE[;FILE…]] [--page-policy=A,B]
- *                      [--preset=ddr4,ddr5] [--trc=NS,…]
+ *                      [--preset=ddr4,ddr5] [--org=CxRxB,…]
+ *                      [--trc=NS,…]
  *                      [--trcd=NS,…] [--trp=NS,…] [--trefi=NS,…]
  *                      [--trfc=NS,…] [--mix=N] [--mix-base=K]
- *                      [--threads=N] [--cycles=N] [--epoch=N]
+ *                      [--threads=N] [--channel-workers=N]
+ *                      [--cycles=N] [--epoch=N]
  *                      [--seed=S] [--out=FILE] [--resume=FILE]
  *                      [--journal=FILE]
  *            --workloads=all sweeps every built-in profile; items
@@ -50,18 +52,24 @@
  *            stream — trace/generators.hh has the grammar); --mix=N
  *            appends N MIX points (per-core profile draws, starting
  *            at mix<K>) to the workload axis; --page-policy,
- *            --preset and the --trc/--trcd/--trp/--trefi/--trfc
+ *            --preset, --org (channels x ranks x banks-per-rank
+ *            DRAM organizations, e.g. 2x1x16) and the
+ *            --trc/--trcd/--trp/--trefi/--trfc
  *            override lists sweep the system axes (closed|open page
  *            management, ddr4|ddr5 timing preset, per-knob ns
  *            overrides, 0 = the preset's default), applied to
  *            protected and baseline runs alike.  Every row ends
  *            with the p50_lat/p99_lat/p999_lat read-latency
- *            percentile columns (schema v4).  CSV goes to stdout
+ *            percentile columns and the lat_samples count
+ *            (schema v5).  CSV goes to stdout
  *            unless --out is given.  Output is ordered by cell
- *            (workloads outermost, then page policy, preset, the
- *            timing overrides, mitigations, trhs,
+ *            (workloads outermost, then page policy, preset, org,
+ *            the timing overrides, mitigations, trhs,
  *            rates innermost) and is byte-identical for any
- *            --threads value.  Completed cells stream to a journal
+ *            --threads or --channel-workers value (the latter
+ *            parallelizes the DRAM channels *inside* each cell —
+ *            useful for a few large multi-channel cells).
+ *            Completed cells stream to a journal
  *            (default <out>.journal; --journal=none disables), and
  *            --resume=FILE skips cells already recorded in a
  *            previous journal or (possibly truncated) sweep CSV —
@@ -176,9 +184,9 @@ cmdPerf(const Options &opts)
 /**
  * Parse the sweep grid + experiment flags shared by `sweep` and
  * `orchestrate` (--workloads/--trace/--mitigations/--page-policy/
- * --preset/--trc/--trcd/--trp/--trefi/--trfc/--trh/--rates/
+ * --preset/--org/--trc/--trcd/--trp/--trefi/--trfc/--trh/--rates/
  * --tracker/--mix/--mix-base/--cycles/--epoch/--seed); fatal() on
- * an empty grid or inconsistent timing axes.
+ * an empty grid, a malformed org, or inconsistent timing axes.
  */
 void
 parseGridFlags(const Options &opts, SweepGrid &grid,
@@ -214,6 +222,7 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
     for (const std::string &p :
          splitList(opts.getString("preset", "ddr4")))
         grid.presets.push_back(dramPresetFromName(p));
+    grid.orgs = splitList(opts.getString("org", "2x1x16"));
     grid.tRcOverrides =
         splitUint32List(opts.getString("trc", "0"), "--trc");
     grid.tRcdOverrides =
@@ -239,16 +248,18 @@ parseGridFlags(const Options &opts, SweepGrid &grid,
 
     if ((grid.workloads.empty() && grid.mixCount == 0)
         || grid.mitigations.empty() || grid.pagePolicies.empty()
-        || grid.presets.empty() || grid.tRcOverrides.empty()
+        || grid.presets.empty() || grid.orgs.empty()
+        || grid.tRcOverrides.empty()
         || grid.tRcdOverrides.empty() || grid.tRpOverrides.empty()
         || grid.tRefiOverrides.empty() || grid.tRfcOverrides.empty()
         || grid.trhs.empty() || grid.swapRates.empty()) {
         fatal("sweep grid is empty: need at least one workload or "
-              "MIX point, page policy, DRAM preset, timing override "
-              "(0 = default), mitigation, trh and rate");
+              "MIX point, page policy, DRAM preset, DRAM "
+              "organization, timing override (0 = default), "
+              "mitigation, trh and rate");
     }
-    // Reject inconsistent timing combinations (e.g. tRC < tRCD +
-    // tRP) before any shard or worker starts.
+    // Reject malformed orgs and inconsistent timing combinations
+    // (e.g. tRC < tRCD + tRP) before any shard or worker starts.
     (void)grid.axes();
 }
 
@@ -260,6 +271,8 @@ cmdSweep(const Options &opts)
     parseGridFlags(opts, grid, exp);
     const std::size_t threads =
         static_cast<std::size_t>(opts.getUint("threads", 0));
+    exp.channelWorkers = static_cast<std::uint32_t>(
+        opts.getUint("channel-workers", 1));
     const std::string out = opts.getString("out", "");
     const std::string resume = opts.getString("resume", "");
     std::string journal = opts.getString(
@@ -549,11 +562,16 @@ usage()
         "    --mitigations=A,B (scale-srs)\n"
         "    --page-policy=closed|open[,..] (closed)\n"
         "    --preset=ddr4|ddr5[,..] (ddr4)  DRAM timing preset\n"
+        "    --org=CxRxB[,..] (2x1x16)  DRAM organization:\n"
+        "    channels x ranks x banks-per-rank, powers of two in\n"
+        "    1..8 / 1..4 / 4..64\n"
         "    --trc=NS,.. --trcd=NS,.. --trp=NS,.. --trefi=NS,..\n"
         "    --trfc=NS,.. (0 = the preset's default timing)\n"
         "    --trh=N,M (1200)\n"
         "    --rates=N,M (3)  --tracker=KIND\n"
         "    --mix=N (0)  --mix-base=K (0)  --threads=N (all)\n"
+        "    --channel-workers=N (1)  worker threads per cell for\n"
+        "    channel-parallel simulation; never changes results\n"
         "    --cycles=N  --epoch=N  --seed=S  --out=FILE (stdout)\n"
         "    --journal=FILE|none (<out>.journal)  --resume=FILE\n"
         "\n"
