@@ -1,0 +1,172 @@
+#include "common/subprocess.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+#include "common/logging.hh"
+
+namespace srs
+{
+
+#if !defined(_WIN32)
+
+long
+spawnProcess(const std::vector<std::string> &argv,
+             const std::string &logPath)
+{
+    if (argv.empty())
+        fatal("spawnProcess: empty command line");
+    const pid_t pid = ::fork();
+    if (pid < 0)
+        fatal("fork failed: ", std::strerror(errno));
+    if (pid == 0) {
+#if defined(__linux__)
+        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+        if (!logPath.empty()) {
+            const int fd = ::open(logPath.c_str(),
+                                  O_WRONLY | O_CREAT | O_APPEND, 0644);
+            if (fd >= 0) {
+                ::dup2(fd, 1);
+                ::dup2(fd, 2);
+                ::close(fd);
+            }
+        }
+        std::vector<char *> args;
+        for (const std::string &arg : argv)
+            args.push_back(const_cast<char *>(arg.c_str()));
+        args.push_back(nullptr);
+        ::execv(args[0], args.data());
+        std::fprintf(stderr, "exec %s failed: %s\n", args[0],
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    return pid;
+}
+
+bool
+pollProcess(long pid, int &status)
+{
+    const pid_t r =
+        ::waitpid(static_cast<pid_t>(pid), &status, WNOHANG);
+    if (r < 0)
+        fatal("waitpid(", pid, ") failed: ", std::strerror(errno));
+    return r == static_cast<pid_t>(pid);
+}
+
+int
+waitProcess(long pid)
+{
+    int status = 0;
+    if (::waitpid(static_cast<pid_t>(pid), &status, 0) < 0)
+        fatal("waitpid(", pid, ") failed: ", std::strerror(errno));
+    return status;
+}
+
+void
+killProcess(long pid)
+{
+    ::kill(static_cast<pid_t>(pid), SIGKILL);
+}
+
+int
+runProcess(const std::vector<std::string> &argv,
+           const std::string &logPath)
+{
+    const int status = waitProcess(spawnProcess(argv, logPath));
+    if (WIFEXITED(status))
+        return WEXITSTATUS(status);
+    if (WIFSIGNALED(status))
+        return 128 + WTERMSIG(status);
+    return status;
+}
+
+bool
+processExitedCleanly(int status)
+{
+    return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+std::string
+describeProcessExit(int status)
+{
+    if (WIFSIGNALED(status)) {
+        return "killed by signal "
+               + std::to_string(WTERMSIG(status));
+    }
+    return "exited with status "
+           + std::to_string(WIFEXITED(status) ? WEXITSTATUS(status)
+                                              : status);
+}
+
+#else // _WIN32
+
+namespace
+{
+
+[[noreturn]] void
+posixOnly()
+{
+    fatal("process supervision (srs_sim orchestrate/farm) requires "
+          "a POSIX platform (fork/waitpid); run the shards from the "
+          "manifest by hand and stitch with 'srs_sim merge'");
+}
+
+} // namespace
+
+long
+spawnProcess(const std::vector<std::string> &, const std::string &)
+{
+    posixOnly();
+}
+
+bool
+pollProcess(long, int &)
+{
+    posixOnly();
+}
+
+int
+waitProcess(long)
+{
+    posixOnly();
+}
+
+void
+killProcess(long)
+{
+    posixOnly();
+}
+
+int
+runProcess(const std::vector<std::string> &, const std::string &)
+{
+    posixOnly();
+}
+
+bool
+processExitedCleanly(int status)
+{
+    return status == 0;
+}
+
+std::string
+describeProcessExit(int status)
+{
+    return "exited with status " + std::to_string(status);
+}
+
+#endif
+
+} // namespace srs

@@ -1,0 +1,95 @@
+#include "farm/hostfile.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/options.hh"
+
+namespace srs
+{
+
+namespace
+{
+
+std::string
+hostKey(std::size_t index, const char *field)
+{
+    return "host" + std::to_string(index) + "." + field;
+}
+
+} // namespace
+
+std::vector<HostSpec>
+loadHostfile(const std::string &path)
+{
+    const Options opts = Options::fromFile(path);
+    const std::uint64_t version = opts.getUint("version", 0);
+    if (version != kHostfileVersion) {
+        fatal("hostfile '", path, "': unsupported version ", version,
+              " (this build reads version ", kHostfileVersion,
+              " — docs/sweep-format.md has the schema)");
+    }
+    const std::uint64_t count = opts.getUint("hosts", 0);
+    if (count == 0)
+        fatal("hostfile '", path, "': no hosts (hosts=0 or missing)");
+
+    std::vector<HostSpec> hosts;
+    for (std::size_t k = 0; k < count; ++k) {
+        HostSpec spec;
+        spec.host = opts.getString(hostKey(k, "host"), "");
+        if (spec.host.empty()) {
+            fatal("hostfile '", path, "': host ", k, " has no '",
+                  hostKey(k, "host"), "=' entry");
+        }
+        spec.jobs = opts.getUint(hostKey(k, "jobs"), 1);
+        if (spec.jobs == 0) {
+            fatal("hostfile '", path, "': host ", k, " ('", spec.host,
+                  "') has jobs=0; every host needs at least one "
+                  "slot");
+        }
+        spec.sim = opts.getString(hostKey(k, "sim"), "");
+        spec.workdir = opts.getString(hostKey(k, "workdir"), "");
+        if (!spec.isLocal() && spec.workdir.empty()) {
+            fatal("hostfile '", path, "': ssh host ", k, " ('",
+                  spec.host, "') has no workdir= — remote shards "
+                  "need a directory to run in");
+        }
+        hosts.push_back(std::move(spec));
+    }
+    opts.rejectUnknown();
+    return hosts;
+}
+
+std::string
+serializeHostfile(const std::vector<HostSpec> &hosts)
+{
+    std::ostringstream out;
+    out << "# srs_sim farm hostfile (docs/sweep-format.md)\n"
+        << "version=" << kHostfileVersion << '\n'
+        << "hosts=" << hosts.size() << '\n';
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+        const HostSpec &spec = hosts[k];
+        out << hostKey(k, "host") << '=' << spec.host << '\n'
+            << hostKey(k, "jobs") << '=' << spec.jobs << '\n';
+        if (!spec.sim.empty())
+            out << hostKey(k, "sim") << '=' << spec.sim << '\n';
+        if (!spec.workdir.empty()) {
+            out << hostKey(k, "workdir") << '=' << spec.workdir
+                << '\n';
+        }
+    }
+    return out.str();
+}
+
+std::vector<std::size_t>
+expandHostSlots(const std::vector<HostSpec> &hosts)
+{
+    std::vector<std::size_t> slots;
+    for (std::size_t k = 0; k < hosts.size(); ++k) {
+        for (std::size_t j = 0; j < hosts[k].jobs; ++j)
+            slots.push_back(k);
+    }
+    return slots;
+}
+
+} // namespace srs

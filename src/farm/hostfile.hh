@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Fleet host descriptions for the farm dispatcher.
+ *
+ * A hostfile is the versioned `key=value` description of the fleet a
+ * `srs_sim farm` run may dispatch shards to: one block per host with
+ * its job-slot count, optional srs_sim binary path, and remote work
+ * directory.  The reserved host name "local" selects the fork/exec
+ * LocalTransport (no ssh involved), which is what every test and CI
+ * job uses; anything else is an ssh destination
+ * (farm/transport.hh).  docs/sweep-format.md specifies the schema.
+ *
+ * The hostfile never affects results: transports and host
+ * assignments are not part of any cell's identity, so the merged CSV
+ * is byte-identical whatever fleet computed it.
+ */
+
+#ifndef SRS_FARM_HOSTFILE_HH
+#define SRS_FARM_HOSTFILE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace srs
+{
+
+/** Hostfile schema version this build writes and reads. */
+inline constexpr unsigned kHostfileVersion = 1;
+
+/** One dispatch target: a host and its capacity. */
+struct HostSpec
+{
+    /**
+     * Dispatch destination: the reserved name "local" runs shards
+     * as direct children; anything else is an ssh destination
+     * (`user@node` or a ~/.ssh/config alias).
+     */
+    std::string host = "local";
+    /** Concurrent shard slots on this host (>= 1). */
+    std::size_t jobs = 1;
+    /**
+     * srs_sim binary path *on the host*; empty means the
+     * dispatcher's own --sim default.  Remote hosts usually need an
+     * explicit path — the local binary's path rarely exists there.
+     */
+    std::string sim;
+    /**
+     * Work directory *on the host* where shard CSVs/journals/logs
+     * live while the shard runs (created on launch, files pulled
+     * back by the transport).  Required for ssh hosts; ignored for
+     * "local", whose shards write straight into the shard dir.
+     */
+    std::string workdir;
+
+    /** @return true when this host uses the fork/exec transport. */
+    bool isLocal() const { return host == "local"; }
+};
+
+/**
+ * Parse a hostfile: `version=1`, `hosts=<N>`, then per host K the
+ * keys `hostK.host=`, `hostK.jobs=`, `hostK.sim=`, `hostK.workdir=`
+ * ('#' comments allowed).  Unknown keys, unknown versions, zero
+ * hosts/jobs, or an ssh host without a workdir are fatal() —
+ * misconfigured fleets fail by name before anything launches.
+ */
+std::vector<HostSpec> loadHostfile(const std::string &path);
+
+/** The on-disk text loadHostfile() parses (for tests and tooling). */
+std::string serializeHostfile(const std::vector<HostSpec> &hosts);
+
+/**
+ * One dispatcher slot per host job, host-major: a fleet of
+ * {A:2 jobs, B:1 job} expands to slots [A, A, B] (indices into
+ * @p hosts).  More slots than shards just leaves slots idle — the
+ * planner clamps shard counts to the grid's outer axis, not to the
+ * fleet size.
+ */
+std::vector<std::size_t>
+expandHostSlots(const std::vector<HostSpec> &hosts);
+
+} // namespace srs
+
+#endif // SRS_FARM_HOSTFILE_HH

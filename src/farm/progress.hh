@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Journal-based fleet progress: the farm's observability channel.
+ *
+ * Every shard sweep already streams one flushed journal line per
+ * completed cell (sim/sweep.hh) — so per-shard progress, rows/sec,
+ * and ETA are computable by *reading files*, with zero
+ * instrumentation in the simulator hot path.  This header holds the
+ * pieces both consumers share:
+ *
+ *  - scanShardJournal() counts a journal's complete data rows and
+ *    validates its header comment against the shard's expected grid
+ *    digest, so a stale or foreign journal is rejected by name;
+ *  - ProgressClock turns successive (rows, time) samples into
+ *    rows/sec and ETA estimates;
+ *  - writeStatusJson()/writeStatusTable() render a fleet snapshot
+ *    as JSON lines (one "shard" object per shard plus one "fleet"
+ *    totals object — docs/sweep-format.md has the schema) or as a
+ *    human --watch table.
+ *
+ * `srs_sim farm --status-file` snapshots through these after every
+ * poll; `srs_sim monitor` builds the same snapshot from the shard
+ * directory alone, while the fleet is running or after it died.
+ */
+
+#ifndef SRS_FARM_PROGRESS_HH
+#define SRS_FARM_PROGRESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/orchestrator.hh"
+
+namespace srs
+{
+
+/** What one shard's checkpoint journal says about its progress. */
+struct JournalScan
+{
+    /** The journal file exists. */
+    bool exists = false;
+    /** A journal header comment was present (and validated). */
+    bool headerSeen = false;
+    /** Complete ('\n'-terminated) non-comment rows. */
+    std::size_t rows = 0;
+    /**
+     * Non-empty when the journal must be rejected: its header names
+     * a different schema or grid than this shard's.  Torn final
+     * lines are not an error — they are simply not counted.
+     */
+    std::string error;
+};
+
+/**
+ * Scan one shard journal at @p path.  @p cells and @p digest are
+ * the shard's expected cell count and SweepRunner::gridDigest —
+ * a header naming anything else fills JournalScan::error.
+ * Headerless journals (pre-header builds) scan fine; rows are
+ * clamped to @p cells.
+ */
+JournalScan scanShardJournal(const std::string &path,
+                             std::size_t cells, std::uint64_t digest);
+
+/** Lifecycle of one shard as the monitor/dispatcher sees it. */
+enum class ShardState
+{
+    Pending,  ///< no journal yet, not launched (or just launched)
+    Running,  ///< journal growing (or launched and warming up)
+    Done,     ///< all cells journaled / CSV validated
+    Failed,   ///< gave up after retries
+};
+
+/** Lowercase state name for status output. */
+const char *shardStateName(ShardState state);
+
+/** One row of a fleet status snapshot. */
+struct ShardStatus
+{
+    std::size_t index = 0;
+    ShardState state = ShardState::Pending;
+    /** Host label ("-" when unassigned/unknown). */
+    std::string host = "-";
+    /** Cells completed (journal rows). */
+    std::size_t rows = 0;
+    /** Cells total. */
+    std::size_t cells = 0;
+    /** Launches so far (0 until first dispatch). */
+    std::size_t attempts = 0;
+    /** Completion rate; < 0 when unknown (needs two samples). */
+    double rowsPerSec = -1.0;
+    /** Remaining-time estimate in seconds; < 0 when unknown. */
+    double etaSec = -1.0;
+};
+
+/**
+ * Rows/sec and ETA from successive journal samples.  Rates are
+ * measured between the first and the latest sample that advanced a
+ * shard's row count, so one snapshot yields "unknown" (-1) and a
+ * stalled shard's rate goes stale rather than inventing progress.
+ * Deterministic given the sample sequence — tests feed synthetic
+ * clocks.
+ */
+class ProgressClock
+{
+  public:
+    explicit ProgressClock(std::size_t shardCount);
+
+    /** Record that @p shard had @p rows rows at time @p nowSec. */
+    void sample(std::size_t shard, std::size_t rows, double nowSec);
+
+    /** Rows/sec for @p shard; < 0 while unknown. */
+    double rowsPerSec(std::size_t shard) const;
+
+    /**
+     * Seconds until @p shard reaches @p cells rows at its measured
+     * rate; < 0 while the rate is unknown, 0 when already there.
+     */
+    double etaSec(std::size_t shard, std::size_t cells) const;
+
+  private:
+    struct Track
+    {
+        bool seeded = false;
+        std::size_t firstRows = 0;
+        double firstSec = 0.0;
+        std::size_t lastRows = 0;
+        double lastSec = 0.0;
+    };
+    std::vector<Track> tracks_;
+};
+
+/**
+ * JSON-lines snapshot: one `{"type":"shard",…}` object per entry of
+ * @p shards, then one `{"type":"fleet",…}` totals object.  Fixed
+ * field order and formatting (docs/sweep-format.md), `-1` for
+ * unknown rates/ETAs — parseable line by line with any JSON reader.
+ */
+void writeStatusJson(std::ostream &os,
+                     const std::vector<ShardStatus> &shards);
+
+/** Human --watch rendering of the same snapshot. */
+void writeStatusTable(std::ostream &os,
+                      const std::vector<ShardStatus> &shards);
+
+/** @return true when every shard is Done. */
+bool fleetDone(const std::vector<ShardStatus> &shards);
+
+/**
+ * Build a fleet snapshot for @p manifest by reading the shard
+ * journals under @p dir — nothing else; works while a farm/
+ * orchestrate run is live on the same directory or after it died.
+ * A journal whose header names a different grid is fatal() (reject
+ * by name, never misread).  @p clock, when non-null, supplies
+ * rows/sec and ETA (the caller samples it); host labels come from
+ * @p hosts when non-empty (parallel to shards, "" = unknown).
+ */
+std::vector<ShardStatus>
+snapshotFromJournals(const ShardManifest &manifest,
+                     const std::string &dir,
+                     const ProgressClock *clock,
+                     const std::vector<std::string> &hosts = {});
+
+/**
+ * Best-effort host labels from a dispatcher --status-file written
+ * by writeStatusJson() (one label per shard of @p shardCount; ""
+ * when absent/unreadable).  Lets `monitor` show assignments without
+ * any channel beyond the shard directory.
+ */
+std::vector<std::string>
+readHostsFromStatus(const std::string &path, std::size_t shardCount);
+
+} // namespace srs
+
+#endif // SRS_FARM_PROGRESS_HH

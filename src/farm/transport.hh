@@ -1,0 +1,132 @@
+/**
+ * @file
+ * How a shard command reaches a host: the farm transport layer.
+ *
+ * A Transport carries one host's shard launches and file syncs.  The
+ * dispatcher (farm/dispatcher.hh) only ever sees local child pids —
+ * LocalTransport's pid *is* the shard, SshTransport's pid is the ssh
+ * client supervising the remote shard — so supervision (poll, kill,
+ * staleness) is transport-agnostic, and everything above this layer
+ * is testable without a cluster.  Two implementations:
+ *
+ *  - LocalTransport: fork/exec into the shard directory.  Every
+ *    test and CI job runs on this one; a hostfile with several
+ *    "local" entries simulates a fleet on one machine.
+ *  - SshTransport: wraps the shard argv in
+ *    `ssh <host> 'mkdir -p <workdir> && cd <workdir> && exec …'`
+ *    and syncs shard files (journal pulls for progress, CSV pulls
+ *    for the merge, checkpoint pushes for resume) with scp.
+ *
+ * Transports never touch the command's science: the shard argv is
+ * built by shardCommandLine() from the manifest alone, so a shard
+ * computes byte-identical results whichever transport ran it —
+ * transport is not part of any cell's identity.
+ */
+
+#ifndef SRS_FARM_TRANSPORT_HH
+#define SRS_FARM_TRANSPORT_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "farm/hostfile.hh"
+
+namespace srs
+{
+
+/** One host's launch/sync channel (see file comment). */
+class Transport
+{
+  public:
+    virtual ~Transport() = default;
+
+    /** Host label for logs and status output. */
+    virtual const std::string &label() const = 0;
+
+    /**
+     * The directory shard file names resolve against *on the
+     * executing side*: the local shard dir, or the remote workdir.
+     * Shard commands must be built against this path.
+     */
+    virtual const std::string &remoteDir() const = 0;
+
+    /**
+     * Launch @p argv on the host with output captured to the local
+     * @p logPath.  @return the pid of the local supervising process
+     * (the shard itself, or the ssh client); poll/kill it with the
+     * common/subprocess.hh helpers.
+     */
+    virtual long launch(const std::vector<std::string> &argv,
+                        const std::string &logPath) = 0;
+
+    /**
+     * Sync shard file @p name (a path relative to the shard dir /
+     * workdir) from the host into the local shard dir.  @return
+     * false when the file does not exist on the host (yet) — a
+     * normal condition while a shard is starting up.  No-op (true)
+     * for LocalTransport.
+     */
+    virtual bool pull(const std::string &name) = 0;
+
+    /**
+     * Ship shard file @p name from the local shard dir to the host
+     * ahead of a launch (resume checkpoints).  fatal() on copy
+     * failure.  No-op for LocalTransport.
+     */
+    virtual void push(const std::string &name) = 0;
+};
+
+/** Fork/exec transport; shards run straight in @p dir. */
+class LocalTransport : public Transport
+{
+  public:
+    /** @param label status label  @param dir local shard dir */
+    LocalTransport(std::string label, std::string dir);
+
+    const std::string &label() const override { return label_; }
+    const std::string &remoteDir() const override { return dir_; }
+    long launch(const std::vector<std::string> &argv,
+                const std::string &logPath) override;
+    bool pull(const std::string &name) override;
+    void push(const std::string &name) override;
+
+  private:
+    std::string label_;
+    std::string dir_;
+};
+
+/** ssh/scp transport for one remote host (see file comment). */
+class SshTransport : public Transport
+{
+  public:
+    /** @param spec hostfile entry  @param dir local shard dir */
+    SshTransport(const HostSpec &spec, std::string dir);
+
+    const std::string &label() const override { return label_; }
+    const std::string &remoteDir() const override { return workdir_; }
+    long launch(const std::vector<std::string> &argv,
+                const std::string &logPath) override;
+    bool pull(const std::string &name) override;
+    void push(const std::string &name) override;
+
+  private:
+    std::string label_;
+    std::string host_;
+    std::string workdir_;
+    std::string dir_;
+};
+
+/**
+ * The transport for one hostfile entry: LocalTransport for "local",
+ * SshTransport otherwise.  @p dir is the local shard directory.
+ */
+std::unique_ptr<Transport> makeTransport(const HostSpec &spec,
+                                         const std::string &dir);
+
+/** POSIX single-quote shell escaping (for the ssh command string). */
+std::string shellQuote(const std::string &s);
+
+} // namespace srs
+
+#endif // SRS_FARM_TRANSPORT_HH

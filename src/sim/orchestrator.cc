@@ -7,22 +7,18 @@
 #include <deque>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <ostream>
 #include <sstream>
 
 #if !defined(_WIN32)
-#include <fcntl.h>
-#include <signal.h>
 #include <sys/wait.h>
-#include <unistd.h>
-#endif
-#if defined(__linux__)
-#include <sys/prctl.h>
 #endif
 
 #include "common/logging.hh"
 #include "common/options.hh"
+#include "common/subprocess.hh"
 #include "common/thread_pool.hh"
 #include "sim/system.hh"
 
@@ -496,13 +492,39 @@ Orchestrator::Orchestrator(ShardManifest manifest, Config config)
 std::vector<std::string>
 Orchestrator::shardCommand(std::size_t index) const
 {
-    const ShardSpec &shard = manifest_.shards[index];
+    // A previous attempt's checkpoint (or torn CSV) seeds a resume,
+    // so a killed shard never recomputes its finished cells.
+    const std::string csv =
+        config_.dir + "/" + manifest_.shards[index].csv;
+    const std::string journal = csv + ".journal";
+    std::string resume;
+    if (std::filesystem::exists(journal))
+        resume = journal;
+    else if (std::filesystem::exists(csv))
+        resume = csv;
+    return shardCommandLine(manifest_, index, config_.simPath,
+                            config_.dir, config_.shardThreads,
+                            resume);
+}
+
+void
+Orchestrator::prepareDir()
+{
+    prepareShardDir(manifest_, config_.dir);
+}
+
+std::vector<std::string>
+shardCommandLine(const ShardManifest &manifest, std::size_t index,
+                 const std::string &simPath, const std::string &dir,
+                 std::size_t shardThreads, const std::string &resume)
+{
+    const ShardSpec &shard = manifest.shards[index];
     const SweepGrid &grid = shard.grid;
-    const std::string csv = config_.dir + "/" + shard.csv;
+    const std::string csv = dir + "/" + shard.csv;
     const std::string journal = csv + ".journal";
 
     std::vector<std::string> cmd;
-    cmd.push_back(config_.simPath);
+    cmd.push_back(simPath);
     cmd.push_back("sweep");
     cmd.push_back("--workloads=" + joinSpecList(grid.workloads));
     std::vector<std::string> mitigations;
@@ -531,66 +553,172 @@ Orchestrator::shardCommand(std::size_t index) const
         cmd.push_back("--mix=" + std::to_string(grid.mixCount));
         cmd.push_back("--mix-base=" + std::to_string(grid.mixBase));
     }
-    cmd.push_back("--cycles=" + std::to_string(manifest_.exp.cycles));
-    cmd.push_back("--epoch=" + std::to_string(manifest_.exp.epochLen));
-    cmd.push_back("--seed=" + std::to_string(manifest_.exp.seed));
-    cmd.push_back("--threads="
-                  + std::to_string(config_.shardThreads));
+    cmd.push_back("--cycles=" + std::to_string(manifest.exp.cycles));
+    cmd.push_back("--epoch=" + std::to_string(manifest.exp.epochLen));
+    cmd.push_back("--seed=" + std::to_string(manifest.exp.seed));
+    cmd.push_back("--threads=" + std::to_string(shardThreads));
     cmd.push_back("--out=" + csv);
     cmd.push_back("--journal=" + journal);
-    // A previous attempt's checkpoint (or torn CSV) seeds a resume,
-    // so a killed shard never recomputes its finished cells.
-    if (std::filesystem::exists(journal))
-        cmd.push_back("--resume=" + journal);
-    else if (std::filesystem::exists(csv))
-        cmd.push_back("--resume=" + csv);
+    if (!resume.empty())
+        cmd.push_back("--resume=" + resume);
     return cmd;
 }
 
 void
-Orchestrator::prepareDir()
+prepareShardDir(const ShardManifest &manifest, const std::string &dir)
 {
     std::error_code ec;
-    std::filesystem::create_directories(config_.dir, ec);
+    std::filesystem::create_directories(dir, ec);
     if (ec) {
-        fatal("orchestrator: cannot create shard directory '",
-              config_.dir, "': ", ec.message());
+        fatal("cannot create shard directory '", dir, "': ",
+              ec.message());
     }
 
     // The manifest is the shard directory's identity: reusing a
     // directory that belongs to a *different* orchestration must be
     // an error, not a silent mix of incompatible checkpoints.
-    const std::string manifestPath = config_.dir + "/manifest";
-    const std::string serialized = serializeManifest(manifest_);
+    const std::string manifestPath = dir + "/manifest";
+    const std::string serialized = serializeManifest(manifest);
     if (std::filesystem::exists(manifestPath)) {
         std::ifstream in(manifestPath, std::ios::binary);
         std::ostringstream existing;
         existing << in.rdbuf();
         if (existing.str() != serialized) {
-            fatal("orchestrator: '", manifestPath, "' describes a "
-                  "different orchestration (grid, seed or shard "
-                  "count changed); use a fresh --dir");
+            fatal("'", manifestPath, "' describes a different "
+                  "orchestration (grid, seed or shard count "
+                  "changed); use a fresh --dir");
         }
     } else {
-        writeManifest(manifest_, manifestPath);
+        writeManifest(manifest, manifestPath);
     }
 }
 
+std::string
+lastLogLine(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::string line, last;
+    while (std::getline(in, line)) {
+        while (!line.empty()
+               && (line.back() == '\r' || line.back() == ' '
+                   || line.back() == '\t'))
+            line.pop_back();
+        if (!line.empty())
+            last = line;
+    }
+    return last;
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (const char c : s) {
+        switch (c) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
 void
-Orchestrator::writePlan(std::ostream &out)
+writeShardSummary(std::ostream &out, const ShardManifest &manifest,
+                  const std::vector<ShardRunState> &states,
+                  const std::string &dir)
+{
+    out << "shard summary:\n"
+           "  shard     cells  launches  restarts  status  log\n";
+    for (std::size_t k = 0; k < manifest.shards.size(); ++k) {
+        const ShardRunState state =
+            k < states.size() ? states[k] : ShardRunState{};
+        // A completed shard that never needed a launch this run was
+        // picked up from a previous attempt's validated CSV.
+        const char *status = state.done
+                                 ? (state.launches == 0 ? "cached"
+                                                        : "done")
+                                 : "FAILED";
+        char row[64];
+        std::snprintf(row, sizeof(row), "  %5zu  %8zu  %8zu  %8zu  ",
+                      k, manifest.shards[k].cells, state.launches,
+                      state.restarts);
+        out << row << status << (std::strlen(status) < 6 ? "    " : "  ")
+            << dir << "/shard" << k << ".log\n";
+        if (!state.lastError.empty())
+            out << "         last error: " << state.lastError << '\n';
+    }
+    out.flush();
+}
+
+void
+Orchestrator::writePlan(std::ostream &out, bool json)
 {
     prepareDir();
-    out << "# manifest: " << config_.dir << "/manifest\n"
-        << "# run each shard (any machine, same binary), collect "
-           "the CSVs next to the manifest,\n"
-        << "# then: " << config_.simPath << " merge --manifest="
-        << config_.dir << "/manifest\n";
-    for (std::size_t k = 0; k < manifest_.shards.size(); ++k) {
-        const std::vector<std::string> cmd = shardCommand(k);
-        for (std::size_t a = 0; a < cmd.size(); ++a)
-            out << (a > 0 ? " " : "") << cmd[a];
-        out << '\n';
+    const std::string manifestPath = config_.dir + "/manifest";
+    if (!json) {
+        out << "# manifest: " << manifestPath << '\n'
+            << "# run each shard (any machine, same binary), collect "
+               "the CSVs next to the manifest,\n"
+            << "# then: " << config_.simPath << " merge --manifest="
+            << manifestPath << '\n';
+        for (std::size_t k = 0; k < manifest_.shards.size(); ++k) {
+            const std::vector<std::string> cmd = shardCommand(k);
+            for (std::size_t a = 0; a < cmd.size(); ++a)
+                out << (a > 0 ? " " : "") << cmd[a];
+            out << '\n';
+        }
+        if (!out.flush())
+            fatal("orchestrator: error writing the shard plan");
+        return;
     }
+
+    const auto argvJson = [](const std::vector<std::string> &cmd) {
+        std::string joined = "[";
+        for (std::size_t a = 0; a < cmd.size(); ++a) {
+            if (a > 0)
+                joined += ", ";
+            joined += jsonQuote(cmd[a]);
+        }
+        return joined + "]";
+    };
+    out << "{\n"
+        << "  \"manifest\": " << jsonQuote(manifestPath) << ",\n"
+        << "  \"version\": " << kManifestVersion << ",\n"
+        << "  \"cells\": " << manifest_.totalCells() << ",\n"
+        << "  \"merge\": "
+        << argvJson({config_.simPath, "merge",
+                     "--manifest=" + manifestPath})
+        << ",\n"
+        << "  \"shards\": [\n";
+    for (std::size_t k = 0; k < manifest_.shards.size(); ++k) {
+        const ShardSpec &shard = manifest_.shards[k];
+        const std::string csv = config_.dir + "/" + shard.csv;
+        out << "    {\"index\": " << k << ", \"offset\": "
+            << shard.offset << ", \"cells\": " << shard.cells
+            << ", \"csv\": " << jsonQuote(csv) << ", \"journal\": "
+            << jsonQuote(csv + ".journal") << ", \"log\": "
+            << jsonQuote(config_.dir + "/shard" + std::to_string(k)
+                         + ".log")
+            << ", \"argv\": " << argvJson(shardCommand(k)) << '}'
+            << (k + 1 < manifest_.shards.size() ? "," : "") << '\n';
+    }
+    out << "  ]\n}\n";
     if (!out.flush())
         fatal("orchestrator: error writing the shard plan");
 }
@@ -600,36 +728,12 @@ Orchestrator::writePlan(std::ostream &out)
 long
 Orchestrator::launchShard(std::size_t index)
 {
-    const std::vector<std::string> cmd = shardCommand(index);
-    const std::string log =
-        config_.dir + "/shard" + std::to_string(index) + ".log";
-    const pid_t pid = ::fork();
-    if (pid < 0)
-        fatal("orchestrator: fork failed: ", std::strerror(errno));
-    if (pid == 0) {
-#if defined(__linux__)
-        // Die with the orchestrator: a SIGKILLed supervisor must not
-        // leave orphan shards racing a later re-orchestration for
-        // the same CSV and journal files.
-        ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-#endif
-        const int fd = ::open(log.c_str(),
-                              O_WRONLY | O_CREAT | O_APPEND, 0644);
-        if (fd >= 0) {
-            ::dup2(fd, 1);
-            ::dup2(fd, 2);
-            ::close(fd);
-        }
-        std::vector<char *> argv;
-        for (const std::string &arg : cmd)
-            argv.push_back(const_cast<char *>(arg.c_str()));
-        argv.push_back(nullptr);
-        ::execv(argv[0], argv.data());
-        std::fprintf(stderr, "exec %s failed: %s\n", argv[0],
-                     std::strerror(errno));
-        ::_exit(127);
-    }
-    return pid;
+    // spawnProcess sets PDEATHSIG on Linux: a SIGKILLed supervisor
+    // must not leave orphan shards racing a later re-orchestration
+    // for the same CSV and journal files.
+    return spawnProcess(shardCommand(index),
+                        config_.dir + "/shard"
+                            + std::to_string(index) + ".log");
 }
 
 void
@@ -641,7 +745,7 @@ Orchestrator::run(std::ostream &mergedOut)
     std::deque<std::size_t> pending;
     for (std::size_t k = 0; k < manifest_.shards.size(); ++k)
         pending.push_back(k);
-    std::vector<std::size_t> attempts(manifest_.shards.size(), 0);
+    states_.assign(manifest_.shards.size(), ShardRunState{});
     std::map<long, std::size_t> running;
 
     // Each shard CSV is read and validated exactly once, at the
@@ -668,16 +772,18 @@ Orchestrator::run(std::ostream &mergedOut)
                              "complete (%zu cells)\n",
                              k, shard.cells);
                 ++skipped_;
+                states_[k].done = true;
                 continue;
             }
             const long pid = launchShard(k);
             ++launches_;
+            ++states_[k].launches;
             std::fprintf(stderr,
                          "orchestrate: shard %zu of %zu launched "
                          "(pid %ld, %zu cells%s)\n",
                          k, manifest_.shards.size(), pid,
                          shard.cells,
-                         attempts[k] > 0 ? ", resumed" : "");
+                         states_[k].restarts > 0 ? ", resumed" : "");
             running.emplace(pid, k);
         }
         if (running.empty())
@@ -695,49 +801,53 @@ Orchestrator::run(std::ostream &mergedOut)
         running.erase(it);
 
         std::string err;
-        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+        if (processExitedCleanly(status))
             err = validateCollect(k);
-        } else if (WIFSIGNALED(status)) {
-            err = "killed by signal "
-                  + std::to_string(WTERMSIG(status));
-        } else {
-            err = "exited with status "
-                  + std::to_string(WIFEXITED(status)
-                                       ? WEXITSTATUS(status)
-                                       : status);
-        }
+        else
+            err = describeProcessExit(status);
         if (err.empty()) {
             std::fprintf(stderr, "orchestrate: shard %zu done\n", k);
+            states_[k].done = true;
             continue;
         }
-        if (attempts[k] >= config_.retries) {
+        states_[k].lastError = err;
+        if (states_[k].launches > config_.retries) {
             // Reap the other in-flight shards before bailing out —
             // orphans would keep writing into the shard directory
             // and race a re-orchestration.  Their journals survive,
             // so no completed cell is lost.
             for (const auto &[otherPid, otherShard] : running) {
                 (void)otherShard;
-                ::kill(static_cast<pid_t>(otherPid), SIGKILL);
+                killProcess(otherPid);
             }
             for (const auto &[otherPid, otherShard] : running) {
                 (void)otherShard;
-                int ignored = 0;
-                ::waitpid(static_cast<pid_t>(otherPid), &ignored, 0);
+                waitProcess(otherPid);
             }
+            const std::string log = config_.dir + "/shard"
+                                    + std::to_string(k) + ".log";
+            // Surface the child's own last words (usually its fatal
+            // message) instead of leaving users to grep the log.
+            const std::string tail = lastLogLine(log);
+            writeShardSummary(std::cerr, manifest_, states_,
+                              config_.dir);
             fatal("orchestrator: shard ", k, " failed after ",
-                  attempts[k] + 1, " attempt(s): ", err, " (see ",
-                  config_.dir, "/shard", k, ".log)");
+                  states_[k].launches, " attempt(s): ", err,
+                  tail.empty() ? ""
+                               : "\n  shard's last log line: " + tail,
+                  "\n  (see ", log, ")");
         }
-        ++attempts[k];
+        ++states_[k].restarts;
         std::fprintf(stderr,
                      "orchestrate: shard %zu failed (%s), "
                      "relaunching from its journal (attempt "
                      "%zu/%zu)\n",
-                     k, err.c_str(), attempts[k] + 1,
+                     k, err.c_str(), states_[k].launches + 1,
                      config_.retries + 1);
         pending.push_back(k);
     }
 
+    writeShardSummary(std::cerr, manifest_, states_, config_.dir);
     stitchRows(manifest_, rowsPerShard, mergedOut);
 }
 

@@ -92,6 +92,23 @@ struct ShardManifest
 };
 
 /**
+ * Per-shard supervision accounting, shared by the local orchestrator
+ * and the fleet dispatcher (farm/dispatcher.hh) so both report the
+ * same end-of-run summary.
+ */
+struct ShardRunState
+{
+    /** Child launches performed (first run plus retries). */
+    std::size_t launches = 0;
+    /** Relaunches after a crash, kill, or staleness timeout. */
+    std::size_t restarts = 0;
+    /** The shard's CSV validated complete. */
+    bool done = false;
+    /** Last failure reason; empty when the shard never failed. */
+    std::string lastError;
+};
+
+/**
  * Split @p grid into at most @p shardCount balanced contiguous
  * shards along the outer axis (named workloads first, then MIX
  * points).  The effective shard count is clamped to the number of
@@ -163,6 +180,52 @@ void mergeShards(const ShardManifest &manifest, const std::string &dir,
                  std::ostream &out);
 
 /**
+ * The exact `srs_sim sweep` argv for shard @p index of @p manifest,
+ * with file paths resolved against @p dir — the shard directory as
+ * seen by the *executing* process (the local dir, or a remote
+ * host's workdir).  @p resume, when non-empty, is passed through as
+ * `--resume=…`; callers decide whether a checkpoint exists on the
+ * executing side.  The single source of truth for Orchestrator,
+ * `orchestrate --plan` (text and JSON), and the farm dispatcher —
+ * transport never appears in the command, so a shard computes the
+ * same bytes wherever it runs.
+ */
+std::vector<std::string>
+shardCommandLine(const ShardManifest &manifest, std::size_t index,
+                 const std::string &simPath, const std::string &dir,
+                 std::size_t shardThreads,
+                 const std::string &resume = "");
+
+/**
+ * Create @p dir and write its manifest, or verify byte-equality
+ * with the manifest already there — reusing a directory that
+ * belongs to a *different* orchestration is fatal(), never a silent
+ * mix of incompatible checkpoints.
+ */
+void prepareShardDir(const ShardManifest &manifest,
+                     const std::string &dir);
+
+/**
+ * Last non-empty line of @p path, trailing \r/whitespace stripped
+ * ("" when unreadable or empty).  Supervisors use it to surface a
+ * dead child's fatal message instead of pointing at a log file.
+ */
+std::string lastLogLine(const std::string &path);
+
+/** Minimal JSON string escape+quote for the plan/status emitters. */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * End-of-run per-shard summary table: cells, launches, restarts,
+ * final status, log path, and any last error — one row per shard.
+ * @p states must parallel @p manifest.shards.
+ */
+void writeShardSummary(std::ostream &out,
+                       const ShardManifest &manifest,
+                       const std::vector<ShardRunState> &states,
+                       const std::string &dir);
+
+/**
  * Launches and supervises the shard child processes of one
  * orchestrated sweep, then merges their CSVs.  POSIX-only (fork and
  * waitpid); construction is fatal() elsewhere.
@@ -203,14 +266,24 @@ class Orchestrator
      * manifest, and print each shard's `srs_sim sweep` command line
      * to @p out — launch nothing.  The commands are exactly what
      * run() would exec, ready to be dispatched to other machines
-     * and stitched back with `srs_sim merge`.
+     * and stitched back with `srs_sim merge`.  With @p json, the
+     * same plan is emitted as one machine-readable JSON object
+     * (manifest path, merge argv, per-shard offset/cells/file
+     * paths/argv — docs/sweep-format.md has the schema) so external
+     * schedulers and the farm dispatcher consume the same source of
+     * truth as the human listing.
      */
-    void writePlan(std::ostream &out);
+    void writePlan(std::ostream &out, bool json = false);
 
     /** Shards whose CSVs already validated and were not relaunched. */
     std::size_t skippedShards() const { return skipped_; }
     /** Child launches performed (first runs plus retries). */
     std::size_t launches() const { return launches_; }
+    /** Per-shard accounting of the last run() (summary table data). */
+    const std::vector<ShardRunState> &shardStates() const
+    {
+        return states_;
+    }
 
   private:
     /** Create the shard dir and write/verify its manifest. */
@@ -224,6 +297,7 @@ class Orchestrator
     Config config_;
     std::size_t skipped_ = 0;
     std::size_t launches_ = 0;
+    std::vector<ShardRunState> states_;
 };
 
 } // namespace srs

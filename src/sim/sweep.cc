@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <map>
@@ -152,12 +153,74 @@ splitFields(const std::string &line)
     }
 }
 
+/** "0x%016llx" spelling shared by headers and error messages. */
+std::string
+hex64(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/** The tag every journal header comment starts with. */
+constexpr const char *kJournalHeaderTag = "# srs_sim sweep journal ";
+
 } // namespace
 
 std::uint64_t
 SweepRunner::cellSeed(std::uint64_t base, const std::string &workloadLabel)
 {
     return splitmix64(base ^ splitmix64(fnv1a(workloadLabel)));
+}
+
+std::uint64_t
+SweepRunner::gridDigest(const std::vector<SweepCell> &cells,
+                        std::uint64_t baseSeed)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const std::string prefix = identityPrefix(
+            i, cells[i],
+            cellSeed(baseSeed, cells[i].workload.label()));
+        for (const char c : prefix) {
+            h ^= static_cast<unsigned char>(c);
+            h *= 0x100000001B3ULL;
+        }
+    }
+    return h;
+}
+
+std::string
+SweepRunner::journalHeader(const std::vector<SweepCell> &cells,
+                           std::uint64_t baseSeed)
+{
+    return std::string(kJournalHeaderTag) + "schema="
+           + std::to_string(kJournalSchema) + " cells="
+           + std::to_string(cells.size()) + " grid="
+           + hex64(gridDigest(cells, baseSeed)) + " seed="
+           + hex64(baseSeed);
+}
+
+bool
+SweepRunner::parseJournalHeader(const std::string &line,
+                                JournalHeader &header)
+{
+    if (line.rfind(kJournalHeaderTag, 0) != 0)
+        return false;
+    unsigned long long schema = 0, cells = 0, digest = 0, seed = 0;
+    if (std::sscanf(line.c_str() + std::strlen(kJournalHeaderTag),
+                    "schema=%llu cells=%llu grid=0x%llx seed=0x%llx",
+                    &schema, &cells, &digest, &seed)
+        != 4) {
+        fatal("malformed journal header (want 'schema=<N> cells=<N> "
+              "grid=0x<hex> seed=0x<hex>'): ", line);
+    }
+    header.schema = schema;
+    header.cells = cells;
+    header.digest = digest;
+    header.seed = seed;
+    return true;
 }
 
 std::string
@@ -243,6 +306,37 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             continue;
         if (line.empty() || line == csvHeader())
             continue;
+        if (line[0] == '#') {
+            // A journal's header comment names its producer; when it
+            // parses, it must name *this* grid — a mismatch means the
+            // user pointed --resume at some other sweep's checkpoint,
+            // which the per-row identity check below would also catch,
+            // but only with a cryptic prefix diff.  Other comments
+            // (and headers from future schemas' tags) are skipped.
+            JournalHeader header;
+            if (!parseJournalHeader(line, header))
+                continue;
+            if (header.schema != kJournalSchema) {
+                fatal("resume file '", resumePath_, "': journal "
+                      "header names schema ", header.schema,
+                      "; this build reads schema ", kJournalSchema,
+                      " only — re-run the sweep "
+                      "(docs/sweep-format.md)");
+            }
+            if (header.cells != cells.size()
+                || header.digest != gridDigest(cells, exp_.seed)
+                || header.seed != exp_.seed) {
+                fatal("resume file '", resumePath_, "': journal "
+                      "header describes a different grid\n  header:   "
+                      "cells=", header.cells, " grid=",
+                      hex64(header.digest), " seed=",
+                      hex64(header.seed), "\n  this sweep: cells=",
+                      cells.size(), " grid=",
+                      hex64(gridDigest(cells, exp_.seed)), " seed=",
+                      hex64(exp_.seed));
+            }
+            continue;
+        }
         if (line.rfind("index,workload_spec", 0) == 0) {
             // A byte-exact v5 header matched above.  A v2 header is
             // recognized by its `policy` identity column, a v3
@@ -453,6 +547,7 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
         if (!journal)
             fatal("cannot open journal '", journalPath_,
                   "' for writing");
+        journal << journalHeader(cells, exp_.seed) << '\n';
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (done[i])
                 journal << results[i].resumedRow << '\n';

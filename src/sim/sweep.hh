@@ -28,7 +28,9 @@
  *    (page policy, DRAM timing overrides), applied to the protected
  *    run and its baseline alike;
  *  - completed cells are appended (one flushed line each) to an
- *    optional sidecar journal, and a previous journal or truncated
+ *    optional sidecar journal — opened with a schema/grid-identity
+ *    header comment (journalHeader()) so supervisors can match a
+ *    journal to its producer — and a previous journal or truncated
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
  *    uninterrupted run (docs/sweep-format.md has the file formats,
@@ -246,6 +248,50 @@ class SweepRunner
 
     /** Total fields of one schema-v5 CSV data row. */
     static constexpr std::size_t kRowColumns = 20;
+
+    /** Journal/CSV schema version this build writes and reads. */
+    static constexpr std::uint64_t kJournalSchema = 5;
+
+    /**
+     * FNV-1a digest over every cell's identity prefix — a compact
+     * fingerprint of "this exact grid under this base seed".  Any
+     * change that would alter any row's identity bytes (workload
+     * list, axes, mitigation/trh/rate lists, base seed, cell order)
+     * changes the digest, and a shard slice digests differently from
+     * the full grid (the prefix embeds the slice-local index), so a
+     * journal can be matched to its exact producer by name.
+     */
+    static std::uint64_t gridDigest(const std::vector<SweepCell> &cells,
+                                    std::uint64_t baseSeed);
+
+    /** Parsed journal header comment (see journalHeader()). */
+    struct JournalHeader
+    {
+        std::uint64_t schema = 0;
+        std::uint64_t cells = 0;
+        std::uint64_t digest = 0;
+        std::uint64_t seed = 0;
+    };
+
+    /**
+     * The comment line a checkpoint journal now starts with:
+     * `# srs_sim sweep journal schema=5 cells=<N> grid=0x<digest>
+     * seed=0x<seed>` (no trailing newline; digest = gridDigest()).
+     * Resume and the fleet monitor reject a journal whose header
+     * names a different schema or grid; headerless journals from
+     * pre-header v5 builds stay accepted (docs/sweep-format.md).
+     */
+    static std::string
+    journalHeader(const std::vector<SweepCell> &cells,
+                  std::uint64_t baseSeed);
+
+    /**
+     * Parse @p line as a journal header comment.  @return false when
+     * the line is not tagged as one (any other comment or data
+     * line); fatal() when it carries the tag but is malformed.
+     */
+    static bool parseJournalHeader(const std::string &line,
+                                   JournalHeader &header);
 
   private:
     void loadResume(const std::vector<SweepCell> &cells,

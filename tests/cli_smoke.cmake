@@ -337,6 +337,79 @@ foreach(stale_version 1 2 3 4)
 endforeach()
 file(REMOVE ${smoke_dir}/orch_shards/stale_manifest)
 
+# Farm: dispatch a planned orchestration across a simulated fleet of
+# two "local" hosts x 2 jobs and require the merged CSV to be
+# byte-identical to the single-process sweep; the JSON plan names
+# every shard's argv; monitor reports fleet completion from the
+# journals alone.
+file(REMOVE_RECURSE ${smoke_dir}/farm_shards)
+run_expect_ok(orchestrate ${orch_grid} --shards=3 --plan
+              --dir=${smoke_dir}/farm_shards)
+execute_process(COMMAND ${SRS_SIM} orchestrate ${orch_grid} --shards=3
+                --plan --plan-format=json --dir=${smoke_dir}/farm_shards
+                OUTPUT_VARIABLE plan_json RESULT_VARIABLE plan_rc
+                ERROR_QUIET)
+if(NOT plan_rc EQUAL 0)
+  message(FATAL_ERROR "orchestrate --plan --plan-format=json failed")
+endif()
+foreach(needle "\"shards\":" "\"argv\":" "\"merge\":")
+  if(NOT plan_json MATCHES "${needle}")
+    message(FATAL_ERROR "JSON plan lacks '${needle}'")
+  endif()
+endforeach()
+run_expect_fail(orchestrate ${orch_grid} --plan --plan-format=yaml)
+file(WRITE ${smoke_dir}/farm_hosts.conf
+     "version=1\nhosts=2\nhost0.host=local\nhost0.jobs=2\nhost1.host=local\nhost1.jobs=2\n")
+run_expect_ok(farm --manifest=${smoke_dir}/farm_shards/manifest
+              --hosts=${smoke_dir}/farm_hosts.conf --threads=1
+              --out=${smoke_dir}/farm_merged.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/orch_single.csv
+                ${smoke_dir}/farm_merged.csv
+                RESULT_VARIABLE farm_diff)
+if(NOT farm_diff EQUAL 0)
+  message(FATAL_ERROR "farm CSV differs from single-process sweep")
+endif()
+file(READ ${smoke_dir}/farm_shards/farm.status farm_status)
+foreach(needle "\"type\":\"fleet\"" "\"done\":3" "\"host\":\"local\"")
+  if(NOT farm_status MATCHES "${needle}")
+    message(FATAL_ERROR "farm status file lacks '${needle}'")
+  endif()
+endforeach()
+execute_process(COMMAND ${SRS_SIM} monitor --dir=${smoke_dir}/farm_shards
+                OUTPUT_VARIABLE monitor_json RESULT_VARIABLE monitor_rc
+                ERROR_QUIET)
+if(NOT monitor_rc EQUAL 0)
+  message(FATAL_ERROR "monitor exited ${monitor_rc}")
+endif()
+foreach(needle "\"type\":\"shard\"" "\"type\":\"fleet\"" "\"done\":3"
+        "\"pct\":100.0" "\"host\":\"local\"")
+  if(NOT monitor_json MATCHES "${needle}")
+    message(FATAL_ERROR "monitor JSON lacks '${needle}'")
+  endif()
+endforeach()
+# Re-farming a finished directory launches nothing and merges the
+# same bytes.
+run_expect_ok(farm --manifest=${smoke_dir}/farm_shards/manifest
+              --hosts=${smoke_dir}/farm_hosts.conf
+              --out=${smoke_dir}/farm_again.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/orch_single.csv ${smoke_dir}/farm_again.csv
+                RESULT_VARIABLE farm_rediff)
+if(NOT farm_rediff EQUAL 0)
+  message(FATAL_ERROR "re-farmed CSV differs from single-process sweep")
+endif()
+# Misconfigured fleets and missing inputs are fatal by name.
+run_expect_fail(farm)
+run_expect_fail(farm --manifest=${smoke_dir}/farm_shards/manifest)
+run_expect_fail(farm --hosts=${smoke_dir}/farm_hosts.conf)
+file(WRITE ${smoke_dir}/bad_hosts.conf
+     "version=9\nhosts=1\nhost0.host=local\n")
+run_expect_fail(farm --manifest=${smoke_dir}/farm_shards/manifest
+                --hosts=${smoke_dir}/bad_hosts.conf)
+run_expect_fail(monitor)
+run_expect_fail(monitor --dir=${smoke_dir}/no_such_dir)
+
 # Unknown flags must be fatal on every subcommand; so are a resume
 # file that does not exist, a sweep with no workloads at all, a
 # merge without a manifest, and an orchestration with zero shards.
@@ -361,10 +434,13 @@ run_expect_fail()
 run_expect_fail(frobnicate)
 execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
                 RESULT_VARIABLE usage_rc ERROR_QUIET)
-foreach(subcommand perf sweep orchestrate merge attack storage trace list
+foreach(subcommand perf sweep orchestrate merge farm monitor attack
+        storage trace list
         --workloads --shards --manifest --montecarlo
         --trace --page-policy --preset --org --channel-workers
-        --trc --trcd --trp --trefi --trfc "trace:")
+        --trc --trcd --trp --trefi --trfc "trace:"
+        --hosts --status-file --stale-sec --plan-format --watch
+        --interval-ms --poll-ms)
   if(NOT usage_text MATCHES "${subcommand}")
     message(FATAL_ERROR "usage() does not mention '${subcommand}'")
   endif()

@@ -570,6 +570,94 @@ TEST(ShardMerge, KilledShardResumesAndRemergesByteIdentical)
     EXPECT_EQ(mergedCsv(manifest), full);
 }
 
+TEST(ShardMerge, DuplicatedShardCsvIsFatal)
+{
+    // Two manifest entries pointing at the same shard CSV (a
+    // copy-paste accident in a hand-dispatched run) must never
+    // merge: shard 1's slice expects different identity rows than
+    // shard 0's file carries.
+    const SweepGrid grid = testGrid();
+    const ExperimentConfig exp = tinyExperiment();
+    ShardManifest manifest = runShardsInProcess(
+        planShards(grid, exp, 3), "dupcsv_", 8);
+    manifest.shards[1].csv = manifest.shards[0].csv;
+    EXPECT_THROW(mergedCsv(manifest), FatalError);
+
+    // The same accident in the manifest *text* — shard 1's slice
+    // re-describing shard 0's — breaks the offset chain and is
+    // rejected at load time, before any merge.
+    const ShardManifest clean = planShards(grid, exp, 3);
+    std::string text = serializeManifest(clean);
+    const auto at = text.find("shard1.offset=");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, std::string("shard1.offset=4").size(),
+                 "shard1.offset=0");
+    EXPECT_THROW(loadManifest(writeTempFile("manifest_dup", text)),
+                 FatalError);
+}
+
+TEST(OrchestratorPlan, JsonPlanCarriesShardArgvs)
+{
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 2);
+    Orchestrator::Config cfg;
+    cfg.dir = "plan_json_dir";
+    cfg.simPath = "/opt/srs_sim";
+    Orchestrator orchestrator(manifest, cfg);
+    std::ostringstream os;
+    orchestrator.writePlan(os, /*json=*/true);
+    const std::string plan = os.str();
+    EXPECT_NE(plan.find("\"manifest\": \"plan_json_dir/manifest\""),
+              std::string::npos)
+        << plan;
+    EXPECT_NE(plan.find("\"argv\""), std::string::npos);
+    EXPECT_NE(plan.find("\"/opt/srs_sim\""), std::string::npos);
+    EXPECT_NE(plan.find("out=plan_json_dir/shard1.csv"),
+              std::string::npos);
+    // Text mode still leads with the manifest comment.
+    std::ostringstream text;
+    orchestrator.writePlan(text, /*json=*/false);
+    EXPECT_EQ(text.str().rfind("# manifest:", 0), 0u);
+}
+
+TEST(OrchestratorSummary, TableNamesEveryShardsOutcome)
+{
+    const ShardManifest manifest =
+        planShards(testGrid(), tinyExperiment(), 3);
+    std::vector<ShardRunState> states(3);
+    states[0].done = true; // never launched: cached
+    states[1].launches = 2;
+    states[1].restarts = 1;
+    states[1].done = true;
+    states[2].launches = 3;
+    states[2].restarts = 2;
+    states[2].lastError = "killed by signal 9";
+    std::ostringstream os;
+    writeShardSummary(os, manifest, states, "sum_dir");
+    const std::string table = os.str();
+    EXPECT_NE(table.find("cached"), std::string::npos) << table;
+    EXPECT_NE(table.find("done"), std::string::npos);
+    EXPECT_NE(table.find("FAILED"), std::string::npos);
+    EXPECT_NE(table.find("sum_dir/shard2.log"), std::string::npos);
+    EXPECT_NE(table.find("killed by signal 9"), std::string::npos);
+}
+
+TEST(OrchestratorSummary, JsonQuoteEscapesControlBytes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(jsonQuote("line\nbreak\t"), "\"line\\nbreak\\t\"");
+    EXPECT_EQ(jsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(OrchestratorSummary, LastLogLineSkipsBlankTails)
+{
+    const std::string path = writeTempFile(
+        "tail.log", "first line\nthe real tail\r\n\n   \n");
+    EXPECT_EQ(lastLogLine(path), "the real tail");
+    EXPECT_EQ(lastLogLine(testing::TempDir() + "no_such.log"), "");
+}
+
 TEST(OrchestratorConfig, MissingBinaryOrDirIsFatal)
 {
     // Launching real children is cli_smoke's job; here only the

@@ -345,6 +345,126 @@ TEST(SweepResume, MismatchedGridIsFatal)
                  FatalError);
 }
 
+TEST(SweepJournal, HeaderNamesSchemaAndGridIdentity)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const ExperimentConfig exp = tinyExperiment();
+    const std::string header =
+        SweepRunner::journalHeader(cells, exp.seed);
+    EXPECT_EQ(header.rfind("# srs_sim sweep journal schema=5 ", 0),
+              0u)
+        << header;
+
+    SweepRunner::JournalHeader parsed;
+    ASSERT_TRUE(SweepRunner::parseJournalHeader(header, parsed));
+    EXPECT_EQ(parsed.schema, SweepRunner::kJournalSchema);
+    EXPECT_EQ(parsed.cells, cells.size());
+    EXPECT_EQ(parsed.digest,
+              SweepRunner::gridDigest(cells, exp.seed));
+    EXPECT_EQ(parsed.seed, exp.seed);
+
+    // The digest is a function of the grid and the base seed: any
+    // change to either renames the journal.
+    EXPECT_NE(SweepRunner::gridDigest(cells, exp.seed ^ 1),
+              parsed.digest);
+    std::vector<SweepCell> other = cells;
+    other[0].trh = 4800;
+    EXPECT_NE(SweepRunner::gridDigest(other, exp.seed),
+              parsed.digest);
+
+    // Unrelated comments are not journal headers.
+    EXPECT_FALSE(SweepRunner::parseJournalHeader("# a note", parsed));
+    // A mangled header line is fatal, never silently skipped.
+    EXPECT_THROW(SweepRunner::parseJournalHeader(
+                     "# srs_sim sweep journal gibberish", parsed),
+                 FatalError);
+}
+
+TEST(SweepJournal, RunWritesTheHeaderFirstAndResumeAcceptsIt)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string full = sweepCsv(cells, 1);
+    const std::string journalPath =
+        testing::TempDir() + "sweep_header.journal";
+
+    SweepRunner first(tinyExperiment(), 8);
+    first.setJournal(journalPath);
+    first.run(cells);
+
+    std::ifstream in(journalPath);
+    std::string firstLine;
+    ASSERT_TRUE(std::getline(in, firstLine));
+    EXPECT_EQ(firstLine, SweepRunner::journalHeader(
+                             cells, tinyExperiment().seed));
+
+    // The headered journal resumes byte-identically.
+    SweepRunner second(tinyExperiment(), 8);
+    second.setResume(journalPath);
+    std::ostringstream os;
+    SweepRunner::writeCsv(os, second.run(cells));
+    EXPECT_EQ(os.str(), full);
+    std::remove(journalPath.c_str());
+}
+
+TEST(SweepJournal, MismatchedHeaderIsFatalByName)
+{
+    const std::vector<SweepCell> cells = resumeTestCells();
+
+    // A journal headed for a differently-seeded grid must be
+    // rejected even though it holds no rows to disagree with.
+    const std::string foreign = writeTempFile(
+        "journal_foreign",
+        SweepRunner::journalHeader(cells, tinyExperiment().seed ^ 1)
+            + "\n");
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(foreign);
+    try {
+        runner.run(cells);
+        FAIL() << "foreign journal header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("different grid"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // A stale schema is named in the error.
+    const std::string stale = writeTempFile(
+        "journal_stale",
+        "# srs_sim sweep journal schema=4 cells=4 "
+        "grid=0x0000000000000000 seed=0x0000000000000000\n");
+    SweepRunner old(tinyExperiment(), 2);
+    old.setResume(stale);
+    try {
+        old.run(cells);
+        FAIL() << "schema-4 journal header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema 4"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // Headerless journals (pre-header builds) still resume.
+    const ExperimentConfig exp = tinyExperiment();
+    std::string rows;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        SweepResult r;
+        r.cell = cells[i];
+        r.seed = SweepRunner::cellSeed(exp.seed,
+                                       cells[i].workload.label());
+        r.run.aggregateIpc = 1.0;
+        r.baselineIpc = 2.0;
+        r.normalized = 0.5;
+        rows += SweepRunner::formatRow(i, r) + "\n";
+    }
+    const std::string headerless =
+        writeTempFile("journal_headerless", rows);
+    SweepRunner tolerant(tinyExperiment(), 2);
+    tolerant.setResume(headerless);
+    const std::vector<SweepResult> results = tolerant.run(cells);
+    for (const SweepResult &r : results)
+        EXPECT_FALSE(r.resumedRow.empty());
+}
+
 TEST(SweepMix, CellsRouteThroughRunWorkloadMixDeterministically)
 {
     const ExperimentConfig exp = tinyExperiment();

@@ -93,6 +93,24 @@
  *            merged CSV:
  *              srs_sim merge --manifest=DIR/manifest [--out=FILE]
  *
+ *   farm     run a planned orchestration (`orchestrate --plan`)
+ *            across a fleet described by a hostfile — local job
+ *            slots and/or ssh hosts — supervising every shard
+ *            through its checkpoint journal, restarting or
+ *            rebalancing crashed/stalled shards, and stitching the
+ *            same byte-identical merged CSV:
+ *              srs_sim farm --manifest=DIR/manifest
+ *                      --hosts=hosts.conf [--retries=R]
+ *                      [--threads=N per shard] [--poll-ms=MS]
+ *                      [--stale-sec=S] [--status-file=FILE]
+ *                      [--sim=PATH] [--out=FILE]
+ *
+ *   monitor  report live fleet progress by reading the shard
+ *            journals (and the farm status file, when present) —
+ *            no channel to the dispatcher needed:
+ *              srs_sim monitor --dir=DIR | --manifest=FILE
+ *                      [--watch] [--interval-ms=MS]
+ *
  *   list     list the built-in workload profiles.
  *
  * All subcommands validate unknown flags (a typo is a fatal error,
@@ -101,17 +119,22 @@
  * library layers underneath.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <limits>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.hh"
 #include "common/options.hh"
 #include "common/thread_pool.hh"
+#include "farm/dispatcher.hh"
+#include "farm/hostfile.hh"
+#include "farm/progress.hh"
 #include "security/attack_model.hh"
 #include "security/monte_carlo.hh"
 #include "security/storage_model.hh"
@@ -342,6 +365,11 @@ cmdOrchestrate(const Options &opts)
         "dir", out.empty() ? "srs_shards" : out + ".shards");
     cfg.simPath = opts.getString("sim", selfExePath());
     const bool planOnly = opts.getBool("plan", false);
+    const std::string planFormat =
+        opts.getString("plan-format", "text");
+    if (planFormat != "text" && planFormat != "json")
+        fatal("--plan-format is 'text' or 'json', not '", planFormat,
+              "'");
     opts.rejectUnknown();
 
     const ShardManifest manifest = planShards(grid, exp, shards);
@@ -349,7 +377,7 @@ cmdOrchestrate(const Options &opts)
     if (planOnly) {
         // Write the manifest and print the shard commands for
         // dispatch to other machines; launch nothing.
-        orchestrator.writePlan(std::cout);
+        orchestrator.writePlan(std::cout, planFormat == "json");
         return 0;
     }
     if (out.empty()) {
@@ -399,6 +427,123 @@ cmdMerge(const Options &opts)
                  "merge: stitched %zu cells from %zu shard(s)\n",
                  manifest.totalCells(), manifest.shards.size());
     return 0;
+}
+
+int
+cmdFarm(const Options &opts)
+{
+    const std::string manifestPath = opts.getString("manifest", "");
+    const std::string hostsPath = opts.getString("hosts", "");
+    FarmConfig cfg;
+    cfg.shardThreads =
+        static_cast<std::size_t>(opts.getUint("threads", 1));
+    cfg.retries =
+        static_cast<std::size_t>(opts.getUint("retries", 2));
+    cfg.pollMs = opts.getUint("poll-ms", 200);
+    cfg.staleSec = static_cast<double>(opts.getUint("stale-sec", 0));
+    cfg.statusFile = opts.getString("status-file", "");
+    cfg.simPath = opts.getString("sim", selfExePath());
+    const std::string out = opts.getString("out", "");
+    opts.rejectUnknown();
+    if (manifestPath.empty())
+        fatal("farm needs --manifest=FILE (written by 'srs_sim "
+              "orchestrate --plan')");
+    if (hostsPath.empty())
+        fatal("farm needs --hosts=FILE (the fleet hostfile; "
+              "docs/sweep-format.md has the format)");
+
+    const ShardManifest manifest = loadManifest(manifestPath);
+    cfg.dir =
+        std::filesystem::path(manifestPath).parent_path().string();
+    if (cfg.dir.empty())
+        cfg.dir = ".";
+    cfg.hosts = loadHostfile(hostsPath);
+
+    FarmDispatcher farm(manifest, cfg);
+    if (out.empty()) {
+        farm.run(std::cout);
+        if (!std::cout.flush())
+            fatal("error writing merged CSV to stdout");
+    } else {
+        std::ofstream file(out, std::ios::trunc | std::ios::binary);
+        if (!file)
+            fatal("cannot open '", out, "' for writing");
+        farm.run(file);
+    }
+    std::fprintf(stderr,
+                 "farm: merged %zu cells from %zu shard(s) across "
+                 "%zu host(s) into %s (%zu launched, %zu restarted, "
+                 "%zu already complete)\n",
+                 manifest.totalCells(), manifest.shards.size(),
+                 cfg.hosts.size(), out.empty() ? "stdout" : out.c_str(),
+                 farm.launches(), farm.restarts(),
+                 farm.skippedShards());
+    return 0;
+}
+
+int
+cmdMonitor(const Options &opts)
+{
+    std::string manifestPath = opts.getString("manifest", "");
+    std::string dir = opts.getString("dir", "");
+    const bool watch = opts.getBool("watch", false);
+    const std::uint64_t intervalMs =
+        opts.getUint("interval-ms", 1000);
+    opts.rejectUnknown();
+    if (manifestPath.empty() && dir.empty())
+        fatal("monitor needs --dir=DIR (the shard directory) or "
+              "--manifest=FILE");
+    if (manifestPath.empty())
+        manifestPath = dir + "/manifest";
+    if (dir.empty()) {
+        dir = std::filesystem::path(manifestPath)
+                  .parent_path()
+                  .string();
+        if (dir.empty())
+            dir = ".";
+    }
+
+    const ShardManifest manifest = loadManifest(manifestPath);
+    const std::size_t n = manifest.shards.size();
+    const std::string statusPath = dir + "/farm.status";
+
+    // The snapshot is built from the shard journals alone; the
+    // dispatcher's status file (when present) only decorates it with
+    // host assignments.  Rates/ETAs need two samples, so one-shot
+    // JSON reports them as -1 and --watch fills them in from the
+    // second refresh on.
+    ProgressClock clock(n);
+    for (;;) {
+        std::vector<ShardStatus> snapshot = snapshotFromJournals(
+            manifest, dir, nullptr,
+            readHostsFromStatus(statusPath, n));
+        const double now =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        for (ShardStatus &s : snapshot)
+            clock.sample(s.index, s.rows, now);
+        for (ShardStatus &s : snapshot) {
+            s.rowsPerSec = clock.rowsPerSec(s.index);
+            s.etaSec = s.state == ShardState::Done
+                           ? 0.0
+                           : clock.etaSec(s.index, s.cells);
+        }
+        if (!watch) {
+            writeStatusJson(std::cout, snapshot);
+            if (!std::cout.flush())
+                fatal("error writing status to stdout");
+            return 0;
+        }
+        writeStatusTable(std::cout, snapshot);
+        if (fleetDone(snapshot)) {
+            std::printf("monitor: fleet complete\n");
+            return 0;
+        }
+        std::printf("\n");
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(intervalMs));
+    }
 }
 
 int
@@ -583,9 +728,29 @@ usage()
         "    --dir=DIR (<out>.shards)  --sim=PATH (this binary)\n"
         "    --out=FILE (stdout)  --plan (write manifest + print\n"
         "    shard commands for other machines, launch nothing)\n"
+        "    --plan-format=text|json (text)  plan output format\n"
         "\n"
         "  merge        validate + stitch shard CSVs from a manifest\n"
         "    --manifest=FILE (required)  --out=FILE (stdout)\n"
+        "\n"
+        "  farm         dispatch a planned orchestration across a\n"
+        "               fleet (hostfile: local slots and/or ssh\n"
+        "               hosts), supervise via checkpoint journals,\n"
+        "               restart/rebalance dead shards, stitch the\n"
+        "               byte-identical merged CSV\n"
+        "    --manifest=FILE (required, from orchestrate --plan)\n"
+        "    --hosts=FILE (required fleet hostfile)\n"
+        "    --threads=N per shard (1)  --retries=R (2)\n"
+        "    --poll-ms=MS (200)  --stale-sec=S (0 = no straggler\n"
+        "    timeout)  --status-file=FILE (<dir>/farm.status)\n"
+        "    --sim=PATH (this binary)  --out=FILE (stdout)\n"
+        "\n"
+        "  monitor      live fleet progress from the shard journals\n"
+        "               alone (JSON lines; --watch for a table)\n"
+        "    --dir=DIR | --manifest=FILE (one required;\n"
+        "    --manifest defaults to <dir>/manifest)\n"
+        "    --watch  refresh a table until the fleet completes\n"
+        "    --interval-ms=MS (1000)\n"
         "\n"
         "  attack       Juggernaut analytical model / Monte-Carlo\n"
         "    --defense=rrs|srs|scale-srs (rrs)  --trh=N (4800)\n"
@@ -629,6 +794,10 @@ main(int argc, char **argv)
             return cmdOrchestrate(opts);
         if (cmd == "merge")
             return cmdMerge(opts);
+        if (cmd == "farm")
+            return cmdFarm(opts);
+        if (cmd == "monitor")
+            return cmdMonitor(opts);
         if (cmd == "attack")
             return cmdAttack(opts);
         if (cmd == "storage")
