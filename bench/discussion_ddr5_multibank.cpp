@@ -33,25 +33,17 @@ namespace
 using namespace srs;
 
 /**
- * DDR5 attack environment, derived from the timing preset: tREFI
- * halves, so the refresh epoch (and the refresh work done in it)
- * halves with it, and tRC/tRFC take their DDR5 values.
+ * DDR5 attack environment: the ddr5 preset on a SystemAxes identity,
+ * run through the shared attackParamsFromAxes() derivation (tREFI
+ * halves, so the refresh epoch and the refresh work done in it halve
+ * with it, and tRC/tRFC take their DDR5 values).
  */
 AttackParams
 ddr5Params(std::uint32_t trh, std::uint32_t rate)
 {
-    const DramTimingNs ddr4 = DramTimingNs::preset(DramPreset::Ddr4);
-    const DramTimingNs ddr5 = DramTimingNs::preset(DramPreset::Ddr5);
-    const double refiRatio = ddr5.tREFI / ddr4.tREFI;
-    AttackParams p;
-    p.trh = trh;
-    p.swapRate = rate;
-    p.epochSec *= refiRatio;
-    p.refreshOpsPerEpoch = static_cast<std::uint64_t>(
-        static_cast<double>(p.refreshOpsPerEpoch) * refiRatio);
-    p.tRcSec = ddr5.tRC * 1e-9;
-    p.tRfcSec = ddr5.tRFC * 1e-9;
-    return p;
+    SystemAxes axes;
+    axes.preset = DramPreset::Ddr5;
+    return attackParamsFromAxes(axes, trh, rate);
 }
 
 } // namespace
@@ -91,9 +83,8 @@ main()
                 "vs single bank");
     double single = 0.0;
     for (const std::uint32_t banks : {1u, 2u, 4u, 8u, 11u, 16u}) {
-        AttackParams p;
-        p.trh = 4800;
-        p.swapRate = 6;
+        const AttackParams p =
+            attackParamsFromAxes(SystemAxes{}, 4800, 6);
         const AttackResult r =
             JuggernautModel(p).evaluateRrsMultiBank(banks);
         const double days =

@@ -40,10 +40,11 @@ main()
             std::printf("T_RH=%-5u %-11s", trh,
                         open ? "open" : "closed");
             for (std::uint32_t rate = 6; rate <= 10; ++rate) {
-                AttackParams p;
-                p.trh = trh;
-                p.swapRate = rate;
-                p.actTimeFactor = open ? kOpenPageActFactor : 1.0;
+                SystemAxes axes;
+                axes.pagePolicy =
+                    open ? PagePolicy::Open : PagePolicy::Closed;
+                const AttackParams p =
+                    attackParamsFromAxes(axes, trh, rate);
                 const AttackResult r = JuggernautModel(p).bestRrs();
                 if (r.feasible)
                     std::printf("  %-10.3g",

@@ -141,4 +141,31 @@ JuggernautModel::evaluateRrsMultiBank(std::uint32_t banks,
     return best;
 }
 
+AttackParams
+attackParamsFromAxes(const SystemAxes &axes, std::uint32_t trh,
+                     std::uint32_t rate)
+{
+    axes.validate();
+    const DramTimingNs eff = axes.effectiveTimingNs();
+    const DramTimingNs ddr4 = DramTimingNs::preset(DramPreset::Ddr4);
+    // The paper's DDR4 anchor: tREFI 7800 ns <=> a 64 ms refresh
+    // epoch holding 8192 refresh commands.  Halving tREFI (DDR5)
+    // halves both; a relaxed @trefi override stretches both.
+    const double refiRatio = eff.tREFI / ddr4.tREFI;
+    AttackParams p;
+    p.trh = trh;
+    p.swapRate = rate;
+    // Rows-per-bank is not a swept axis (see SystemAxes): every org
+    // keeps the Table III row count, same as the performance cells.
+    p.rowsPerBank = DramOrg{}.rowsPerBank;
+    p.epochSec *= refiRatio;
+    p.refreshOpsPerEpoch = static_cast<std::uint64_t>(
+        static_cast<double>(p.refreshOpsPerEpoch) * refiRatio);
+    p.tRcSec = eff.tRC * 1e-9;
+    p.tRfcSec = eff.tRFC * 1e-9;
+    if (axes.pagePolicy == PagePolicy::Open)
+        p.actTimeFactor = kOpenPageActFactor;
+    return p;
+}
+
 } // namespace srs

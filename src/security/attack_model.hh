@@ -18,6 +18,8 @@
 
 #include <cstdint>
 
+#include "sim/workload_spec.hh"
+
 namespace srs
 {
 
@@ -57,6 +59,27 @@ struct AttackParams
 
     std::uint32_t ts() const { return trh / swapRate; }
 };
+
+/**
+ * Derive AttackParams from a performance-sweep SystemAxes identity.
+ *
+ * The security and performance figures share one definition of the
+ * environment: the axes' effective DRAM timings (preset + overrides)
+ * give the refresh epoch and the per-epoch refresh budget, scaled
+ * from the paper's DDR4 anchors (tREFI 7800 ns -> 64 ms epochs with
+ * 8192 refresh commands), tRC/tRFC give the activation and refresh
+ * command times, and an open page policy applies
+ * kOpenPageActFactor.  On the default ddr4 axes this returns exactly
+ * the paper-default AttackParams; on `@ddr5` it reproduces the
+ * Section VIII-5 environment (32 ms epochs, 4096 refresh ops).
+ *
+ * @param axes performance-cell axes (validated; overrides applied)
+ * @param trh  Row Hammer threshold
+ * @param rate swap rate (T_RH / T_S)
+ */
+AttackParams attackParamsFromAxes(const SystemAxes &axes,
+                                  std::uint32_t trh,
+                                  std::uint32_t rate);
 
 /** Everything Equations 1-10 produce for one choice of N. */
 struct AttackResult

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <mutex>
 #include <vector>
 
 #include "common/logging.hh"
@@ -12,10 +11,259 @@
 namespace srs
 {
 
+namespace
+{
+
+/** 97.5% normal quantile: two-sided 95% confidence intervals. */
+constexpr double kZ95 = 1.959963984540054;
+
+/** Importance-sampling proposal: epoch count ~ Geometric(kProposalP). */
+constexpr double kProposalP = 0.5;
+
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+/** Everything a stratum needs, precomputed once per campaign. */
+struct CampaignSpec
+{
+    bool feasible = false;
+    bool instant = false; ///< k == 0: latent acts break epoch 1
+    double epochSec = 0.0;
+    double pEpoch = 0.0;  ///< exact per-epoch success probability
+    std::uint64_t g = 0;  ///< guesses per epoch
+    std::uint64_t k = 0;  ///< required correct guesses
+    double pRow = 0.0;    ///< per-guess landing probability
+    bool iterate = false; ///< epoch-by-epoch vs geometric sampling
+    std::uint64_t valve = 0; ///< censoring threshold in epochs
+};
+
+CampaignSpec
+makeCampaign(const AttackParams &params, const AttackResult &analytic,
+             std::uint64_t epochLoopLimit, std::uint64_t valveOverride)
+{
+    CampaignSpec c;
+    // An infeasible analytic result is infeasible regardless of its
+    // k — k == 0 there means "no budget for even one guess", not
+    // "breaks for free".
+    if (!analytic.feasible)
+        return c;
+    c.feasible = true;
+    c.epochSec = params.epochSec;
+    if (analytic.k == 0) {
+        // Latent activations alone break the row in the first epoch.
+        c.instant = true;
+        c.pEpoch = 1.0;
+        return c;
+    }
+    c.pRow = 1.0 / static_cast<double>(params.rowsPerBank);
+    c.g = static_cast<std::uint64_t>(analytic.guesses);
+    // Per-epoch success probability (exact upper tail).
+    c.pEpoch = binomialSf(c.g, analytic.k, c.pRow);
+    if (c.pEpoch <= 0.0) {
+        c.feasible = false;
+        return c;
+    }
+    c.k = analytic.k;
+    c.iterate =
+        c.pEpoch > 1.0 / static_cast<double>(epochLoopLimit);
+    c.valve = valveOverride != 0 ? valveOverride
+                                 : 100ULL * epochLoopLimit;
+    return c;
+}
+
+/** Exact per-stratum sums; folded in stratum order. */
+struct StratumStats
+{
+    std::uint64_t n = 0;
+    std::uint64_t censored = 0;
+    double sumT = 0.0;
+    double sumSqT = 0.0;
+    double sumP = 0.0;
+    double sumSqP = 0.0;
+};
+
+StratumStats
+runStratum(const CampaignSpec &c, std::uint64_t seed,
+           std::uint64_t trials)
+{
+    StratumStats st;
+    st.n = trials;
+    Rng rng(seed);
+    for (std::uint64_t j = 0; j < trials; ++j) {
+        if (c.iterate) {
+            // Event-driven: draw guess landings epoch by epoch.  The
+            // first epoch doubles as a naive sample of pEpoch.
+            std::uint64_t epochs = 0;
+            bool firstEpochBreak = false;
+            bool censored = false;
+            for (;;) {
+                ++epochs;
+                const bool broke =
+                    rng.nextBinomial(c.g, c.pRow) >= c.k;
+                if (epochs == 1)
+                    firstEpochBreak = broke;
+                if (broke)
+                    break;
+                if (epochs > c.valve) {
+                    censored = true;
+                    break;
+                }
+            }
+            const double pv = firstEpochBreak ? 1.0 : 0.0;
+            st.sumP += pv;
+            st.sumSqP += pv * pv;
+            if (censored) {
+                ++st.censored;
+            } else {
+                const double t =
+                    static_cast<double>(epochs) * c.epochSec;
+                st.sumT += t;
+                st.sumSqT += t * t;
+            }
+        } else {
+            // Deep tail.  Time: stratified inverse-CDF geometric —
+            // trial j of n maps u = (j + xi) / n through the
+            // geometric quantile, unbiased for any n.
+            const double u = (static_cast<double>(j) +
+                              rng.nextDouble()) /
+                             static_cast<double>(trials);
+            const double denom = std::log1p(-c.pEpoch);
+            double epochs =
+                denom < 0.0 ? std::ceil(std::log1p(-u) / denom) : 1.0;
+            if (!(epochs >= 1.0))
+                epochs = 1.0;
+            const double t = epochs * c.epochSec;
+            st.sumT += t;
+            st.sumSqT += t * t;
+            // pEpoch: importance sampling.  Draw the epoch count
+            // from the Geometric(kProposalP) proposal; the
+            // likelihood-weighted first-epoch indicator
+            // w(1) * 1{E == 1} with w(1) = pEpoch / kProposalP has
+            // mean pEpoch and relative stddev ~1 per trial at any
+            // pEpoch, so 10^-9 probabilities resolve in O(1/eps^2)
+            // trials instead of O(1/p).
+            const std::uint64_t proposal =
+                rng.nextGeometric(kProposalP);
+            const double w =
+                proposal == 1 ? c.pEpoch / kProposalP : 0.0;
+            st.sumP += w;
+            st.sumSqP += w * w;
+        }
+    }
+    return st;
+}
+
+/** Derive the presented statistics from the folded exact sums. */
+void
+finalize(const CampaignSpec &c, MonteCarloResult &out)
+{
+    if (out.iterations == 0)
+        return;
+    const double n = static_cast<double>(out.iterations);
+    out.pBreak = out.sumPBreak / n;
+    double pHalf = 0.0;
+    if (out.iterations >= 2) {
+        const double varP = std::max(
+            0.0, (out.sumSqPBreak - n * out.pBreak * out.pBreak) /
+                     (n - 1.0));
+        pHalf = kZ95 * std::sqrt(varP / n);
+    }
+    out.pBreakCiLo = std::max(0.0, out.pBreak - pHalf);
+    out.pBreakCiHi = std::min(1.0, out.pBreak + pHalf);
+
+    const std::uint64_t kept = out.iterations - out.censored;
+    if (kept > 0) {
+        const double m = static_cast<double>(kept);
+        out.meanTimeSec = out.sumTimeSec / m;
+        out.meanEpochs = out.meanTimeSec / c.epochSec;
+        double tHalf = 0.0;
+        if (kept >= 2) {
+            const double var = std::max(
+                0.0, (out.sumSqTimeSec -
+                      m * out.meanTimeSec * out.meanTimeSec) /
+                         (m - 1.0));
+            out.stddevTimeSec = std::sqrt(var);
+            tHalf = kZ95 * out.stddevTimeSec / std::sqrt(m);
+        }
+        out.timeCiLoSec = std::max(0.0, out.meanTimeSec - tHalf);
+        out.timeCiHiSec = out.meanTimeSec + tHalf;
+    }
+    // More than 5% censored trials bias the truncated time mean too
+    // far to trust the estimate.
+    out.reliable = kept > 0 && out.censored * 20 <= out.iterations;
+}
+
+/** The k == 0 campaign is deterministic: every trial breaks in the
+ *  first epoch.  Fill the sums exactly, no sampling. */
+MonteCarloResult
+instantResult(const CampaignSpec &c, std::uint64_t iterations)
+{
+    MonteCarloResult out;
+    out.feasible = true;
+    out.iterations = iterations;
+    if (iterations == 0)
+        return out;
+    const double n = static_cast<double>(iterations);
+    out.meanEpochs = 1.0;
+    out.meanTimeSec = c.epochSec;
+    out.timeCiLoSec = c.epochSec;
+    out.timeCiHiSec = c.epochSec;
+    out.pBreak = 1.0;
+    out.pBreakCiLo = 1.0;
+    out.pBreakCiHi = 1.0;
+    out.sumTimeSec = n * c.epochSec;
+    out.sumSqTimeSec = n * c.epochSec * c.epochSec;
+    out.sumPBreak = n;
+    out.sumSqPBreak = n;
+    out.reliable = true;
+    return out;
+}
+
+std::size_t
+strataCount(std::uint64_t iterations)
+{
+    return static_cast<std::size_t>(std::min<std::uint64_t>(
+        iterations, MonteCarloAttack::kStrata));
+}
+
+MonteCarloResult
+foldStrata(const CampaignSpec &c,
+           const std::vector<StratumStats> &parts)
+{
+    MonteCarloResult out;
+    out.feasible = true;
+    // Strict stratum order: double addition is not associative, and
+    // the bitwise serial == batch contract hangs on this fold.
+    for (const StratumStats &st : parts) {
+        out.iterations += st.n;
+        out.censored += st.censored;
+        out.sumTimeSec += st.sumT;
+        out.sumSqTimeSec += st.sumSqT;
+        out.sumPBreak += st.sumP;
+        out.sumSqPBreak += st.sumSqP;
+    }
+    finalize(c, out);
+    return out;
+}
+
+} // namespace
+
 MonteCarloAttack::MonteCarloAttack(const AttackParams &params,
                                    std::uint64_t seed)
-    : params_(params), model_(params), rng_(seed)
+    : params_(params), model_(params), seed_(seed)
 {
+}
+
+void
+MonteCarloAttack::setEpochValve(std::uint64_t maxEpochs)
+{
+    valveOverride_ = maxEpochs;
 }
 
 MonteCarloResult
@@ -23,59 +271,31 @@ MonteCarloAttack::run(const AttackResult &analytic,
                       std::uint64_t iterations,
                       std::uint64_t epochLoopLimit)
 {
+    const CampaignSpec c = makeCampaign(params_, analytic,
+                                        epochLoopLimit,
+                                        valveOverride_);
     MonteCarloResult out;
     out.iterations = iterations;
-    if (!analytic.feasible && analytic.k > 0)
+    if (!c.feasible)
         return out;
-    out.feasible = true;
-
-    if (analytic.k == 0) {
-        // Latent activations alone break the row in the first epoch.
-        out.meanEpochs = 1.0;
-        out.meanTimeSec = params_.epochSec;
+    if (c.instant)
+        return instantResult(c, iterations);
+    if (iterations == 0) {
+        out.feasible = true;
         return out;
     }
 
-    const double pRow = 1.0 / static_cast<double>(params_.rowsPerBank);
-    const auto g = static_cast<std::uint64_t>(analytic.guesses);
-    // Per-epoch success probability (exact upper tail).
-    const double pEpoch = binomialSf(g, analytic.k, pRow);
-    if (pEpoch <= 0.0) {
-        out.feasible = false;
-        return out;
+    const std::size_t strata = strataCount(iterations);
+    const std::uint64_t perStratum = iterations / strata;
+    const std::uint64_t remainder = iterations % strata;
+    std::vector<StratumStats> parts(strata);
+    for (std::size_t s = 0; s < strata; ++s) {
+        const std::uint64_t trials =
+            perStratum + (s < remainder ? 1 : 0);
+        parts[s] = runStratum(c, MonteCarloBatch::shardSeed(seed_, s),
+                              trials);
     }
-
-    const bool iterate =
-        pEpoch > 1.0 / static_cast<double>(epochLoopLimit);
-
-    double sum = 0.0;
-    double sumSq = 0.0;
-    for (std::uint64_t it = 0; it < iterations; ++it) {
-        std::uint64_t epochs = 0;
-        if (iterate) {
-            // Event-driven: draw guess landings epoch by epoch.
-            for (;;) {
-                ++epochs;
-                if (rng_.nextBinomial(g, pRow) >= analytic.k)
-                    break;
-                if (epochs > 100ULL * epochLoopLimit)
-                    break; // statistical safety valve
-            }
-        } else {
-            epochs = rng_.nextGeometric(pEpoch);
-        }
-        const double t = static_cast<double>(epochs) * params_.epochSec;
-        sum += t;
-        sumSq += t * t;
-    }
-    const double n = static_cast<double>(iterations);
-    out.meanTimeSec = sum / n;
-    out.meanEpochs = out.meanTimeSec / params_.epochSec;
-    const double var = std::max(0.0, sumSq / n -
-                                         out.meanTimeSec *
-                                             out.meanTimeSec);
-    out.stddevTimeSec = std::sqrt(var);
-    return out;
+    return foldStrata(c, parts);
 }
 
 MonteCarloResult
@@ -91,25 +311,17 @@ MonteCarloAttack::runSrs(std::uint64_t iterations)
     return run(model_.evaluateSrs(), iterations, 100000);
 }
 
-namespace
-{
-
-std::uint64_t
-splitmix64(std::uint64_t x)
-{
-    x += 0x9E3779B97F4A7C15ULL;
-    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
-    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
-    return x ^ (x >> 31);
-}
-
-} // namespace
-
 MonteCarloBatch::MonteCarloBatch(const AttackParams &params,
                                  std::uint64_t seed,
                                  std::size_t threads)
     : params_(params), seed_(seed), pool_(threads)
 {
+}
+
+void
+MonteCarloBatch::setEpochValve(std::uint64_t maxEpochs)
+{
+    valveOverride_ = maxEpochs;
 }
 
 std::size_t
@@ -137,67 +349,40 @@ MonteCarloBatch::resolveShards(std::size_t requested,
 }
 
 MonteCarloResult
-MonteCarloBatch::runShards(
-    std::uint64_t iterations, std::size_t shards,
-    const std::function<MonteCarloResult(MonteCarloAttack &,
-                                         std::uint64_t)> &shardRun)
+MonteCarloBatch::runCampaign(const AttackResult &analytic,
+                             std::uint64_t iterations,
+                             std::uint64_t epochLoopLimit)
 {
-    shards = resolveShards(shards, iterations);
-    const std::uint64_t perShard = iterations / shards;
-    const std::uint64_t remainder = iterations % shards;
+    const CampaignSpec c = makeCampaign(params_, analytic,
+                                        epochLoopLimit,
+                                        valveOverride_);
+    MonteCarloResult out;
+    out.iterations = iterations;
+    if (!c.feasible)
+        return out;
+    if (c.instant)
+        return instantResult(c, iterations);
+    if (iterations == 0) {
+        out.feasible = true;
+        return out;
+    }
 
-    std::vector<MonteCarloResult> parts(shards);
-    std::mutex errorMutex;
-    std::string errorMsg;
-    for (std::size_t s = 0; s < shards; ++s) {
+    // Same strata, same seeds, same fold as the serial path — only
+    // the execution moves to the pool, so the result is bitwise
+    // identical to MonteCarloAttack at any thread count.
+    const std::size_t strata = strataCount(iterations);
+    const std::uint64_t perStratum = iterations / strata;
+    const std::uint64_t remainder = iterations % strata;
+    std::vector<StratumStats> parts(strata);
+    for (std::size_t s = 0; s < strata; ++s) {
         pool_.submit([&, s] {
-            try {
-                MonteCarloAttack attack(params_, shardSeed(seed_, s));
-                const std::uint64_t iters =
-                    perShard + (s < remainder ? 1 : 0);
-                parts[s] = shardRun(attack, iters);
-            } catch (const FatalError &err) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (errorMsg.empty())
-                    errorMsg = err.what();
-            }
+            const std::uint64_t trials =
+                perStratum + (s < remainder ? 1 : 0);
+            parts[s] = runStratum(c, shardSeed(seed_, s), trials);
         });
     }
     pool_.wait();
-    if (!errorMsg.empty())
-        throw FatalError(errorMsg);
-
-    // A one-shard batch IS the serial campaign; return it verbatim.
-    if (shards == 1)
-        return parts[0];
-
-    // Deterministic reduction: reconstruct each shard's time sums
-    // from its mean/stddev and fold them in shard order.  Pure
-    // arithmetic over the shard results, so the outcome is the same
-    // for every thread count.
-    MonteCarloResult out;
-    out.feasible = true;
-    double sum = 0.0;
-    double sumSq = 0.0;
-    for (const MonteCarloResult &part : parts) {
-        out.iterations += part.iterations;
-        out.feasible = out.feasible && part.feasible;
-        const double n = static_cast<double>(part.iterations);
-        sum += part.meanTimeSec * n;
-        sumSq += (part.stddevTimeSec * part.stddevTimeSec +
-                  part.meanTimeSec * part.meanTimeSec) *
-                 n;
-    }
-    if (!out.feasible || out.iterations == 0)
-        return out;
-    const double n = static_cast<double>(out.iterations);
-    out.meanTimeSec = sum / n;
-    out.meanEpochs = out.meanTimeSec / params_.epochSec;
-    const double var = std::max(0.0, sumSq / n -
-                                         out.meanTimeSec *
-                                             out.meanTimeSec);
-    out.stddevTimeSec = std::sqrt(var);
-    return out;
+    return foldStrata(c, parts);
 }
 
 MonteCarloResult
@@ -205,21 +390,17 @@ MonteCarloBatch::runRrs(std::uint64_t rounds, std::uint64_t iterations,
                         std::uint64_t epochLoopLimit,
                         std::size_t shards)
 {
-    return runShards(iterations, shards,
-                     [rounds, epochLoopLimit](MonteCarloAttack &mc,
-                                              std::uint64_t iters) {
-                         return mc.runRrs(rounds, iters,
-                                          epochLoopLimit);
-                     });
+    (void)shards; // execution hint only; results never depend on it
+    return runCampaign(JuggernautModel(params_).evaluateRrs(rounds),
+                       iterations, epochLoopLimit);
 }
 
 MonteCarloResult
 MonteCarloBatch::runSrs(std::uint64_t iterations, std::size_t shards)
 {
-    return runShards(iterations, shards,
-                     [](MonteCarloAttack &mc, std::uint64_t iters) {
-                         return mc.runSrs(iters);
-                     });
+    (void)shards;
+    return runCampaign(JuggernautModel(params_).evaluateSrs(),
+                       iterations, 100000);
 }
 
 } // namespace srs

@@ -2,21 +2,36 @@
  * @file
  * Event-driven Monte-Carlo validation of the analytical attack model
  * (the "bins and buckets" simulation of the paper's artifact,
- * validating Figure 6).
+ * validating Figure 6), at production confidence.
  *
  * Each trial simulates refresh epochs: per epoch the attacker makes
  * G random guesses and the number landing on the aggressor's original
  * location is drawn from Binomial(G, 1/R); the attack succeeds in the
- * first epoch with >= k landings.  For success probabilities too
- * small to iterate epoch-by-epoch the epoch count is drawn from the
- * exact geometric distribution instead — statistically identical,
- * just without the O(1/p) loop.
+ * first epoch with >= k landings.  Trials that outlive the epoch
+ * safety valve are *censored*: they are counted
+ * (MonteCarloResult::censored) and excluded from the time statistics
+ * instead of being booked as a break at the cap, and a censored
+ * fraction above 5% marks the estimate unreliable.
  *
- * Trials are independent, so MonteCarloBatch shards a campaign
- * across a ThreadPool: each shard is a MonteCarloAttack with its own
- * derived seed, and the shard results are reduced in shard order, so
- * a batch result depends only on (seed, iterations, shard count) —
- * never on the thread count or completion order.
+ * For success probabilities too small to iterate epoch-by-epoch two
+ * estimators take over: the trial's epoch count is drawn from the
+ * exact geometric distribution by stratified inverse-CDF sampling
+ * (trial j of n maps u = (j + xi) / n through the geometric
+ * quantile function — unbiased for any n, with strongly reduced
+ * variance), and the per-epoch break probability is estimated by
+ * importance sampling with a Geometric(1/2) proposal and likelihood
+ * weighting, so p_break values in the 10^-6..10^-9 range carry a
+ * ~1/sqrt(N) *relative* error instead of needing ~1/p trials.
+ *
+ * Determinism contract: a campaign of N trials is always split into
+ * S = min(N, 16) fixed *strata*; stratum s runs its share on an Rng
+ * seeded with MonteCarloBatch::shardSeed(seed, s), and the exact
+ * per-stratum sums are folded in stratum order.  The result is a
+ * pure function of (params, seed, iterations, epochLoopLimit,
+ * valve): MonteCarloBatch distributes strata over a ThreadPool but
+ * folds the same sums in the same order, so the batch result is
+ * bit-identical to the serial MonteCarloAttack at *any* shard or
+ * thread count.
  */
 
 #ifndef SRS_SECURITY_MONTE_CARLO_HH
@@ -24,7 +39,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
@@ -36,28 +50,61 @@ namespace srs
 /** Aggregate outcome of a Monte-Carlo campaign. */
 struct MonteCarloResult
 {
-    /** Number of independent trials behind the statistics. */
+    /** Total independent trials, censored ones included. */
     std::uint64_t iterations = 0;
+    /** Trials cut off by the epoch safety valve (not broken). */
+    std::uint64_t censored = 0;
     /** Mean refresh epochs until the first successful epoch. */
     double meanEpochs = 0.0;
-    /** Mean attack time (meanEpochs x AttackParams::epochSec). */
+    /** Mean attack time over the *uncensored* trials. */
     double meanTimeSec = 0.0;
-    /** Standard deviation of the per-trial attack time. */
+    /** Unbiased (n-1) sample stddev of the per-trial attack time. */
     double stddevTimeSec = 0.0;
+    /** 95% confidence interval on meanTimeSec. */
+    double timeCiLoSec = 0.0;
+    double timeCiHiSec = 0.0;
+    /** Estimated per-epoch break probability (importance-sampled in
+     *  the deep tail, first-epoch indicator otherwise). */
+    double pBreak = 0.0;
+    /** 95% confidence interval on pBreak, clamped to [0, 1]. */
+    double pBreakCiLo = 0.0;
+    double pBreakCiHi = 0.0;
+    /** Exact running sums behind the statistics — carried so shard
+     *  and batch reductions fold losslessly instead of
+     *  reconstructing them from rounded means. */
+    double sumTimeSec = 0.0;   ///< sum of t over uncensored trials
+    double sumSqTimeSec = 0.0; ///< sum of t^2 over uncensored trials
+    double sumPBreak = 0.0;    ///< sum of per-trial p estimates
+    double sumSqPBreak = 0.0;  ///< sum of their squares
     /** False when the analytic model says the attack cannot land. */
     bool feasible = false;
+    /** False when no uncensored trial exists or more than 5% of the
+     *  trials were censored — the time estimate is then biased. */
+    bool reliable = false;
 };
 
 /** Single-threaded Monte-Carlo attack simulator. */
 class MonteCarloAttack
 {
   public:
+    /** Strata per campaign: S = min(iterations, kStrata). */
+    static constexpr std::size_t kStrata = 16;
+
     /**
      * @param params attack/system parameters (also fed to the
      *               analytical JuggernautModel that derives G and k)
      * @param seed   RNG seed; equal seeds replay equal campaigns
+     *               (runs do not perturb each other — every run
+     *               re-derives its stratum Rngs from the seed)
      */
     MonteCarloAttack(const AttackParams &params, std::uint64_t seed);
+
+    /**
+     * Override the epoch safety valve: a trial still unbroken after
+     * this many epochs is recorded as censored.  0 (the default)
+     * derives the valve as 100 * epochLoopLimit.
+     */
+    void setEpochValve(std::uint64_t maxEpochs);
 
     /**
      * Simulate the Juggernaut attack on RRS with N biasing rounds.
@@ -78,49 +125,60 @@ class MonteCarloAttack
      */
     MonteCarloResult runSrs(std::uint64_t iterations);
 
-  private:
+    /**
+     * Run a campaign against a precomputed analytic evaluation —
+     * the workhorse behind runRrs/runSrs, public so SecuritySweep
+     * cells and bestRrs-style callers reuse one code path.  An
+     * infeasible @p analytic returns an infeasible result
+     * regardless of its k.
+     */
     MonteCarloResult run(const AttackResult &analytic,
                          std::uint64_t iterations,
                          std::uint64_t epochLoopLimit);
 
+  private:
     AttackParams params_;
     JuggernautModel model_;
-    Rng rng_;
+    std::uint64_t seed_;
+    std::uint64_t valveOverride_ = 0;
 };
 
 /**
  * Thread-pool-backed Monte-Carlo campaign runner.
  *
- * Iterations are embarrassingly parallel: the campaign is split into
- * shards, shard s running floor(iterations / shards) (+1 for the
- * first iterations % shards shards) trials on its own
- * MonteCarloAttack seeded with shardSeed(seed, s).  Shard statistics
- * are reduced in shard order, making the result a pure function of
- * (params, seed, iterations, shard count): any thread count produces
- * bit-identical output.  A single-shard batch returns exactly what a
- * serial MonteCarloAttack with the same seed returns.
+ * Statistically identical to MonteCarloAttack: the campaign's fixed
+ * strata (see the file comment) are distributed over the pool, their
+ * exact sums folded in stratum order, so the result is a pure
+ * function of (params, seed, iterations, epochLoopLimit, valve) —
+ * bit-identical to the serial MonteCarloAttack at any thread count
+ * and any shard count.  The @p shards arguments survive as
+ * execution hints for API compatibility; they no longer change
+ * results.
  */
 class MonteCarloBatch
 {
   public:
     /**
      * @param params  attack/system parameters, as MonteCarloAttack
-     * @param seed    campaign base seed; per-shard seeds derive from
-     *                it via shardSeed()
+     * @param seed    campaign base seed; per-stratum seeds derive
+     *                from it via shardSeed()
      * @param threads worker count; 0 picks hardware concurrency.
      *                Changing it never changes results.
      */
     MonteCarloBatch(const AttackParams &params, std::uint64_t seed,
                     std::size_t threads = 0);
 
+    /** As MonteCarloAttack::setEpochValve. */
+    void setEpochValve(std::uint64_t maxEpochs);
+
     /**
      * Batched MonteCarloAttack::runRrs.
      * @param rounds biasing rounds N
-     * @param iterations total trials across all shards
+     * @param iterations total trials across all strata
      * @param epochLoopLimit as MonteCarloAttack::runRrs
-     * @param shards shard count; 0 picks min(iterations, 16).
-     *        Results depend on the shard count (each shard is its
-     *        own RNG stream) but not on the thread count.
+     * @param shards execution hint only; results are bit-identical
+     *        at every shard count (the campaign always uses the
+     *        fixed min(iterations, 16) strata)
      */
     MonteCarloResult runRrs(std::uint64_t rounds,
                             std::uint64_t iterations,
@@ -129,8 +187,8 @@ class MonteCarloBatch
 
     /**
      * Batched MonteCarloAttack::runSrs.
-     * @param iterations total trials across all shards
-     * @param shards shard count; 0 picks min(iterations, 16)
+     * @param iterations total trials across all strata
+     * @param shards execution hint only (see runRrs)
      */
     MonteCarloResult runSrs(std::uint64_t iterations,
                             std::size_t shards = 0);
@@ -139,9 +197,9 @@ class MonteCarloBatch
     std::size_t threadCount() const;
 
     /**
-     * Seed of shard @p shard: the base seed itself for shard 0 (so a
-     * one-shard batch replays the serial campaign bit-for-bit),
-     * splitmix64-derived for the rest.
+     * Seed of stratum @p shard: the base seed itself for stratum 0
+     * (so a one-stratum campaign replays a plain serial Rng stream
+     * bit-for-bit), splitmix64-derived for the rest.
      */
     static std::uint64_t shardSeed(std::uint64_t base,
                                    std::size_t shard);
@@ -151,13 +209,13 @@ class MonteCarloBatch
                                      std::uint64_t iterations);
 
   private:
-    MonteCarloResult
-    runShards(std::uint64_t iterations, std::size_t shards,
-              const std::function<MonteCarloResult(
-                  MonteCarloAttack &, std::uint64_t)> &shardRun);
+    MonteCarloResult runCampaign(const AttackResult &analytic,
+                                 std::uint64_t iterations,
+                                 std::uint64_t epochLoopLimit);
 
     AttackParams params_;
     std::uint64_t seed_;
+    std::uint64_t valveOverride_ = 0;
     /** Reused across campaigns (wait() makes the pool reusable). */
     ThreadPool pool_;
 };

@@ -28,7 +28,7 @@ namespace srs
 namespace
 {
 
-constexpr std::uint64_t kManifestVersion = 5;
+constexpr std::uint64_t kManifestVersion = 6;
 
 std::string
 shardKey(std::size_t index, const char *field)
@@ -71,7 +71,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             && lines.front().rfind("index,workload,", 0) == 0) {
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v1 header (no workload_spec/axes "
-                   "columns); this build merges schema v5 only — "
+                   "columns); this build merges schema v6 only — "
                    "re-run the shard (docs/sweep-format.md)";
         }
         if (!lines.empty()
@@ -80,7 +80,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v2 header (`policy` identity column, no "
                    "DRAM preset/timing axes); this build merges "
-                   "schema v5 only — re-run the shard "
+                   "schema v6 only — re-run the shard "
                    "(docs/sweep-format.md)";
         }
         if (!lines.empty()
@@ -89,7 +89,7 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v3 header (no p50_lat/p99_lat/p999_lat "
                    "tail-latency columns); this build merges schema "
-                   "v5 only — re-run the shard (docs/sweep-format.md)";
+                   "v6 only — re-run the shard (docs/sweep-format.md)";
         }
         if (!lines.empty()
             && lines.front().rfind("index,workload_spec,", 0) == 0
@@ -98,11 +98,21 @@ loadShardRows(const ShardSpec &shard, const ExperimentConfig &exp,
             return "shard CSV '" + path + "' carries the sweep CSV "
                    "schema v4 header (no lat_samples column; it "
                    "predates the DRAM-organization axis); this build "
-                   "merges schema v5 only — re-run the shard "
+                   "merges schema v6 only — re-run the shard "
                    "(docs/sweep-format.md)";
         }
+        if (!lines.empty()
+            && lines.front().rfind("index,workload_spec,", 0) == 0
+            && lines.front().find(",iterations")
+                   == std::string::npos) {
+            return "shard CSV '" + path + "' carries the sweep CSV "
+                   "schema v5 header (no iterations/censored/"
+                   "p_break/ci_lo/ci_hi Monte-Carlo confidence "
+                   "columns); this build merges schema v6 only — "
+                   "re-run the shard (docs/sweep-format.md)";
+        }
         return "shard CSV '" + path + "' does not start with this "
-               "build's schema v5 sweep CSV header";
+               "build's schema v6 sweep CSV header";
     }
     if (lines.size() - 1 != shard.cells) {
         return "shard CSV '" + path + "' has "
@@ -327,6 +337,14 @@ loadManifest(const std::string &path)
               "version ", kManifestVersion, " only — re-plan the "
               "orchestration with 'srs_sim orchestrate' "
               "(docs/sweep-format.md)");
+    }
+    if (version == 5) {
+        fatal("manifest '", path, "': schema version 5 (its shards "
+              "emit schema-v5 CSVs without the iterations/censored/"
+              "p_break/ci_lo/ci_hi Monte-Carlo confidence columns); "
+              "this build reads manifest version ", kManifestVersion,
+              " only — re-plan the orchestration with 'srs_sim "
+              "orchestrate' (docs/sweep-format.md)");
     }
     if (version != kManifestVersion) {
         fatal("manifest '", path, "': unsupported version ", version,

@@ -72,11 +72,12 @@ struct ShardSpec
 /**
  * Everything the merge (or a remote shard runner) needs to know
  * about one orchestrated sweep.  Serialized as `key=value` lines
- * (schema version 5: workload-spec spellings on the outer axis,
+ * (schema version 6: workload-spec spellings on the outer axis,
  * page-policy/DRAM-preset/DRAM-organization/timing-override system
- * axes on the inner) — see docs/sweep-format.md for the schema.
- * Version-1 through version-4 manifests are rejected with a
- * versioned error, never misread.
+ * axes on the inner; its shards emit schema-v6 CSVs carrying the
+ * Monte-Carlo confidence columns) — see docs/sweep-format.md for
+ * the schema.  Version-1 through version-5 manifests are rejected
+ * with a versioned error, never misread.
  */
 struct ShardManifest
 {
@@ -148,7 +149,7 @@ ShardManifest loadManifest(const std::string &path);
  *
  * Checks, in order: the file exists and ends with a newline (a
  * torn final line means the writer died mid-row), the first line is
- * the schema-v5 sweep CSV header (a v1, v2, v3 or v4 header is
+ * the schema-v6 sweep CSV header (a v1 through v5 header is
  * rejected with a versioned message), exactly @p shard.cells data
  * rows follow, and
  * every row has SweepRunner::kRowColumns fields and byte-matches

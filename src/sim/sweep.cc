@@ -255,7 +255,8 @@ SweepRunner::csvHeader()
     return "index,workload_spec,mitigation,tracker,trh,rate,axes,"
            "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
            "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
-           "p999_lat,lat_samples";
+           "p999_lat,lat_samples,iterations,censored,p_break,ci_lo,"
+           "ci_hi";
 }
 
 SweepRunner::SweepRunner(const ExperimentConfig &exp, std::size_t threads)
@@ -338,35 +339,44 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             continue;
         }
         if (line.rfind("index,workload_spec", 0) == 0) {
-            // A byte-exact v5 header matched above.  A v2 header is
+            // A byte-exact v6 header matched above.  A v2 header is
             // recognized by its `policy` identity column, a v3
             // header by the missing latency-percentile columns, a v4
-            // header by the missing sample-count column; anything
-            // else here is a header-like line this build cannot
-            // trust (foreign schema, stray \r, edited file).
+            // header by the missing sample-count column, a v5 header
+            // by the missing Monte-Carlo confidence columns;
+            // anything else here is a header-like line this build
+            // cannot trust (foreign schema, stray \r, edited file).
             if (line.find(",policy,") != std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v2 header (`policy` identity "
                       "column, no DRAM preset/timing axes); this "
-                      "build reads schema v5 only — re-run the sweep "
+                      "build reads schema v6 only — re-run the sweep "
                       "(docs/sweep-format.md)");
             }
             if (line.find(",p50_lat") == std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v3 header (no "
                       "p50_lat/p99_lat/p999_lat tail-latency "
-                      "columns); this build reads schema v5 only — "
+                      "columns); this build reads schema v6 only — "
                       "re-run the sweep (docs/sweep-format.md)");
             }
             if (line.find(",lat_samples") == std::string::npos) {
                 fatal("resume file '", resumePath_, "' carries the "
                       "sweep CSV schema v4 header (no lat_samples "
                       "column; it predates the DRAM-organization "
-                      "axis); this build reads schema v5 only — "
+                      "axis); this build reads schema v6 only — "
                       "re-run the sweep (docs/sweep-format.md)");
             }
+            if (line.find(",iterations") == std::string::npos) {
+                fatal("resume file '", resumePath_, "' carries the "
+                      "sweep CSV schema v5 header (no "
+                      "iterations/censored/p_break/ci_lo/ci_hi "
+                      "Monte-Carlo confidence columns); this build "
+                      "reads schema v6 only — re-run the sweep "
+                      "(docs/sweep-format.md)");
+            }
             fatal("resume file '", resumePath_, "' has a header line "
-                  "that does not byte-match this build's schema v5 "
+                  "that does not byte-match this build's schema v6 "
                   "header (foreign schema version, or the file was "
                   "edited — check for trailing whitespace or \\r "
                   "line endings):\n  got:      ", line,
@@ -375,20 +385,21 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
         if (line.rfind("index,workload", 0) == 0) {
             fatal("resume file '", resumePath_, "' carries the sweep "
                   "CSV schema v1 header (no workload_spec/axes "
-                  "columns); this build reads schema v5 only — "
+                  "columns); this build reads schema v6 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         const std::vector<std::string> fields = splitFields(line);
         // A complete v1 row has 15 fields with the 0x-seed in column
         // 7 (v2/v3 keep it in column 8 of a 16-field row, v4 in
-        // column 8 of a 19-field row); recognize all of them so
-        // stale checkpoints fail with a versioned message, not a
-        // silent recompute or a cryptic prefix mismatch.
+        // column 8 of a 19-field row, v5 in column 8 of a 20-field
+        // row); recognize all of them so stale checkpoints fail with
+        // a versioned message, not a silent recompute or a cryptic
+        // prefix mismatch.
         if (fields.size() == 15
             && fields.size() > 6 && fields[6].rfind("0x", 0) == 0) {
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v1 row (15 columns, seed "
-                  "in column 7); this build reads schema v5 only — "
+                  "in column 7); this build reads schema v6 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() == 16
@@ -396,15 +407,24 @@ SweepRunner::loadResume(const std::vector<SweepCell> &cells,
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v2 or v3 row (16 columns, "
                   "no p50_lat/p99_lat/p999_lat tail-latency "
-                  "columns); this build reads schema v5 only — "
+                  "columns); this build reads schema v6 only — "
                   "re-run the sweep (docs/sweep-format.md)");
         }
         if (fields.size() == 19
             && fields.size() > 7 && fields[7].rfind("0x", 0) == 0) {
             fatal("resume file '", resumePath_, "': row '", fields[0],
                   "' is a sweep CSV schema v4 row (19 columns, no "
-                  "lat_samples column); this build reads schema v5 "
+                  "lat_samples column); this build reads schema v6 "
                   "only — re-run the sweep (docs/sweep-format.md)");
+        }
+        if (fields.size() == 20
+            && fields.size() > 7 && fields[7].rfind("0x", 0) == 0) {
+            fatal("resume file '", resumePath_, "': row '", fields[0],
+                  "' is a sweep CSV schema v5 row (20 columns, no "
+                  "iterations/censored/p_break/ci_lo/ci_hi "
+                  "Monte-Carlo confidence columns); this build reads "
+                  "schema v6 only — re-run the sweep "
+                  "(docs/sweep-format.md)");
         }
         if (fields.size() != kRowColumns || fields.back().empty())
             continue;
@@ -712,11 +732,14 @@ SweepRunner::run(const std::vector<SweepCell> &cells)
 std::string
 SweepRunner::formatRow(std::size_t index, const SweepResult &r)
 {
+    // Performance cells have no Monte-Carlo campaign behind them;
+    // the v6 confidence columns are fixed zeros (security cells —
+    // security/security_sweep.hh — fill them in).
     char payload[256];
     std::snprintf(
         payload, sizeof(payload),
         "%.6f,%.6f,%.6f,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-        "%llu",
+        "%llu,0,0,0,0,0",
         r.run.aggregateIpc, r.baselineIpc, r.normalized,
         static_cast<unsigned long long>(r.run.swaps),
         static_cast<unsigned long long>(r.run.unswapSwaps),

@@ -34,9 +34,13 @@
  *    CSV can be fed back via setResume() to skip already-computed
  *    cells — the resumed output is byte-identical to an
  *    uninterrupted run (docs/sweep-format.md has the file formats,
- *    schema v5 — the `p50_lat,p99_lat,p999_lat` tail-latency
+ *    schema v6 — the `p50_lat,p99_lat,p999_lat` tail-latency
  *    columns landed with the generator workloads, `lat_samples`
- *    with the DRAM-organization axis).
+ *    with the DRAM-organization axis, and the
+ *    `iterations,censored,p_break,ci_lo,ci_hi` Monte-Carlo
+ *    confidence columns with the security sweep; performance cells
+ *    write zeros there, security cells (security/security_sweep.hh)
+ *    fill them in).
  */
 
 #ifndef SRS_SIM_SWEEP_HH
@@ -185,12 +189,13 @@ class SweepRunner
      * CSV (possibly truncated mid-file) or a journal — and skip
      * re-simulating those cells.  Rows are validated against the
      * grid (workload spec, mitigation, tracker, trh, rate, axes,
-     * seed); a mismatch is fatal(), and a schema-v1, -v2, -v3 or
-     * -v4 file (15-column rows, a header naming the v2 `policy`
+     * seed); a mismatch is fatal(), and a schema-v1, -v2, -v3, -v4
+     * or -v5 file (15-column rows, a header naming the v2 `policy`
      * column, 16-column rows/headers without the v4
-     * latency-percentile columns, or 19-column rows/headers without
-     * the v5 `lat_samples` column) is rejected with a versioned
-     * error.  Incomplete
+     * latency-percentile columns, 19-column rows/headers without
+     * the v5 `lat_samples` column, or 20-column rows/headers
+     * without the v6 Monte-Carlo confidence columns) is rejected
+     * with a versioned error.  Incomplete
      * trailing lines are ignored and recomputed.  An empty path
      * disables resuming.
      */
@@ -246,11 +251,11 @@ class SweepRunner
     /** The CSV header line writeCsv() emits (no trailing newline). */
     static const char *csvHeader();
 
-    /** Total fields of one schema-v5 CSV data row. */
-    static constexpr std::size_t kRowColumns = 20;
+    /** Total fields of one schema-v6 CSV data row. */
+    static constexpr std::size_t kRowColumns = 25;
 
     /** Journal/CSV schema version this build writes and reads. */
-    static constexpr std::uint64_t kJournalSchema = 5;
+    static constexpr std::uint64_t kJournalSchema = 6;
 
     /**
      * FNV-1a digest over every cell's identity prefix — a compact
@@ -275,11 +280,12 @@ class SweepRunner
 
     /**
      * The comment line a checkpoint journal now starts with:
-     * `# srs_sim sweep journal schema=5 cells=<N> grid=0x<digest>
+     * `# srs_sim sweep journal schema=6 cells=<N> grid=0x<digest>
      * seed=0x<seed>` (no trailing newline; digest = gridDigest()).
      * Resume and the fleet monitor reject a journal whose header
-     * names a different schema or grid; headerless journals from
-     * pre-header v5 builds stay accepted (docs/sweep-format.md).
+     * names a different schema or grid; headerless journals stay
+     * accepted as long as their rows carry the current schema
+     * (docs/sweep-format.md).
      */
     static std::string
     journalHeader(const std::vector<SweepCell> &cells,

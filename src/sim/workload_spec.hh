@@ -21,7 +21,7 @@
  * verbatim in the sweep CSV identity columns (`workload_spec`,
  * `axes`) and in the shard manifest, so resume validation and the
  * shard merge can compare identities byte for byte
- * (docs/sweep-format.md specs the formats, schema v5).
+ * (docs/sweep-format.md specs the formats, schema v6).
  */
 
 #ifndef SRS_SIM_WORKLOAD_SPEC_HH

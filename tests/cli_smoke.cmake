@@ -210,7 +210,8 @@ file(WRITE ${smoke_dir}/orch_shards/shard1.csv "${shard1_text}")
 
 # Generator workloads: a zipf + blend grid must be thread-count
 # invariant, carry the canonical spellings in the identity column,
-# and emit the schema-v5 tail-latency header.
+# and emit the schema-v6 tail-latency + Monte-Carlo-confidence
+# header.
 set(gen_grid --workloads=zipf:4096@s=0.99,blend:zipf:4096@s=0.9+attack@0.05
     --mitigations=rrs --trh=1200 --rates=6 --cycles=60000 --epoch=25000)
 run_expect_ok(sweep ${gen_grid} --threads=1
@@ -225,7 +226,7 @@ if(NOT gen_diff EQUAL 0)
 endif()
 file(READ ${smoke_dir}/gen_t1.csv gen_csv)
 foreach(needle ",zipf:4096@s=0.99," ",blend:zipf:4096@s=0.9\\+attack@0.05,"
-        ",p50_lat,p99_lat,p999_lat,lat_samples")
+        ",p50_lat,p99_lat,p999_lat,lat_samples,iterations,censored,p_break,ci_lo,ci_hi")
   if(NOT gen_csv MATCHES "${needle}")
     message(FATAL_ERROR "generator sweep CSV lacks '${needle}'")
   endif()
@@ -325,13 +326,17 @@ file(WRITE ${smoke_dir}/v4_checkpoint.csv
      "index,workload_spec,mitigation,tracker,trh,rate,axes,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,p999_lat\n")
 run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
                 --rates=6 --resume=${smoke_dir}/v4_checkpoint.csv)
-file(READ ${smoke_dir}/orch_shards/manifest manifest_v5)
-if(NOT manifest_v5 MATCHES "version=5")
-  message(FATAL_ERROR "orchestrate manifest is not schema v5")
+file(WRITE ${smoke_dir}/v5_checkpoint.csv
+     "index,workload_spec,mitigation,tracker,trh,rate,axes,seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,p999_lat,lat_samples\n")
+run_expect_fail(sweep --workloads=gups --mitigations=rrs --trh=1200
+                --rates=6 --resume=${smoke_dir}/v5_checkpoint.csv)
+file(READ ${smoke_dir}/orch_shards/manifest manifest_v6)
+if(NOT manifest_v6 MATCHES "version=6")
+  message(FATAL_ERROR "orchestrate manifest is not schema v6")
 endif()
-foreach(stale_version 1 2 3 4)
-  string(REPLACE "version=5" "version=${stale_version}" manifest_stale
-         "${manifest_v5}")
+foreach(stale_version 1 2 3 4 5)
+  string(REPLACE "version=6" "version=${stale_version}" manifest_stale
+         "${manifest_v6}")
   file(WRITE ${smoke_dir}/orch_shards/stale_manifest "${manifest_stale}")
   run_expect_fail(merge --manifest=${smoke_dir}/orch_shards/stale_manifest)
 endforeach()
@@ -410,6 +415,44 @@ run_expect_fail(farm --manifest=${smoke_dir}/farm_shards/manifest
 run_expect_fail(monitor)
 run_expect_fail(monitor --dir=${smoke_dir}/no_such_dir)
 
+# Security sweep: the security subcommand enumerates (axes, trh,
+# rate) security cells with the same schema-v6 CSV the performance
+# sweep writes, thread-count invariant, Monte-Carlo confidence
+# columns live when a campaign runs and zero when analytic-only.
+set(sec_grid --defenses=srs,rrs --trh=2400 --rates=6 --rounds=900,best)
+run_expect_ok(security ${sec_grid} --montecarlo=2000 --threads=1
+              --out=${smoke_dir}/sec_t1.csv)
+run_expect_ok(security ${sec_grid} --montecarlo=2000 --threads=8
+              --out=${smoke_dir}/sec_t8.csv)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${smoke_dir}/sec_t1.csv ${smoke_dir}/sec_t8.csv
+                RESULT_VARIABLE sec_diff)
+if(NOT sec_diff EQUAL 0)
+  message(FATAL_ERROR "security sweep is thread-count dependent")
+endif()
+file(READ ${smoke_dir}/sec_t1.csv sec_csv)
+foreach(needle ",iterations,censored,p_break,ci_lo,ci_hi"
+        ",attack:srs,srs,-,2400,6,closed,0x"
+        ",attack:rrs@n=900,rrs,-,2400,6,closed,0x"
+        ",attack:rrs@best,rrs,-,2400,6,closed,0x")
+  if(NOT sec_csv MATCHES "${needle}")
+    message(FATAL_ERROR "security sweep CSV lacks '${needle}'")
+  endif()
+endforeach()
+if(NOT sec_csv MATCHES ",2000,[0-9]+,[0-9.e+-]+,")
+  message(FATAL_ERROR "security CSV has no live Monte-Carlo columns")
+endif()
+# Analytic-only runs leave the campaign columns zeroed.
+run_expect_ok(security --defenses=srs --trh=4800 --rates=6
+              --out=${smoke_dir}/sec_analytic.csv)
+file(READ ${smoke_dir}/sec_analytic.csv sec_analytic_csv)
+if(NOT sec_analytic_csv MATCHES ",0,0,0,0,0\n")
+  message(FATAL_ERROR
+          "analytic-only security row has live campaign columns")
+endif()
+run_expect_fail(security --defenses=scale-rrs --trh=2400 --rates=6)
+run_expect_fail(security ${sec_grid} --montecarlo=banana)
+
 # Unknown flags must be fatal on every subcommand; so are a resume
 # file that does not exist, a sweep with no workloads at all, a
 # merge without a manifest, and an orchestration with zero shards.
@@ -435,8 +478,8 @@ run_expect_fail(frobnicate)
 execute_process(COMMAND ${SRS_SIM} OUTPUT_VARIABLE usage_text
                 RESULT_VARIABLE usage_rc ERROR_QUIET)
 foreach(subcommand perf sweep orchestrate merge farm monitor attack
-        storage trace list
-        --workloads --shards --manifest --montecarlo
+        security storage trace list
+        --workloads --shards --manifest --montecarlo --defenses --rounds
         --trace --page-policy --preset --org --channel-workers
         --trc --trcd --trp --trefi --trfc "trace:"
         --hosts --status-file --stale-sec --plan-format --watch

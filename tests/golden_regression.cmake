@@ -15,7 +15,8 @@
 # payload columns lock down mitigation behaviour, not just identity
 # formatting.  A zipf and a blend generator cell ride next to the
 # synthetic workload so the generator sampling paths and the
-# schema-v5 latency-percentile/lat_samples columns are locked down
+# schema-v6 latency-percentile and Monte-Carlo-confidence columns
+# are locked down
 # too, and the multi-channel multi-rank org cells pin down the
 # channel-parallel execution kernel's byte-identity.  The
 # regeneration runs at the default thread count:

@@ -213,7 +213,7 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
     // Future manifest versions are rejected, not misread.
     broken = text;
-    const auto version = broken.find("version=5");
+    const auto version = broken.find("version=6");
     ASSERT_NE(version, std::string::npos);
     broken.replace(version, 9, "version=7");
     EXPECT_THROW(
@@ -239,17 +239,18 @@ TEST(ShardManifestFile, CorruptedTilingIsFatal)
 
 TEST(ShardManifestFile, StaleManifestsAreRejectedWithVersionedErrors)
 {
-    // A version-1, -2, -3 or -4 manifest (pre-WorkloadSpec,
-    // pre-DRAM-preset/timing-axes, pre-latency-percentiles, and
-    // pre-DRAM-organization-axis respectively) must fail with an
-    // error that names the version, not a key-parsing mess or a
-    // cryptic identity mismatch downstream.
+    // A version-1 through version-5 manifest (pre-WorkloadSpec,
+    // pre-DRAM-preset/timing-axes, pre-latency-percentiles,
+    // pre-DRAM-organization-axis, and pre-Monte-Carlo-confidence
+    // columns respectively) must fail with an error that names the
+    // version, not a key-parsing mess or a cryptic identity
+    // mismatch downstream.
     const ShardManifest manifest =
         planShards(testGrid(), tinyExperiment(), 2);
     const std::string text = serializeManifest(manifest);
-    const auto version = text.find("version=5");
+    const auto version = text.find("version=6");
     ASSERT_NE(version, std::string::npos);
-    for (const int old : {1, 2, 3, 4}) {
+    for (const int old : {1, 2, 3, 4, 5}) {
         std::string stale = text;
         stale.replace(version, 9,
                       "version=" + std::to_string(old));

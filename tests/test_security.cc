@@ -288,6 +288,216 @@ TEST(MonteCarlo, GeometricFallbackForTinyProbabilities)
     EXPECT_NEAR(r.meanTimeSec / analytic, 1.0, 0.2);
 }
 
+TEST(MonteCarlo, ValveCensorsInsteadOfBookingBreaks)
+{
+    // Regression for the old safety-valve bias: a trial that hit the
+    // epoch cap used to be booked as a break *at* the cap, silently
+    // deflating the mean.  With a valve far below the expected
+    // epoch count, most trials are cut off — they must be recorded
+    // as censored, excluded from the time mean, and flagged.
+    AttackParams p = paperParams(2400, 6);
+    JuggernautModel m(p);
+    const AttackResult analytic = m.evaluateRrs(900);
+    ASSERT_TRUE(analytic.feasible);
+    const auto valve =
+        static_cast<std::uint64_t>(analytic.expectedEpochs / 4.0);
+    ASSERT_GE(valve, 1u);
+
+    MonteCarloAttack mc(p, 99);
+    mc.setEpochValve(valve);
+    const MonteCarloResult r = mc.run(analytic, 2000, 100000);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.iterations, 2000u);
+    // P[T > valve] ~ e^{-1/4} ~ 78%: censoring must be visible and
+    // must mark the estimate unreliable (> 5% censored).
+    EXPECT_GT(r.censored, r.iterations / 2);
+    EXPECT_LT(r.censored, r.iterations);
+    EXPECT_FALSE(r.reliable);
+    // Censored trials are excluded: every kept trial broke within
+    // the valve, so the mean cannot exceed valve epochs.
+    EXPECT_LE(r.meanTimeSec,
+              static_cast<double>(valve) * p.epochSec + 1e-12);
+    EXPECT_LE(r.meanEpochs, static_cast<double>(valve));
+    // The old estimator — censored trials booked as breaks at the
+    // cap and averaged in — underestimates the analytic
+    // time-to-break by a wide margin; that bias is what the
+    // censored count now surfaces.
+    const double oldBiased =
+        (r.sumTimeSec
+         + static_cast<double>(r.censored)
+               * static_cast<double>(valve) * p.epochSec)
+        / static_cast<double>(r.iterations);
+    EXPECT_LT(oldBiased, 0.5 * analytic.timeToBreakSec);
+}
+
+TEST(MonteCarlo, NoCensoringUnderDefaultValve)
+{
+    // The derived valve (100x the epoch loop limit) sits far above
+    // any expected epoch count in the iterate regime.
+    AttackParams p = paperParams(2400, 6);
+    MonteCarloAttack mc(p, 11);
+    const MonteCarloResult r = mc.runRrs(900, 4000);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.censored, 0u);
+    EXPECT_TRUE(r.reliable);
+    EXPECT_GT(r.timeCiHiSec, r.timeCiLoSec);
+    EXPECT_GE(r.meanTimeSec, r.timeCiLoSec);
+    EXPECT_LE(r.meanTimeSec, r.timeCiHiSec);
+}
+
+TEST(MonteCarlo, InfeasibleAnalyticWithZeroKStaysInfeasible)
+{
+    // Regression: rounds so large the biasing phase overruns the
+    // epoch give an *infeasible* analytic result whose k is 0
+    // (latent activations alone exceed T_RH).  The old code keyed
+    // "instant break" off k == 0 alone and reported a feasible
+    // one-epoch break for an attack that cannot run at all.
+    AttackParams p = paperParams(4800, 6);
+    JuggernautModel m(p);
+    const AttackResult analytic = m.evaluateRrs(100000);
+    ASSERT_FALSE(analytic.feasible);
+    ASSERT_EQ(analytic.k, 0u);
+
+    MonteCarloAttack mc(p, 3);
+    const MonteCarloResult r = mc.run(analytic, 500, 100000);
+    EXPECT_FALSE(r.feasible);
+    EXPECT_FALSE(r.reliable);
+    EXPECT_DOUBLE_EQ(r.meanTimeSec, 0.0);
+    EXPECT_DOUBLE_EQ(r.meanEpochs, 0.0);
+}
+
+TEST(MonteCarloBatch, ShardCountInvariantIncludingConfidenceFields)
+{
+    // The campaign always uses the fixed strata, so 1 shard and 16
+    // shards (and any thread count) must agree bit for bit on every
+    // field — including the exact sums and the confidence columns
+    // that land in the v6 CSV.
+    AttackParams p = paperParams(2400, 6);
+    MonteCarloBatch one(p, 4242, 1);
+    MonteCarloBatch many(p, 4242, 8);
+    const MonteCarloResult a = one.runRrs(900, 6000, 100000, 1);
+    const MonteCarloResult b = many.runRrs(900, 6000, 100000, 16);
+    EXPECT_EQ(a.iterations, b.iterations);
+    EXPECT_EQ(a.censored, b.censored);
+    EXPECT_DOUBLE_EQ(a.meanEpochs, b.meanEpochs);
+    EXPECT_DOUBLE_EQ(a.meanTimeSec, b.meanTimeSec);
+    EXPECT_DOUBLE_EQ(a.stddevTimeSec, b.stddevTimeSec);
+    EXPECT_DOUBLE_EQ(a.timeCiLoSec, b.timeCiLoSec);
+    EXPECT_DOUBLE_EQ(a.timeCiHiSec, b.timeCiHiSec);
+    EXPECT_DOUBLE_EQ(a.pBreak, b.pBreak);
+    EXPECT_DOUBLE_EQ(a.pBreakCiLo, b.pBreakCiLo);
+    EXPECT_DOUBLE_EQ(a.pBreakCiHi, b.pBreakCiHi);
+    EXPECT_DOUBLE_EQ(a.sumTimeSec, b.sumTimeSec);
+    EXPECT_DOUBLE_EQ(a.sumSqTimeSec, b.sumSqTimeSec);
+    EXPECT_DOUBLE_EQ(a.sumPBreak, b.sumPBreak);
+    EXPECT_DOUBLE_EQ(a.sumSqPBreak, b.sumSqPBreak);
+    EXPECT_EQ(a.reliable, b.reliable);
+}
+
+TEST(MonteCarlo, ImportanceAndNaiveEstimatorsAgree)
+{
+    // The same cell run through both estimator paths: a high epoch
+    // loop limit keeps the per-epoch probability above 1/limit (the
+    // naive epoch-by-epoch path); a low limit pushes the same cell
+    // into the stratified-geometric + importance-sampled path.  The
+    // two p_break estimates must agree within overlapping 95% CIs,
+    // and both must straddle the analytic per-epoch probability.
+    AttackParams p = paperParams(2400, 6);
+    JuggernautModel m(p);
+    const AttackResult analytic = m.evaluateRrs(900);
+    ASSERT_TRUE(analytic.feasible);
+
+    MonteCarloAttack naive(p, 2026);
+    const MonteCarloResult a = naive.run(analytic, 20000, 100000);
+    MonteCarloAttack tail(p, 2026);
+    const MonteCarloResult b = tail.run(analytic, 20000, 100);
+    ASSERT_TRUE(a.feasible);
+    ASSERT_TRUE(b.feasible);
+
+    // CIs overlap...
+    EXPECT_LE(a.pBreakCiLo, b.pBreakCiHi);
+    EXPECT_LE(b.pBreakCiLo, a.pBreakCiHi);
+    // ...and each covers the analytic value.
+    EXPECT_LE(a.pBreakCiLo, analytic.pSuccess);
+    EXPECT_GE(a.pBreakCiHi, analytic.pSuccess);
+    EXPECT_LE(b.pBreakCiLo, analytic.pSuccess);
+    EXPECT_GE(b.pBreakCiHi, analytic.pSuccess);
+    // Time estimates agree with the analytic expectation too.
+    EXPECT_NEAR(a.meanTimeSec / analytic.timeToBreakSec, 1.0, 0.15);
+    EXPECT_NEAR(b.meanTimeSec / analytic.timeToBreakSec, 1.0, 0.15);
+}
+
+TEST(MonteCarlo, ImportanceSamplingResolvesDeepTail)
+{
+    // At T_RH 4800 / N = 0 the per-epoch probability is ~1e-9 —
+    // naive sampling would need ~1/p trials to see one success.
+    // The importance-sampled estimator must land within a few
+    // relative percent with 20k trials.
+    AttackParams p = paperParams(4800, 6);
+    JuggernautModel m(p);
+    const AttackResult analytic = m.evaluateRrs(0);
+    ASSERT_TRUE(analytic.feasible);
+    ASSERT_LT(analytic.pSuccess, 1e-6);
+
+    MonteCarloAttack mc(p, 31337);
+    const MonteCarloResult r = mc.run(analytic, 20000, 100000);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GT(r.pBreak, 0.0);
+    EXPECT_NEAR(r.pBreak / analytic.pSuccess, 1.0, 0.1);
+    EXPECT_LE(r.pBreakCiLo, analytic.pSuccess);
+    EXPECT_GE(r.pBreakCiHi, analytic.pSuccess);
+}
+
+TEST(AttackParams, FromAxesMatchesPaperDefaultsOnDdr4)
+{
+    // The default (ddr4, closed-page) axes must reproduce the
+    // paper-default AttackParams exactly — the security sweep and
+    // the hand-written Table II agree on every knob.
+    const AttackParams derived =
+        attackParamsFromAxes(SystemAxes{}, 4800, 6);
+    const AttackParams paper = paperParams(4800, 6);
+    EXPECT_EQ(derived.trh, paper.trh);
+    EXPECT_EQ(derived.swapRate, paper.swapRate);
+    EXPECT_EQ(derived.rowsPerBank, paper.rowsPerBank);
+    EXPECT_DOUBLE_EQ(derived.tRcSec, paper.tRcSec);
+    EXPECT_DOUBLE_EQ(derived.tRfcSec, paper.tRfcSec);
+    EXPECT_EQ(derived.refreshOpsPerEpoch, paper.refreshOpsPerEpoch);
+    EXPECT_DOUBLE_EQ(derived.epochSec, paper.epochSec);
+    EXPECT_DOUBLE_EQ(derived.tSwapSec, paper.tSwapSec);
+    EXPECT_DOUBLE_EQ(derived.tReswapSec, paper.tReswapSec);
+    EXPECT_DOUBLE_EQ(derived.latentPerRound, paper.latentPerRound);
+    EXPECT_DOUBLE_EQ(derived.actTimeFactor, paper.actTimeFactor);
+}
+
+TEST(AttackParams, FromAxesDerivesDdr5AndOpenPage)
+{
+    // The ddr5 preset halves tREFI: 32 ms epochs holding 4096
+    // refresh commands (the Section VIII-5 environment the benches
+    // used to hand-roll), with the preset's own tRC/tRFC.
+    SystemAxes ddr5;
+    ddr5.preset = DramPreset::Ddr5;
+    const AttackParams p = attackParamsFromAxes(ddr5, 3100, 6);
+    EXPECT_DOUBLE_EQ(p.epochSec, 32e-3);
+    EXPECT_EQ(p.refreshOpsPerEpoch, 4096u);
+    const DramTimingNs t = DramTimingNs::preset(DramPreset::Ddr5);
+    EXPECT_DOUBLE_EQ(p.tRcSec, t.tRC * 1e-9);
+    EXPECT_DOUBLE_EQ(p.tRfcSec, t.tRFC * 1e-9);
+    EXPECT_DOUBLE_EQ(p.actTimeFactor, 1.0);
+
+    SystemAxes open;
+    open.pagePolicy = PagePolicy::Open;
+    EXPECT_DOUBLE_EQ(attackParamsFromAxes(open, 4800, 6)
+                         .actTimeFactor,
+                     kOpenPageActFactor);
+
+    // A @trefi override stretches the epoch proportionally.
+    SystemAxes relaxed;
+    relaxed.tRefiNs = 15600;
+    const AttackParams r = attackParamsFromAxes(relaxed, 4800, 6);
+    EXPECT_DOUBLE_EQ(r.epochSec, 128e-3);
+    EXPECT_EQ(r.refreshOpsPerEpoch, 16384u);
+}
+
 TEST(Outlier, PaperFigure13Anchors)
 {
     // T_RH 4800, swap rate 3: 3 simultaneous outliers every ~31

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * SecuritySweep engine tests: grid expansion order, axes-derived
+ * attack parameters, per-cell seed purity, thread-count byte
+ * identity, and the schema-v6 CSV row shape the security cells
+ * share with the performance sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "security/security_sweep.hh"
+#include "sim/sweep.hh"
+
+namespace srs
+{
+namespace
+{
+
+std::vector<std::string>
+fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::string::size_type start = 0;
+    for (;;) {
+        const auto comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+TEST(SecurityCell, LabelSpellsDefenseAndRounds)
+{
+    SecurityCell cell;
+    cell.defense = SecurityDefense::Srs;
+    EXPECT_EQ(cell.label(), "attack:srs");
+    cell.defense = SecurityDefense::Rrs;
+    cell.rounds = 800;
+    EXPECT_EQ(cell.label(), "attack:rrs@n=800");
+    cell.bestRounds = true;
+    EXPECT_EQ(cell.label(), "attack:rrs@best");
+}
+
+TEST(SecurityDefenseNames, RoundTripAndReject)
+{
+    EXPECT_STREQ(securityDefenseName(SecurityDefense::Srs), "srs");
+    EXPECT_STREQ(securityDefenseName(SecurityDefense::Rrs), "rrs");
+    EXPECT_EQ(securityDefenseFromName("srs"), SecurityDefense::Srs);
+    EXPECT_EQ(securityDefenseFromName("rrs"), SecurityDefense::Rrs);
+    EXPECT_THROW(securityDefenseFromName("scale-rrs"), FatalError);
+}
+
+TEST(SecurityGrid, ExpansionOrderMatchesPerfSweep)
+{
+    // Axes outermost (policy -> preset -> ... as SweepGrid), then
+    // defenses, trhs, swapRates, the rounds axis innermost.  SRS
+    // ignores rounds and appears once per (axes, trh, rate).
+    SecurityGrid grid;
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
+    grid.defenses = {SecurityDefense::Srs, SecurityDefense::Rrs};
+    grid.trhs = {4800, 2400};
+    grid.swapRates = {6};
+    grid.rounds = {0, SecurityGrid::kBestRounds};
+    const std::vector<SecurityCell> cells = grid.expand();
+    // Per axes point: SRS 2 (trhs) + RRS 2 (trhs) * 2 (rounds) = 6.
+    ASSERT_EQ(cells.size(), 12u);
+
+    EXPECT_EQ(cells[0].label(), "attack:srs");
+    EXPECT_EQ(cells[0].trh, 4800u);
+    EXPECT_EQ(cells[1].label(), "attack:srs");
+    EXPECT_EQ(cells[1].trh, 2400u);
+    EXPECT_EQ(cells[2].label(), "attack:rrs@n=0");
+    EXPECT_EQ(cells[2].trh, 4800u);
+    EXPECT_EQ(cells[3].label(), "attack:rrs@best");
+    EXPECT_EQ(cells[4].label(), "attack:rrs@n=0");
+    EXPECT_EQ(cells[4].trh, 2400u);
+    EXPECT_EQ(cells[5].label(), "attack:rrs@best");
+    // Second axes point (ddr5) repeats the pattern.
+    EXPECT_EQ(cells[6].axes.field(), "closed@ddr5");
+    EXPECT_EQ(cells[6].label(), "attack:srs");
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(cells[i].axes.field(), "closed");
+    for (std::size_t i = 6; i < 12; ++i)
+        EXPECT_EQ(cells[i].axes.field(), "closed@ddr5");
+}
+
+TEST(SecurityGrid, RejectsInvalidCombinationsAtExpansion)
+{
+    SecurityGrid grid;
+    grid.defenses = {SecurityDefense::Srs};
+    grid.trhs = {4800};
+    grid.swapRates = {1};
+    EXPECT_THROW(grid.expand(), FatalError);
+
+    grid.swapRates = {6000}; // T_S = 4800/6000 rounds to zero
+    EXPECT_THROW(grid.expand(), FatalError);
+
+    grid.swapRates = {6};
+    grid.defenses.clear();
+    EXPECT_THROW(grid.expand(), FatalError);
+}
+
+TEST(SecuritySweep, CellSeedIsPureFunctionOfIdentity)
+{
+    SecurityCell cell;
+    cell.defense = SecurityDefense::Rrs;
+    cell.trh = 2400;
+    cell.swapRate = 6;
+    cell.rounds = 900;
+    const std::uint64_t direct = SweepRunner::cellSeed(
+        77, "attack:rrs@n=900,2400,6,closed");
+    EXPECT_EQ(SecuritySweep::cellSeed(77, cell), direct);
+
+    // Different identity -> different seed; grid position is not an
+    // input at all.
+    SecurityCell other = cell;
+    other.trh = 4800;
+    EXPECT_NE(SecuritySweep::cellSeed(77, other),
+              SecuritySweep::cellSeed(77, cell));
+    other = cell;
+    other.axes.preset = DramPreset::Ddr5;
+    EXPECT_NE(SecuritySweep::cellSeed(77, other),
+              SecuritySweep::cellSeed(77, cell));
+}
+
+TEST(SecuritySweep, ThreadCountNeverChangesBytes)
+{
+    SecurityGrid grid;
+    grid.presets = {DramPreset::Ddr4, DramPreset::Ddr5};
+    grid.defenses = {SecurityDefense::Srs, SecurityDefense::Rrs};
+    grid.trhs = {2400};
+    grid.swapRates = {6};
+    grid.rounds = {900};
+
+    SecuritySweep one(0xABC, 1);
+    one.setIterations(2000);
+    SecuritySweep many(0xABC, 8);
+    many.setIterations(2000);
+    std::ostringstream a, b;
+    SecuritySweep::writeCsv(a, one.run(grid));
+    SecuritySweep::writeCsv(b, many.run(grid));
+    EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(SecuritySweep, RowsCarrySchemaV6Shape)
+{
+    SecurityGrid grid;
+    grid.defenses = {SecurityDefense::Rrs};
+    grid.trhs = {2400};
+    grid.swapRates = {6};
+    grid.rounds = {900};
+    SecuritySweep sweep(0x5EED, 2);
+    sweep.setIterations(1000);
+    const std::vector<SecurityResult> results = sweep.run(grid);
+    ASSERT_EQ(results.size(), 1u);
+    const SecurityResult &r = results[0];
+    ASSERT_TRUE(r.mc.feasible);
+    EXPECT_EQ(r.mc.iterations, 1000u);
+
+    const std::string row = SecuritySweep::formatRow(0, r);
+    const std::vector<std::string> f = fields(row);
+    ASSERT_EQ(f.size(), SweepRunner::kRowColumns);
+    EXPECT_EQ(f[0], "0");
+    EXPECT_EQ(f[1], "attack:rrs@n=900");
+    EXPECT_EQ(f[2], "rrs");
+    EXPECT_EQ(f[3], "-");
+    EXPECT_EQ(f[4], "2400");
+    EXPECT_EQ(f[5], "6");
+    EXPECT_EQ(f[6], "closed");
+    EXPECT_EQ(f[7].substr(0, 2), "0x");
+    EXPECT_EQ(f[7].size(), 18u);
+    // The v6 Monte-Carlo confidence columns are live, not zeros.
+    EXPECT_EQ(f[20], "1000");               // iterations
+    EXPECT_EQ(f[21], "0");                  // censored
+    EXPECT_NE(f[22], "0");                  // p_break
+    EXPECT_NE(f[24], "0");                  // ci_hi
+    // swaps/unswap_swaps/place_backs carry k, G, N.
+    EXPECT_EQ(f[13], "900");
+    EXPECT_NE(f[11], "0");
+
+    std::ostringstream os;
+    SecuritySweep::writeCsv(os, results);
+    const std::string text = os.str();
+    const std::string header = SweepRunner::csvHeader();
+    ASSERT_GE(text.size(), header.size());
+    EXPECT_EQ(text.substr(0, header.size()), header);
+}
+
+TEST(SecuritySweep, AnalyticOnlyLeavesCampaignColumnsZero)
+{
+    SecurityGrid grid;
+    grid.defenses = {SecurityDefense::Srs};
+    grid.trhs = {4800};
+    grid.swapRates = {6};
+    SecuritySweep sweep(0x5EED, 1);
+    const std::vector<SecurityResult> results = sweep.run(grid);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].mc.iterations, 0u);
+    EXPECT_TRUE(results[0].analytic.feasible);
+    const std::vector<std::string> f =
+        fields(SecuritySweep::formatRow(0, results[0]));
+    ASSERT_EQ(f.size(), SweepRunner::kRowColumns);
+    EXPECT_EQ(f[20], "0");
+    EXPECT_EQ(f[21], "0");
+    EXPECT_EQ(f[22], "0");
+    // The analytic time still lands in baseline_ipc.
+    EXPECT_NE(f[9], "0");
+}
+
+TEST(SecuritySweep, DerivedParamsMatchHandDerivation)
+{
+    // A ddr5 cell's Monte-Carlo campaign and analytic evaluation
+    // must be driven by attackParamsFromAxes — cross-check the
+    // sweep's analytic numbers against a hand-built model.
+    SecurityGrid grid;
+    grid.presets = {DramPreset::Ddr5};
+    grid.defenses = {SecurityDefense::Rrs};
+    grid.trhs = {3100};
+    grid.swapRates = {6};
+    grid.rounds = {SecurityGrid::kBestRounds};
+    SecuritySweep sweep(1, 1);
+    const std::vector<SecurityResult> results = sweep.run(grid);
+    ASSERT_EQ(results.size(), 1u);
+
+    SystemAxes axes;
+    axes.preset = DramPreset::Ddr5;
+    const JuggernautModel model(attackParamsFromAxes(axes, 3100, 6));
+    const AttackResult expect = model.bestRrs();
+    EXPECT_DOUBLE_EQ(results[0].analytic.timeToBreakSec,
+                     expect.timeToBreakSec);
+    EXPECT_EQ(results[0].analytic.rounds, expect.rounds);
+    EXPECT_EQ(results[0].analytic.k, expect.k);
+}
+
+} // namespace
+} // namespace srs

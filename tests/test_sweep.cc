@@ -351,7 +351,7 @@ TEST(SweepJournal, HeaderNamesSchemaAndGridIdentity)
     const ExperimentConfig exp = tinyExperiment();
     const std::string header =
         SweepRunner::journalHeader(cells, exp.seed);
-    EXPECT_EQ(header.rfind("# srs_sim sweep journal schema=5 ", 0),
+    EXPECT_EQ(header.rfind("# srs_sim sweep journal schema=6 ", 0),
               0u)
         << header;
 
@@ -569,14 +569,16 @@ TEST(SweepCsv, HeaderAndRowShape)
     EXPECT_NE(csv.find("index,workload_spec,mitigation,tracker,trh,"
                        "rate,axes,seed,"),
               std::string::npos);
-    // Schema v5: the percentile columns plus the lat_samples count
-    // close the header.
-    EXPECT_NE(csv.find(",p50_lat,p99_lat,p999_lat,lat_samples\n"),
+    // Schema v6: the Monte-Carlo confidence columns close the
+    // header; performance cells write zeros there.
+    EXPECT_NE(csv.find(",p50_lat,p99_lat,p999_lat,lat_samples,"
+                       "iterations,censored,p_break,ci_lo,ci_hi\n"),
               std::string::npos);
     EXPECT_NE(csv.find("0,gups,rrs,misra-gries,1200,6,closed,"),
               std::string::npos);
     EXPECT_NE(csv.find("0.750000"), std::string::npos);
-    EXPECT_NE(csv.find(",31,95,127,4242\n"), std::string::npos);
+    EXPECT_NE(csv.find(",31,95,127,4242,0,0,0,0,0\n"),
+              std::string::npos);
     // Every data row carries exactly kRowColumns comma-separated
     // fields.
     const std::string row = csv.substr(csv.find('\n') + 1);
@@ -1079,6 +1081,50 @@ TEST(SweepResume, SchemaV4FilesAreRejectedWithAVersionedError)
         FAIL() << "v4 journal row was not rejected";
     } catch (const FatalError &err) {
         EXPECT_NE(std::string(err.what()).find("v4"),
+                  std::string::npos)
+            << err.what();
+    }
+}
+
+TEST(SweepResume, SchemaV5FilesAreRejectedWithAVersionedError)
+{
+    // A v5 CSV has the lat_samples count but none of the v6
+    // iterations/censored/p_break/ci_lo/ci_hi Monte-Carlo
+    // confidence columns.  Resuming from a v5 file must fail naming
+    // schema v5, both via its header and via a headerless journal
+    // row.
+    const std::vector<SweepCell> cells = resumeTestCells();
+    const std::string v5Header =
+        "index,workload_spec,mitigation,tracker,trh,rate,axes,"
+        "seed,ipc,baseline_ipc,normalized,swaps,unswap_swaps,"
+        "place_backs,rows_pinned,max_row_acts,p50_lat,p99_lat,"
+        "p999_lat,lat_samples\n";
+    const std::string path =
+        writeTempFile("sweep_v5_header.csv", v5Header);
+    SweepRunner runner(tinyExperiment(), 2);
+    runner.setResume(path);
+    try {
+        runner.run(cells);
+        FAIL() << "v5 CSV header was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("schema v5"),
+                  std::string::npos)
+            << err.what();
+    }
+
+    // A v5 journal row: 20 fields, 0x-seed in column 8.
+    const std::string v5Row =
+        "0,gups,rrs,misra-gries,1200,3,closed,0x1234567890abcdef,"
+        "1.0,2.0,0.5,1,2,3,4,5,31,95,127,4242\n";
+    const std::string rowPath =
+        writeTempFile("sweep_v5_journal", v5Row);
+    SweepRunner journalRunner(tinyExperiment(), 2);
+    journalRunner.setResume(rowPath);
+    try {
+        journalRunner.run(cells);
+        FAIL() << "v5 journal row was not rejected";
+    } catch (const FatalError &err) {
+        EXPECT_NE(std::string(err.what()).find("v5"),
                   std::string::npos)
             << err.what();
     }

@@ -18,6 +18,19 @@
  *                      [--montecarlo=ITERS] [--shards=S]
  *                      [--threads=N]
  *
+ *   security run the attack models (analytic + optional Monte-Carlo
+ *            campaigns) over the same system axes as `sweep` and
+ *            emit one schema-v6 CSV row per (axes, defense, trh,
+ *            rate[, rounds]) cell — AttackParams are derived from
+ *            the axes via attackParamsFromAxes(), never hand-rolled:
+ *              srs_sim security --defenses=srs,rrs --trh=4800
+ *                      --rates=6 [--rounds=best|N,…]
+ *                      [--page-policy=A,B] [--preset=ddr4,ddr5]
+ *                      [--org=CxRxB,…] [--trc=NS,…] [--trcd=NS,…]
+ *                      [--trp=NS,…] [--trefi=NS,…] [--trfc=NS,…]
+ *                      [--montecarlo=ITERS] [--epoch-loop-limit=N]
+ *                      [--seed=S] [--threads=N] [--out=FILE]
+ *
  *   storage  print the Table IV storage breakdown:
  *              srs_sim storage --trh=1200
  *
@@ -60,8 +73,9 @@
  *            overrides, 0 = the preset's default), applied to
  *            protected and baseline runs alike.  Every row ends
  *            with the p50_lat/p99_lat/p999_lat read-latency
- *            percentile columns and the lat_samples count
- *            (schema v5).  CSV goes to stdout
+ *            percentile columns, the lat_samples count and the
+ *            Monte-Carlo confidence columns (zeros for
+ *            performance cells; schema v6).  CSV goes to stdout
  *            unless --out is given.  Output is ordered by cell
  *            (workloads outermost, then page policy, preset, org,
  *            the timing overrides, mitigations, trhs,
@@ -137,6 +151,7 @@
 #include "farm/progress.hh"
 #include "security/attack_model.hh"
 #include "security/monte_carlo.hh"
+#include "security/security_sweep.hh"
 #include "security/storage_model.hh"
 #include "sim/experiment.hh"
 #include "sim/orchestrator.hh"
@@ -550,17 +565,18 @@ int
 cmdAttack(const Options &opts)
 {
     const std::string defense = opts.getString("defense", "rrs");
-    AttackParams p;
-    p.trh = static_cast<std::uint32_t>(opts.getUint("trh", 4800));
-    p.swapRate = static_cast<std::uint32_t>(opts.getUint("rate", 6));
+    // --open-page / --ddr5 are spelled as a SystemAxes identity and
+    // the attack parameters derived from it — one definition of the
+    // environment, shared with the sweep cells (Section VIII-5 falls
+    // out of the ddr5 preset's halved tREFI).
+    SystemAxes axes;
     if (opts.getBool("open-page", false))
-        p.actTimeFactor = kOpenPageActFactor;
-    if (opts.getBool("ddr5", false)) {
-        // Section VIII-5: refresh runs twice as often, halving the
-        // accumulation window.
-        p.epochSec = 32e-3;
-        p.refreshOpsPerEpoch = 4096;
-    }
+        axes.pagePolicy = PagePolicy::Open;
+    if (opts.getBool("ddr5", false))
+        axes.preset = DramPreset::Ddr5;
+    const AttackParams p = attackParamsFromAxes(
+        axes, static_cast<std::uint32_t>(opts.getUint("trh", 4800)),
+        static_cast<std::uint32_t>(opts.getUint("rate", 6)));
     const std::uint32_t banks =
         static_cast<std::uint32_t>(opts.getUint("banks", 1));
     const std::string rounds = opts.getString("rounds", "best");
@@ -615,6 +631,75 @@ cmdAttack(const Options &opts)
                     sim.meanTimeSec / 86400.0,
                     static_cast<unsigned long long>(mcIters),
                     MonteCarloBatch::resolveShards(mcShards, mcIters));
+    }
+    return 0;
+}
+
+int
+cmdSecurity(const Options &opts)
+{
+    SecurityGrid grid;
+    grid.pagePolicies.clear();
+    for (const std::string &p :
+         splitList(opts.getString("page-policy", "closed")))
+        grid.pagePolicies.push_back(pagePolicyFromName(p));
+    grid.presets.clear();
+    for (const std::string &p :
+         splitList(opts.getString("preset", "ddr4")))
+        grid.presets.push_back(dramPresetFromName(p));
+    grid.orgs = splitList(opts.getString("org", "2x1x16"));
+    grid.tRcOverrides =
+        splitUint32List(opts.getString("trc", "0"), "--trc");
+    grid.tRcdOverrides =
+        splitUint32List(opts.getString("trcd", "0"), "--trcd");
+    grid.tRpOverrides =
+        splitUint32List(opts.getString("trp", "0"), "--trp");
+    grid.tRefiOverrides =
+        splitUint32List(opts.getString("trefi", "0"), "--trefi");
+    grid.tRfcOverrides =
+        splitUint32List(opts.getString("trfc", "0"), "--trfc");
+    for (const std::string &d :
+         splitList(opts.getString("defenses", "srs,rrs")))
+        grid.defenses.push_back(securityDefenseFromName(d));
+    grid.trhs =
+        splitUint32List(opts.getString("trh", "4800"), "--trh");
+    grid.swapRates =
+        splitUint32List(opts.getString("rates", "6"), "--rates");
+    grid.rounds.clear();
+    for (const std::string &r :
+         splitList(opts.getString("rounds", "best"))) {
+        grid.rounds.push_back(
+            r == "best" ? SecurityGrid::kBestRounds
+                        : std::strtoull(r.c_str(), nullptr, 10));
+    }
+    const std::uint64_t iterations = opts.getUint("montecarlo", 0);
+    const std::uint64_t loopLimit =
+        opts.getUint("epoch-loop-limit", 100000);
+    const std::uint64_t seed = opts.getUint("seed", 0x5eed);
+    const std::size_t threads =
+        static_cast<std::size_t>(opts.getUint("threads", 0));
+    const std::string out = opts.getString("out", "");
+    opts.rejectUnknown();
+
+    SecuritySweep sweep(seed, threads);
+    sweep.setIterations(iterations);
+    sweep.setEpochLoopLimit(loopLimit);
+    const std::vector<SecurityResult> results = sweep.run(grid);
+    if (out.empty()) {
+        SecuritySweep::writeCsv(std::cout, results);
+        if (!std::cout.flush())
+            fatal("error writing CSV to stdout");
+    } else {
+        std::ofstream file(out);
+        if (!file)
+            fatal("cannot open '", out, "' for writing");
+        SecuritySweep::writeCsv(file, results);
+        if (!file.flush())
+            fatal("error writing CSV to '", out, "'");
+        std::fprintf(stderr,
+                     "wrote %zu security cells to %s (%zu threads)\n",
+                     results.size(), out.c_str(),
+                     sweep.threadCount());
     }
     return 0;
 }
@@ -758,6 +843,19 @@ usage()
         "    --open-page  --ddr5  --montecarlo=ITERS (0)\n"
         "    --shards=S (auto)  --threads=N (all)\n"
         "\n"
+        "  security     attack-model sweep over the same system axes\n"
+        "               as `sweep`, one schema-v6 CSV row per\n"
+        "               (axes, defense, trh, rate[, rounds]) cell\n"
+        "    --defenses=srs,rrs (srs,rrs)  --trh=N,M (4800)\n"
+        "    --rates=N,M (6)  --rounds=best|N[,..] (best; RRS only)\n"
+        "    --page-policy=closed|open[,..] (closed)\n"
+        "    --preset=ddr4|ddr5[,..] (ddr4)  --org=CxRxB[,..]\n"
+        "    --trc=NS,.. --trcd=NS,.. --trp=NS,.. --trefi=NS,..\n"
+        "    --trfc=NS,..  --montecarlo=ITERS (0 = analytic only)\n"
+        "    --epoch-loop-limit=N (100000)  --seed=S (0x5eed)\n"
+        "    --threads=N (all; never changes results)\n"
+        "    --out=FILE (stdout)\n"
+        "\n"
         "  storage      Table IV storage breakdown\n"
         "    --trh=N (1200)\n"
         "\n"
@@ -800,6 +898,8 @@ main(int argc, char **argv)
             return cmdMonitor(opts);
         if (cmd == "attack")
             return cmdAttack(opts);
+        if (cmd == "security")
+            return cmdSecurity(opts);
         if (cmd == "storage")
             return cmdStorage(opts);
         if (cmd == "trace")
